@@ -1,0 +1,49 @@
+# B-IoT development targets. Pure stdlib: no tool dependencies beyond Go.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench figures examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# One testing.B bench per paper figure + ablations (laptop-scale).
+bench:
+	$(GO) test -run XXX -bench . -benchmem .
+
+# Regenerate every paper figure with full (Pi-emulated) parameters.
+figures:
+	$(GO) run ./cmd/biot-bench -fig all
+
+# Run every example scenario end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/smartfactory
+	$(GO) run ./examples/datasharing
+	$(GO) run ./examples/attackdefense
+	$(GO) run ./examples/resilience
+
+# Short fuzz pass over the wire-format decoders.
+fuzz:
+	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=30s ./internal/txn/
+	$(GO) test -fuzz='^FuzzDecodeTransfer$$' -fuzztime=15s ./internal/txn/
+	$(GO) test -fuzz='^FuzzDecrypt$$' -fuzztime=30s ./internal/dataauth/
+	$(GO) test -fuzz='^FuzzOpenEnvelope$$' -fuzztime=15s ./internal/dataauth/
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,118 @@
+// Package biot is the public API of the B-IoT reference implementation:
+// a blockchain-driven Internet-of-Things system with a credit-based
+// proof-of-work consensus mechanism, reproducing Huang et al., "B-IoT:
+// Blockchain Driven Internet of Things with Credit-Based Consensus
+// Mechanism" (ICDCS 2019).
+//
+// The package wires together the internal substrates — the
+// DAG-structured tangle ledger, the credit engine, the authorization
+// registry, the Fig-4 key-distribution protocol, AES data authority
+// management, gossip, and the RESTful RPC surface — behind three
+// concepts a deployment needs:
+//
+//   - System: a factory deployment — the manager full node plus any
+//     number of gateways on a shared network;
+//   - Gateway: a full node serving light nodes (optionally over HTTP);
+//   - Device: a light node (IoT sensor) that validates tips, runs PoW
+//     at its credit-determined difficulty, and posts (optionally
+//     encrypted) readings.
+//
+// See examples/ for runnable scenarios and DESIGN.md for the paper→code
+// map.
+package biot
+
+import (
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/dataauth"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/pow"
+	"github.com/b-iot/biot/internal/quality"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Re-exported core types, so downstream users interact with the system
+// through this package alone.
+type (
+	// Address is a 32-byte account identifier (SHA-256 of the public
+	// key).
+	Address = identity.Address
+	// KeyPair is a blockchain account: Ed25519 signing keys plus the
+	// derived X25519 encryption key.
+	KeyPair = identity.KeyPair
+	// Hash identifies a transaction.
+	Hash = hashutil.Hash
+	// Transaction is a tangle vertex.
+	Transaction = txn.Transaction
+	// TxInfo is the ledger view of an attached transaction.
+	TxInfo = tangle.Info
+	// CreditParams are the credit mechanism constants (Eqns 2-5).
+	CreditParams = core.Params
+	// Credit is an evaluated (CrP, CrN, Cr) triple.
+	Credit = core.Credit
+	// DifficultyPolicy maps credit to PoW difficulty (Cr ∝ 1/D).
+	DifficultyPolicy = core.DifficultyPolicy
+	// PowWorker searches proof-of-work nonces; its CostFactor emulates
+	// constrained hardware.
+	PowWorker = pow.Worker
+	// DataKey is a distributed AES-256 symmetric key.
+	DataKey = dataauth.Key
+	// QualityValidator checks plaintext sensor readings for
+	// plausibility (the §VIII quality-control extension).
+	QualityValidator = quality.Validator
+	// QualityBand is a plausible value range for one sensor class.
+	QualityBand = quality.Band
+)
+
+// NewQualityValidator builds a validator over the given per-sensor
+// bands; nil selects the built-in smart-factory bands.
+func NewQualityValidator(bands map[string]QualityBand) *QualityValidator {
+	return quality.NewValidator(bands)
+}
+
+// NewKeyPair generates a fresh account.
+func NewKeyPair() (*KeyPair, error) { return identity.Generate() }
+
+// DefaultCreditParams returns the paper's §VI-A parameters:
+// λ1=1, λ2=0.5, ΔT=30 s, α_l=0.5, α_d=1, D0=11, range [1,14].
+func DefaultCreditParams() CreditParams { return core.DefaultParams() }
+
+// AdditivePolicy returns the default bits-domain difficulty policy.
+func AdditivePolicy(p CreditParams) DifficultyPolicy {
+	return core.DefaultAdditivePolicy(p)
+}
+
+// InversePolicy returns the paper-literal D = κ/Cr policy.
+func InversePolicy(p CreditParams) DifficultyPolicy {
+	return core.DefaultInversePolicy(p)
+}
+
+// StaticPolicy returns a fixed-difficulty policy (the "original PoW"
+// control of Fig 9).
+func StaticPolicy(difficulty int) DifficultyPolicy {
+	return core.StaticPolicy{Difficulty: difficulty}
+}
+
+// Transaction status values.
+const (
+	StatusPending   = tangle.StatusPending
+	StatusConfirmed = tangle.StatusConfirmed
+	StatusRejected  = tangle.StatusRejected
+)
+
+// OpenReading parses a data-transaction payload and, when the reading
+// is sensitive, decrypts it with key. Passing a nil key for a sensitive
+// reading fails — the data-confidentiality property of §IV-C.
+func OpenReading(payload []byte, key *DataKey) ([]byte, error) {
+	return dataauth.Open(payload, key)
+}
+
+// IsSensitive reports whether a data-transaction payload is encrypted.
+func IsSensitive(payload []byte) (bool, error) {
+	env, err := dataauth.Parse(payload)
+	if err != nil {
+		return false, err
+	}
+	return env.Sensitive, nil
+}

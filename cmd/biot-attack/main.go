@@ -1,0 +1,182 @@
+// Command biot-attack drives the §III threat-model attacks against a
+// live gateway and reports how the deployment reacts — a red-team tool
+// for verifying a B-IoT installation's defenses.
+//
+//	biot-attack -gateway http://127.0.0.1:14265 -mode sybil -n 20
+//	biot-attack -gateway http://127.0.0.1:14265 -mode flood -n 50 \
+//	    -key <hex-seed-of-authorized-account>   # flood needs authorization
+//
+// Sybil mode needs no credentials (that is the point). Flood,
+// double-spend and lazy modes act as a compromised authorized device,
+// so they require the device's key material; for demo deployments
+// generate the account with -mode keygen and authorize it first.
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/b-iot/biot/internal/attack"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "biot-attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		gatewayURL = flag.String("gateway", "http://127.0.0.1:14265", "gateway RPC base URL")
+		mode       = flag.String("mode", "sybil", "attack: sybil, flood, double-spend, lazy, keygen")
+		n          = flag.Int("n", 20, "attack volume (identities or transactions)")
+		keySeed    = flag.String("key", "", "hex 32-byte seed of the compromised authorized account")
+	)
+	flag.Parse()
+	ctx := context.Background()
+
+	if *mode == "keygen" {
+		seed := make([]byte, ed25519.SeedSize)
+		if _, err := randRead(seed); err != nil {
+			return err
+		}
+		key, err := keyFromSeed(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("seed:       %s\n", hex.EncodeToString(seed))
+		fmt.Printf("public key: %s\n", hex.EncodeToString(key.Public()))
+		fmt.Printf("address:    %s\n", key.Address().Hex())
+		fmt.Println("authorize the public key at the manager, then pass -key <seed>")
+		return nil
+	}
+
+	client := rpc.NewClient(*gatewayURL)
+	if *mode == "sybil" {
+		res, err := attack.SybilFlood(ctx, client, nil, nil, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sybil: %d identities, %d rejected, %d accepted\n",
+			res.Identities, res.Rejected, res.Accepted)
+		if res.Accepted > 0 {
+			fmt.Println("VULNERABLE: unauthorized identities were accepted")
+			os.Exit(2)
+		}
+		fmt.Println("defended: authorization list held")
+		return nil
+	}
+
+	if *keySeed == "" {
+		return errors.New("this mode requires -key (see -mode keygen)")
+	}
+	seed, err := hex.DecodeString(*keySeed)
+	if err != nil || len(seed) != ed25519.SeedSize {
+		return fmt.Errorf("bad -key: want %d hex bytes", ed25519.SeedSize)
+	}
+	key, err := keyFromSeed(seed)
+	if err != nil {
+		return err
+	}
+	atk, err := attack.New(attack.Config{Key: key, Gateway: client})
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "flood":
+		res, err := atk.Flood(ctx, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("flood: %d sent, %d accepted, %d rate-limited, %d other errors\n",
+			res.Sent, res.Accepted, res.RateLimited, res.OtherErrors)
+	case "double-spend":
+		v1, err := identity.Generate()
+		if err != nil {
+			return err
+		}
+		v2, err := identity.Generate()
+		if err != nil {
+			return err
+		}
+		first, second, err := atk.DoubleSpend(ctx, v1.Address(), v2.Address(), 1, 0)
+		if err != nil {
+			return fmt.Errorf("double spend: %w", err)
+		}
+		fmt.Printf("double-spend submitted: %s and %s\n", first.ID.Short(), second.ID.Short())
+		cr, err := client.Credit(key.Address())
+		if err == nil {
+			fmt.Printf("attacker credit now: CrP=%.3f CrN=%.3f Cr=%.3f\n", cr.CrP, cr.CrN, cr.Cr)
+		}
+		fmt.Printf("attacker difficulty now: %d\n", client.DifficultyFor(key.Address()))
+		printEvents(client, key.Address())
+	case "lazy":
+		trunk, branch, err := client.TipsForApproval()
+		if err != nil {
+			return err
+		}
+		atk.PinLazyParents(trunk, branch)
+		accepted, punished := 0, 0
+		for i := 0; i < *n; i++ {
+			if _, err := atk.LazySubmit(ctx, fmt.Appendf(nil, "lazy %d", i)); err != nil {
+				punished++
+			} else {
+				accepted++
+			}
+		}
+		fmt.Printf("lazy: %d accepted, %d failed/punished, difficulty now %d\n",
+			accepted, punished, client.DifficultyFor(key.Address()))
+		printEvents(client, key.Address())
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	return nil
+}
+
+// printEvents lists the node's recorded punishments for addr.
+func printEvents(client *rpc.Client, addr identity.Address) {
+	evs, err := client.Events(addr)
+	if err != nil {
+		return
+	}
+	for _, ev := range evs.Events {
+		fmt.Printf("  recorded: %s at %s (%s)\n", ev.Behaviour, ev.At, ev.Detail)
+	}
+}
+
+func keyFromSeed(seed []byte) (*identity.KeyPair, error) {
+	return identity.GenerateFrom(deterministicReader(seed))
+}
+
+// deterministicReader feeds ed25519.GenerateKey exactly the seed bytes.
+type seedReader struct {
+	seed []byte
+	off  int
+}
+
+func deterministicReader(seed []byte) *seedReader {
+	return &seedReader{seed: seed}
+}
+
+func (r *seedReader) Read(p []byte) (int, error) {
+	n := copy(p, r.seed[r.off:])
+	r.off += n
+	if n == 0 {
+		return 0, errors.New("seed exhausted")
+	}
+	return n, nil
+}
+
+func randRead(p []byte) (int, error) {
+	return rand.Read(p)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"testing"
+)
+
+func TestKeyFromSeedDeterministic(t *testing.T) {
+	seed := bytes.Repeat([]byte{0x11}, ed25519.SeedSize)
+	a, err := keyFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := keyFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Address() != b.Address() {
+		t.Error("same seed produced different accounts")
+	}
+	other, err := keyFromSeed(bytes.Repeat([]byte{0x22}, ed25519.SeedSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Address() == a.Address() {
+		t.Error("different seeds collided")
+	}
+}
+
+func TestSeedReaderExhaustion(t *testing.T) {
+	r := deterministicReader([]byte{1, 2, 3})
+	buf := make([]byte, 2)
+	if n, err := r.Read(buf); n != 2 || err != nil {
+		t.Fatalf("first read = (%d, %v)", n, err)
+	}
+	if n, err := r.Read(buf); n != 1 || err != nil {
+		t.Fatalf("second read = (%d, %v)", n, err)
+	}
+	if _, err := r.Read(buf); err == nil {
+		t.Error("exhausted reader kept reading")
+	}
+}
+
+func TestRandRead(t *testing.T) {
+	a := make([]byte, 16)
+	b := make([]byte, 16)
+	if _, err := randRead(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := randRead(b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("random reads identical")
+	}
+}

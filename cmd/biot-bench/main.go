@@ -1,0 +1,133 @@
+// Command biot-bench regenerates every table and figure of the paper's
+// evaluation (§VI) plus the measured security matrix. See DESIGN.md §3
+// for the experiment index and EXPERIMENTS.md for paper-vs-measured
+// numbers.
+//
+// Usage:
+//
+//	biot-bench -fig all                # everything (default)
+//	biot-bench -fig 7                  # PoW time vs difficulty
+//	biot-bench -fig 7 -quick           # CI-scale variant
+//	biot-bench -fig 8a | 8b            # credit timeline, 1 or 2 attacks
+//	biot-bench -fig 9                  # four control experiments
+//	biot-bench -fig 10                 # AES time vs message length
+//	biot-bench -fig security           # §VI-C threat scenarios, measured
+//	biot-bench -fig throughput         # DAG vs chain baseline
+//	biot-bench -fig keydist            # Fig-4 protocol experiment
+//	biot-bench -fig 9 -csv out.csv     # also write CSV
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/b-iot/biot/internal/experiments"
+)
+
+// renderable is the common surface of all experiment results.
+type renderable interface {
+	Render(w io.Writer) error
+	CSV(w io.Writer) error
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, all")
+	quick := flag.Bool("quick", false, "CI-scale parameters (smaller sweeps, no device emulation)")
+	csvPath := flag.String("csv", "", "also write the result as CSV to this file (single figure only)")
+	flag.Parse()
+
+	if err := run(*fig, *quick, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "biot-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, quick bool, csvPath string) error {
+	ctx := context.Background()
+	figs := []string{fig}
+	if fig == "all" {
+		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda"}
+		if csvPath != "" {
+			return fmt.Errorf("-csv requires a single figure")
+		}
+	}
+	for i, f := range figs {
+		if i > 0 {
+			fmt.Println()
+		}
+		res, err := runOne(ctx, f, quick)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", f, err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		if csvPath != "" {
+			out, err := os.Create(csvPath)
+			if err != nil {
+				return fmt.Errorf("create csv: %w", err)
+			}
+			if err := res.CSV(out); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "csv written to %s\n", csvPath)
+		}
+	}
+	return nil
+}
+
+func runOne(ctx context.Context, fig string, quick bool) (renderable, error) {
+	switch strings.ToLower(fig) {
+	case "7":
+		cfg := experiments.DefaultFig7Config()
+		if quick {
+			cfg = experiments.QuickFig7Config()
+		}
+		return experiments.RunFig7(ctx, cfg)
+	case "8a":
+		return experiments.RunFig8(experiments.DefaultFig8Config())
+	case "8b":
+		return experiments.RunFig8(experiments.Fig8bConfig())
+	case "9":
+		return experiments.RunFig9(experiments.DefaultFig9Config())
+	case "10":
+		cfg := experiments.DefaultFig10Config()
+		if quick {
+			cfg.MaxExp = 16
+			cfg.Trials = 3
+		}
+		return experiments.RunFig10(ctx, cfg)
+	case "security":
+		return experiments.RunSecurity(ctx, experiments.DefaultSecurityConfig())
+	case "throughput":
+		cfg := experiments.DefaultThroughputConfig()
+		if quick {
+			cfg = experiments.QuickThroughputConfig()
+		}
+		return experiments.RunThroughput(ctx, cfg)
+	case "keydist":
+		return experiments.RunKeyDist(experiments.DefaultKeyDistConfig())
+	case "lambda":
+		return experiments.RunLambdaSweep(experiments.DefaultLambdaSweepConfig())
+	case "lazyresist":
+		return experiments.RunLazyResist(experiments.DefaultLazyResistConfig())
+	case "scale":
+		cfg := experiments.DefaultScalabilityConfig()
+		if quick {
+			cfg.DeviceCounts = []int{1, 2, 4}
+			cfg.TxPerDevice = 5
+			cfg.Difficulty = 8
+		}
+		return experiments.RunScalability(ctx, cfg)
+	default:
+		return nil, fmt.Errorf("unknown figure %q", fig)
+	}
+}

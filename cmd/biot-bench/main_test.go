@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+// TestRunOneQuickFigures smoke-tests every figure the harness knows, in
+// its quick configuration, rendering to io.Discard.
+func TestRunOneQuickFigures(t *testing.T) {
+	figs := []string{"8a", "8b", "9", "security", "keydist", "lazyresist", "lambda"}
+	for _, fig := range figs {
+		fig := fig
+		t.Run(fig, func(t *testing.T) {
+			res, err := runOne(context.Background(), fig, true)
+			if err != nil {
+				t.Fatalf("runOne(%s): %v", fig, err)
+			}
+			if err := res.Render(io.Discard); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if err := res.CSV(io.Discard); err != nil {
+				t.Fatalf("csv: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunOneHeavierFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavier figures skipped in -short mode")
+	}
+	for _, fig := range []string{"7", "10", "throughput", "scale"} {
+		fig := fig
+		t.Run(fig, func(t *testing.T) {
+			res, err := runOne(context.Background(), fig, true)
+			if err != nil {
+				t.Fatalf("runOne(%s): %v", fig, err)
+			}
+			if err := res.Render(io.Discard); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunOneUnknownFigure(t *testing.T) {
+	if _, err := runOne(context.Background(), "42z", false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

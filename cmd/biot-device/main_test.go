@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"github.com/b-iot/biot/internal/device"
+)
+
+func TestParseSensor(t *testing.T) {
+	tests := []struct {
+		in   string
+		want device.SensorKind
+	}{
+		{"temperature", device.SensorTemperature},
+		{"humidity", device.SensorHumidity},
+		{"vibration", device.SensorVibration},
+		{"power", device.SensorPower},
+		{"machine-config", device.SensorMachineConfig},
+	}
+	for _, tt := range tests {
+		got, err := parseSensor(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("parseSensor(%q) = (%v, %v)", tt.in, got, err)
+		}
+	}
+	if _, err := parseSensor("geiger"); err == nil {
+		t.Error("unknown sensor accepted")
+	}
+}
+
+func TestDeviceKey(t *testing.T) {
+	// Fresh accounts differ.
+	a, err := deviceKey("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := deviceKey("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Address() == b.Address() {
+		t.Error("fresh accounts identical")
+	}
+
+	// Seeded accounts are deterministic.
+	seed := strings.Repeat("ab", 32)
+	c, err := deviceKey(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := deviceKey(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Address() != d.Address() {
+		t.Error("seeded accounts differ")
+	}
+	if hex.EncodeToString(c.Public()) == hex.EncodeToString(a.Public()) {
+		t.Error("seeded account collides with fresh one")
+	}
+
+	// Bad seeds rejected.
+	for _, bad := range []string{"zz", "abcd"} {
+		if _, err := deviceKey(bad); err == nil {
+			t.Errorf("deviceKey(%q) accepted", bad)
+		}
+	}
+}

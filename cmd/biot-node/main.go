@@ -1,0 +1,221 @@
+// Command biot-node runs a B-IoT full node — a gateway or the manager —
+// with a RESTful HTTP API for light nodes and TCP gossip between full
+// nodes (the counterpart of the paper's IRI deployment, §V-A).
+//
+// Start a manager (it prints the manager key material the deployment
+// needs):
+//
+//	biot-node -role manager -rpc 127.0.0.1:14265 -gossip 127.0.0.1:15600 \
+//	    -keyfile manager.key
+//
+// Start a gateway against it:
+//
+//	biot-node -role gateway -rpc 127.0.0.1:14266 -gossip 127.0.0.1:15601 \
+//	    -manager-pub <hex from the manager> -peers 127.0.0.1:15600
+//
+// A manager node additionally authorizes devices listed in -authorize
+// (comma-separated hex public keys) at startup.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/quality"
+	"github.com/b-iot/biot/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "biot-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role         = flag.String("role", "gateway", "node role: manager or gateway")
+		rpcAddr      = flag.String("rpc", "127.0.0.1:14265", "RESTful API listen address")
+		gossipAddr   = flag.String("gossip", "127.0.0.1:15600", "gossip listen address")
+		peers        = flag.String("peers", "", "comma-separated gossip addresses of peer full nodes")
+		managerPub   = flag.String("manager-pub", "", "hex manager public key (required for gateways)")
+		authorize    = flag.String("authorize", "", "comma-separated hex device public keys to authorize (manager only)")
+		difficulty   = flag.Int("difficulty", 11, "initial PoW difficulty D0")
+		rateLimit    = flag.Int("rate-limit", 50, "per-device submissions per second (0 = unlimited)")
+		persistPath  = flag.String("persist", "", "transaction log path; the ledger survives restarts when set")
+		withQuality  = flag.Bool("quality", false, "enable sensor data quality control on plaintext readings")
+		snapshotKeep = flag.Duration("snapshot-keep", 0, "compact the ledger periodically, keeping this much history (0 = never)")
+		keyfile      = flag.String("keyfile", "", "not yet supported; reserved for persisted node identity")
+	)
+	flag.Parse()
+	if *keyfile != "" {
+		return errors.New("-keyfile persistence is not implemented; node identity is ephemeral")
+	}
+
+	key, err := identity.Generate()
+	if err != nil {
+		return fmt.Errorf("generate node account: %w", err)
+	}
+
+	var nodeRole identity.Role
+	var mgrPub identity.PublicKey
+	switch *role {
+	case "manager":
+		nodeRole = identity.RoleManager
+		mgrPub = key.Public()
+	case "gateway":
+		nodeRole = identity.RoleGateway
+		if *managerPub == "" {
+			return errors.New("gateway requires -manager-pub")
+		}
+		if mgrPub, err = identity.DecodePublic(*managerPub); err != nil {
+			return fmt.Errorf("parse -manager-pub: %w", err)
+		}
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+
+	net, err := gossip.ListenTCP(*gossipAddr)
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	for _, p := range splitList(*peers) {
+		net.AddPeer(p)
+	}
+
+	params := defaultParamsWithDifficulty(*difficulty)
+	var validator *quality.Validator
+	if *withQuality {
+		validator = quality.NewValidator(nil)
+	}
+	full, err := node.NewFull(node.FullConfig{
+		Key:        key,
+		Role:       nodeRole,
+		ManagerPub: mgrPub,
+		Credit:     params,
+		Network:    net,
+		RateLimit:  *rateLimit,
+		RateWindow: time.Second,
+		Quality:    validator,
+	})
+	if err != nil {
+		return err
+	}
+	if *persistPath != "" {
+		replayed, err := full.EnablePersistence(*persistPath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = full.ClosePersistence() }()
+		fmt.Printf("  persisted:   %s (%d records replayed)\n", *persistPath, replayed)
+	}
+
+	fmt.Printf("b-iot %s node\n", nodeRole)
+	fmt.Printf("  address:     %s\n", full.Address().Hex())
+	fmt.Printf("  public key:  %s\n", hex.EncodeToString(key.Public()))
+	fmt.Printf("  rpc:         http://%s\n", *rpcAddr)
+	fmt.Printf("  gossip:      %s (peers: %s)\n", net.Self(), *peers)
+
+	if nodeRole == identity.RoleManager {
+		mgr, err := node.NewManager(full)
+		if err != nil {
+			return err
+		}
+		for _, hexKey := range splitList(*authorize) {
+			pub, err := identity.DecodePublic(hexKey)
+			if err != nil {
+				return fmt.Errorf("parse -authorize key %q: %w", hexKey, err)
+			}
+			mgr.AuthorizeDevice(pub, nil)
+		}
+		if *authorize != "" {
+			if _, err := mgr.PublishAuthorization(context.Background()); err != nil {
+				return fmt.Errorf("publish authorization: %w", err)
+			}
+			fmt.Printf("  authorized:  %d device(s)\n", len(splitList(*authorize)))
+		}
+	} else {
+		// Joining gateway: pull history from peers.
+		full.SyncAll(context.Background())
+		fmt.Printf("  synced:      %d transactions\n", full.Tangle().Size())
+	}
+
+	srv := rpc.NewServer(full)
+	if err := srv.Start(*rpcAddr); err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	// Periodic compaction: bound memory on long-lived nodes by
+	// snapshotting old confirmed history (see FullNode.Compact).
+	maintDone := make(chan struct{})
+	maintStop := make(chan struct{})
+	if *snapshotKeep > 0 {
+		go func() {
+			defer close(maintDone)
+			ticker := time.NewTicker(*snapshotKeep / 2)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					dropped, pruned := full.Compact(*snapshotKeep)
+					if dropped > 0 || pruned > 0 {
+						fmt.Printf("compacted: %d tangle vertices, %d credit records\n",
+							dropped, pruned)
+					}
+				case <-maintStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(maintDone)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	close(maintStop)
+	<-maintDone
+	fmt.Println("shutting down")
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func defaultParamsWithDifficulty(d int) core.Params {
+	p := core.DefaultParams()
+	p.InitialDifficulty = d
+	if d < p.MinDifficulty {
+		p.MinDifficulty = 1
+	}
+	if d+6 > p.MaxDifficulty {
+		p.MaxDifficulty = d + 6
+	}
+	return p
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a,b,c", []string{"a", "b", "c"}},
+		{" a , b ", []string{"a", "b"}},
+		{"a,,b,", []string{"a", "b"}},
+		{" , ", nil},
+	}
+	for _, tt := range tests {
+		got := splitList(tt.in)
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestDefaultParamsWithDifficulty(t *testing.T) {
+	p := defaultParamsWithDifficulty(11)
+	if p.InitialDifficulty != 11 {
+		t.Errorf("initial = %d", p.InitialDifficulty)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("params invalid: %v", err)
+	}
+	// Low difficulty keeps the range valid.
+	p = defaultParamsWithDifficulty(2)
+	if err := p.Validate(); err != nil {
+		t.Errorf("low-difficulty params invalid: %v", err)
+	}
+	// High difficulty widens the max.
+	p = defaultParamsWithDifficulty(20)
+	if p.MaxDifficulty < 26 {
+		t.Errorf("max = %d, want headroom above 20", p.MaxDifficulty)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("high-difficulty params invalid: %v", err)
+	}
+}

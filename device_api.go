@@ -1,0 +1,111 @@
+package biot
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/metrics"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/rpc"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Device is an IoT light node: it holds an account, talks to one
+// gateway, validates tips, runs credit-priced PoW, and posts readings.
+type Device struct {
+	key   *KeyPair
+	light *node.LightNode
+}
+
+// DeviceConfig configures a device.
+type DeviceConfig struct {
+	// Key is the device account; nil generates a fresh one.
+	Key *KeyPair
+	// Worker runs PoW; its CostFactor emulates the device's hardware
+	// class (nil selects an unconstrained worker).
+	Worker *PowWorker
+}
+
+// NewDevice creates a device attached to a gateway of the system. The
+// device still needs authorization (System.AuthorizeDevice +
+// PublishAuthorization) before its submissions are accepted.
+func (s *System) NewDevice(cfg DeviceConfig, gw *Gateway) (*Device, error) {
+	if gw == nil {
+		gw = s.ManagerGateway()
+	}
+	return newDevice(cfg, gw.full, s.cfg.Clock)
+}
+
+// ConnectDevice creates a device that talks to a remote gateway over
+// its RESTful RPC API (cmd/biot-device does this).
+func ConnectDevice(cfg DeviceConfig, gatewayURL string) (*Device, error) {
+	return newDevice(cfg, rpc.NewClient(gatewayURL), nil)
+}
+
+func newDevice(cfg DeviceConfig, gw node.Gateway, clk clock.Clock) (*Device, error) {
+	key := cfg.Key
+	if key == nil {
+		var err error
+		if key, err = NewKeyPair(); err != nil {
+			return nil, fmt.Errorf("generate device account: %w", err)
+		}
+	}
+	light, err := node.NewLight(node.LightConfig{
+		Key:     key,
+		Gateway: gw,
+		Worker:  cfg.Worker,
+		Clock:   clk,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Device{key: key, light: light}, nil
+}
+
+// Key returns the device's account.
+func (d *Device) Key() *KeyPair { return d.key }
+
+// Address returns the device's account address.
+func (d *Device) Address() Address { return d.key.Address() }
+
+// PostReading publishes a sensor reading. If the device has been issued
+// a data key (System.DistributeKey), the reading is AES-encrypted
+// before it touches the transparent ledger.
+func (d *Device) PostReading(ctx context.Context, reading []byte) (TxInfo, error) {
+	res, err := d.light.PostReading(ctx, reading)
+	if err != nil {
+		return TxInfo{}, err
+	}
+	return res.Info, nil
+}
+
+// Transfer moves tokens to another account.
+func (d *Device) Transfer(ctx context.Context, to Address, amount uint64) (TxInfo, error) {
+	res, err := d.light.Transfer(ctx, to, amount)
+	if err != nil {
+		return TxInfo{}, err
+	}
+	return res.Info, nil
+}
+
+// HasDataKey reports whether key distribution completed for this
+// device.
+func (d *Device) HasDataKey() bool { return d.light.HasDataKey() }
+
+// PowStats summarizes the device's observed PoW latencies (the Fig-9
+// quantity).
+func (d *Device) PowStats() metrics.Summary { return d.light.PowTime.Summarize() }
+
+// FetchReading retrieves a data transaction from the device's gateway
+// and decrypts it with the given key (nil for plaintext readings).
+func (d *Device) FetchReading(id Hash, key *DataKey) ([]byte, error) {
+	t, err := d.light.Gateway().GetTransaction(id)
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind != txn.KindData {
+		return nil, fmt.Errorf("transaction %s is %v, not data", id.Short(), t.Kind)
+	}
+	return OpenReading(t.Payload, key)
+}

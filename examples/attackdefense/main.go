@@ -1,0 +1,152 @@
+// Attack and defense: the credit-based PoW mechanism reacting to the
+// paper's §III threat model, live.
+//
+// An honest sensor builds positive credit and watches its PoW
+// difficulty fall. A double-spender and a lazy-tips attacker are
+// detected by the ledger; their difficulty jumps, making further
+// attacks exponentially more expensive (§IV-B). A Sybil flood bounces
+// off the authorization list.
+//
+//	go run ./examples/attackdefense
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	biot "github.com/b-iot/biot"
+	"github.com/b-iot/biot/internal/attack"
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/tangle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	params := biot.DefaultCreditParams()
+	params.InitialDifficulty = 8
+	params.MinDifficulty = 1
+	params.MaxDifficulty = 18
+	// Compress the lazy-tip staleness threshold so the demo finishes in
+	// seconds (production default: 30 s).
+	tangleCfg := tangle.DefaultConfig()
+	tangleCfg.LazyParentAge = 2 * time.Second
+	sys, err := biot.NewSystem(biot.SystemConfig{Credit: params, Tangle: tangleCfg})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	gateway := sys.ManagerGateway()
+
+	// Honest device: credit up, difficulty down.
+	honest, err := sys.NewDevice(biot.DeviceConfig{}, gateway)
+	if err != nil {
+		return err
+	}
+	spender, err := biot.NewKeyPair()
+	if err != nil {
+		return err
+	}
+	lazy, err := biot.NewKeyPair()
+	if err != nil {
+		return err
+	}
+	sys.AuthorizeDevice(honest.Key())
+	sys.AuthorizeDevice(spender)
+	sys.AuthorizeDevice(lazy)
+	if err := sys.PublishAuthorization(ctx); err != nil {
+		return err
+	}
+	sys.Mint(spender.Address(), 100)
+
+	fmt.Println("== honest behaviour ==")
+	before := sys.DifficultyFor(honest.Address())
+	for i := 0; i < 12; i++ {
+		if _, err := honest.PostReading(ctx, fmt.Appendf(nil, "reading %d", i)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("honest difficulty: %d → %d (credit %.3f)\n",
+		before, sys.DifficultyFor(honest.Address()), sys.CreditOf(honest.Address()).Cr)
+
+	fmt.Println("== double-spending attack ==")
+	atk, err := attack.New(attack.Config{Key: spender, Gateway: gateway.Node()})
+	if err != nil {
+		return err
+	}
+	victim1, err := biot.NewKeyPair()
+	if err != nil {
+		return err
+	}
+	victim2, err := biot.NewKeyPair()
+	if err != nil {
+		return err
+	}
+	dsBefore := sys.DifficultyFor(spender.Address())
+	first, second, err := atk.DoubleSpend(ctx, victim1.Address(), victim2.Address(), 40, 0)
+	if err != nil {
+		return err
+	}
+	firstInfo, err := gateway.Node().InfoOf(first.ID)
+	if err != nil {
+		return err
+	}
+	secondInfo, err := gateway.Node().InfoOf(second.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("conflicting spends: %s=%v, %s=%v\n",
+		first.ID.Short(), firstInfo.Status, second.ID.Short(), secondInfo.Status)
+	fmt.Printf("spender difficulty: %d → %d\n", dsBefore, sys.DifficultyFor(spender.Address()))
+	for _, ev := range sys.Events(spender.Address()) {
+		fmt.Printf("  recorded: %v (%s)\n", ev.Behaviour, ev.Detail)
+	}
+
+	fmt.Println("== lazy-tips attack ==")
+	lazyAtk, err := attack.New(attack.Config{Key: lazy, Gateway: gateway.Node()})
+	if err != nil {
+		return err
+	}
+	trunk, branch, err := gateway.Node().TipsForApproval()
+	if err != nil {
+		return err
+	}
+	lazyAtk.PinLazyParents(trunk, branch)
+	// Honest traffic moves the frontier past the (compressed) lazy
+	// threshold.
+	for i := 0; i < 3; i++ {
+		if _, err := honest.PostReading(ctx, []byte("fresh traffic")); err != nil {
+			return err
+		}
+		time.Sleep(time.Second)
+	}
+	lzBefore := sys.DifficultyFor(lazy.Address())
+	if _, err := lazyAtk.LazySubmit(ctx, []byte("lazy tx")); err != nil {
+		return err
+	}
+	fmt.Printf("lazy attacker difficulty: %d → %d\n",
+		lzBefore, sys.DifficultyFor(lazy.Address()))
+	for _, ev := range sys.Events(lazy.Address()) {
+		if ev.Behaviour == core.BehaviourLazyTips {
+			fmt.Printf("  recorded: %v (%s)\n", ev.Behaviour, ev.Detail)
+		}
+	}
+
+	fmt.Println("== Sybil flood ==")
+	res, err := attack.SybilFlood(ctx, gateway.Node(), nil, nil, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fabricated identities: %d, rejected: %d, accepted: %d\n",
+		res.Identities, res.Rejected, res.Accepted)
+	return nil
+}

@@ -1,0 +1,152 @@
+// Resilience: the two §VIII future-work extensions working together —
+// durable storage and sensor data quality control.
+//
+// A gateway journals every admitted transaction; it is then "restarted"
+// (a fresh process state replaying the same journal) and proves nothing
+// was lost: tangle contents, device authorization, and credit history
+// all survive. Meanwhile a faulty sensor emits implausible readings;
+// the gateway's quality validator flags them and the credit mechanism
+// raises that device's PoW difficulty, exactly as it does for protocol
+// attackers.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/quality"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func params() core.Params {
+	p := core.DefaultParams()
+	p.InitialDifficulty = 8
+	p.MinDifficulty = 1
+	return p
+}
+
+func boot(managerKey *identity.KeyPair, journal string) (*node.Manager, *node.FullNode, int, error) {
+	full, err := node.NewFull(node.FullConfig{
+		Key:        managerKey,
+		Role:       identity.RoleManager,
+		ManagerPub: managerKey.Public(),
+		Credit:     params(),
+		Quality:    quality.NewValidator(nil),
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	replayed, err := full.EnablePersistence(journal)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	mgr, err := node.NewManager(full)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return mgr, full, replayed, nil
+}
+
+func run() error {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "biot-resilience")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	journal := filepath.Join(dir, "gateway.log")
+
+	managerKey, err := identity.Generate()
+	if err != nil {
+		return err
+	}
+	deviceKey, err := identity.Generate()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("== first life ==")
+	mgr, full, replayed, err := boot(managerKey, journal)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("journal %s: %d records replayed (fresh)\n", filepath.Base(journal), replayed)
+
+	device, err := node.NewLight(node.LightConfig{Key: deviceKey, Gateway: full})
+	if err != nil {
+		return err
+	}
+	mgr.AuthorizeDevice(deviceKey.Public(), deviceKey.BoxPublic())
+	if _, err := mgr.PublishAuthorization(ctx); err != nil {
+		return err
+	}
+
+	// Healthy readings build credit...
+	for i := 1; i <= 5; i++ {
+		payload := fmt.Sprintf("sensor=temperature;seq=%d;t=%d;value=%.1f", i, i, 20.0+float64(i)*0.2)
+		if _, err := device.PostReading(ctx, []byte(payload)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("5 healthy readings posted; difficulty for device: %d\n",
+		full.DifficultyFor(deviceKey.Address()))
+
+	// ...then the sensor develops a fault.
+	faulty := "sensor=temperature;seq=6;t=6;value=482.0" // outside [-40, 125]
+	if _, err := device.PostReading(ctx, []byte(faulty)); err != nil {
+		return err
+	}
+	fmt.Printf("faulty reading accepted as evidence; quality violations: %d\n",
+		full.CountersView().QualityViolations.Value())
+	fmt.Printf("difficulty for device after violation: %d\n",
+		full.DifficultyFor(deviceKey.Address()))
+	for _, ev := range full.Engine().Ledger().Events(deviceKey.Address()) {
+		fmt.Printf("  recorded: %v (%s)\n", ev.Behaviour, ev.Detail)
+	}
+
+	sizeBefore := full.Tangle().Size()
+	if err := full.ClosePersistence(); err != nil {
+		return err
+	}
+
+	fmt.Println("== gateway restart ==")
+	_, full2, replayed2, err := boot(managerKey, journal)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d records; tangle %d → %d transactions\n",
+		replayed2, 2, full2.Tangle().Size())
+	if full2.Tangle().Size() != sizeBefore {
+		return fmt.Errorf("ledger size mismatch after restart: %d != %d",
+			full2.Tangle().Size(), sizeBefore)
+	}
+	if !full2.Registry().IsAuthorizedDevice(deviceKey.Address()) {
+		return fmt.Errorf("authorization lost across restart")
+	}
+	fmt.Printf("authorization survived; punishment survived (difficulty %d)\n",
+		full2.DifficultyFor(deviceKey.Address()))
+
+	// The restarted gateway keeps serving the same device.
+	device2, err := node.NewLight(node.LightConfig{Key: deviceKey, Gateway: full2})
+	if err != nil {
+		return err
+	}
+	if _, err := device2.PostReading(ctx, []byte("sensor=temperature;seq=7;t=7;value=21.0")); err != nil {
+		return err
+	}
+	fmt.Println("post-restart reading accepted: no data, no trust lost")
+	return full2.ClosePersistence()
+}

@@ -1,0 +1,393 @@
+package biot_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	biot "github.com/b-iot/biot"
+	"github.com/b-iot/biot/internal/core"
+)
+
+func newAuthorizedSystem(t *testing.T, cfg biot.SystemConfig) (*biot.System, *biot.Device) {
+	t.Helper()
+	sys, err := biot.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("new system: %v", err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	dev, err := sys.NewDevice(biot.DeviceConfig{}, nil)
+	if err != nil {
+		t.Fatalf("new device: %v", err)
+	}
+	sys.AuthorizeDevice(dev.Key())
+	if err := sys.PublishAuthorization(context.Background()); err != nil {
+		t.Fatalf("publish authorization: %v", err)
+	}
+	return sys, dev
+}
+
+func TestFacadeTransferAndSettlement(t *testing.T) {
+	ctx := context.Background()
+	sys, dev := newAuthorizedSystem(t, biot.SystemConfig{Credit: fastParams()})
+
+	recipient, err := biot.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Mint(dev.Address(), 100)
+
+	info, err := dev.Transfer(ctx, recipient.Address(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status == biot.StatusRejected {
+		t.Fatalf("transfer rejected: %+v", info)
+	}
+	// Drive confirmation with follow-up readings.
+	for i := 0; i < 12; i++ {
+		if _, err := dev.PostReading(ctx, []byte("filler")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tokens := sys.Manager().Node().Tokens()
+	if got := tokens.Balance(recipient.Address()); got != 25 {
+		t.Errorf("recipient balance = %d, want 25", got)
+	}
+	if got := tokens.Balance(dev.Address()); got != 75 {
+		t.Errorf("sender balance = %d, want 75", got)
+	}
+}
+
+func TestFacadeCreditAndEvents(t *testing.T) {
+	ctx := context.Background()
+	sys, dev := newAuthorizedSystem(t, biot.SystemConfig{Credit: fastParams()})
+
+	for i := 0; i < 8; i++ {
+		if _, err := dev.PostReading(ctx, []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cr := sys.CreditOf(dev.Address())
+	if cr.CrP <= 0 || cr.Cr <= 0 {
+		t.Errorf("credit = %+v after honest activity", cr)
+	}
+	if len(sys.Events(dev.Address())) != 0 {
+		t.Error("honest device has malicious events")
+	}
+	if d := sys.DifficultyFor(dev.Address()); d > fastParams().InitialDifficulty {
+		t.Errorf("difficulty %d rose for honest device", d)
+	}
+	stats := sys.Stats()
+	if stats.Transactions < 9 {
+		t.Errorf("stats transactions = %d", stats.Transactions)
+	}
+}
+
+func TestFacadeDeauthorization(t *testing.T) {
+	ctx := context.Background()
+	sys, dev := newAuthorizedSystem(t, biot.SystemConfig{Credit: fastParams()})
+
+	if _, err := dev.PostReading(ctx, []byte("while authorized")); err != nil {
+		t.Fatal(err)
+	}
+	sys.DeauthorizeDevice(dev.Key())
+	if err := sys.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.PostReading(ctx, []byte("after deauthorization")); err == nil {
+		t.Error("deauthorized device still accepted")
+	}
+}
+
+func TestFacadeQualityIntegration(t *testing.T) {
+	ctx := context.Background()
+	sys, dev := newAuthorizedSystem(t, biot.SystemConfig{
+		Credit:  fastParams(),
+		Quality: biot.NewQualityValidator(nil),
+	})
+	before := sys.DifficultyFor(dev.Address())
+	if _, err := dev.PostReading(ctx, []byte("sensor=humidity;seq=1;t=1;value=250")); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.DifficultyFor(dev.Address()); got <= before {
+		t.Errorf("difficulty %d → %d, want punished for implausible reading", before, got)
+	}
+	events := sys.Events(dev.Address())
+	if len(events) != 1 || events[0].Behaviour != core.BehaviourProtocol {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	managerKey, err := biot.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviceKey, err := biot.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := biot.SystemConfig{Credit: fastParams(), PersistDir: dir}
+	sys, err := biot.NewSystemWithKey(cfg, managerKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := sys.NewDevice(biot.DeviceConfig{Key: deviceKey}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AuthorizeDevice(dev.Key())
+	if err := sys.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	info, err := dev.PostReading(ctx, []byte("journaled"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := sys.Stats().Transactions
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot the deployment under the same manager key and journal dir.
+	sys2, err := biot.NewSystemWithKey(cfg, managerKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if got := sys2.Stats().Transactions; got != sizeBefore {
+		t.Errorf("transactions after reboot = %d, want %d", got, sizeBefore)
+	}
+	dev2, err := sys2.NewDevice(biot.DeviceConfig{Key: deviceKey}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := dev2.FetchReading(info.ID, nil)
+	if err != nil {
+		t.Fatalf("fetch after reboot: %v", err)
+	}
+	if string(body) != "journaled" {
+		t.Errorf("reading = %q", body)
+	}
+}
+
+func TestFacadeMultiGatewayConsistency(t *testing.T) {
+	ctx := context.Background()
+	sys, err := biot.NewSystem(biot.SystemConfig{Credit: fastParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	gwA, err := sys.AddGateway(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwB, err := sys.AddGateway(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Gateways()) != 2 {
+		t.Fatalf("gateways = %d", len(sys.Gateways()))
+	}
+
+	devA, err := sys.NewDevice(biot.DeviceConfig{}, gwA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AuthorizeDevice(devA.Key())
+	if err := sys.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	info, err := devA.PostReading(ctx, []byte("via A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Visible through gateway B immediately (synchronous bus).
+	devB, err := sys.NewDevice(biot.DeviceConfig{Key: devA.Key()}, gwB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := devB.FetchReading(info.ID, nil)
+	if err != nil {
+		t.Fatalf("fetch via B: %v", err)
+	}
+	if string(body) != "via A" {
+		t.Errorf("reading = %q", body)
+	}
+}
+
+func TestFacadePolicyOptions(t *testing.T) {
+	params := fastParams()
+	for _, policy := range []biot.DifficultyPolicy{
+		biot.AdditivePolicy(params),
+		biot.InversePolicy(params),
+		biot.StaticPolicy(params.InitialDifficulty),
+	} {
+		sys, err := biot.NewSystem(biot.SystemConfig{Credit: params, Policy: policy})
+		if err != nil {
+			t.Fatalf("policy %s: %v", policy.Name(), err)
+		}
+		addr := sys.Manager().Address()
+		if d := sys.DifficultyFor(addr); d < 1 {
+			t.Errorf("policy %s difficulty = %d", policy.Name(), d)
+		}
+		_ = sys.Close()
+	}
+}
+
+func TestFacadeIsSensitiveHelper(t *testing.T) {
+	ctx := context.Background()
+	sys, dev := newAuthorizedSystem(t, biot.SystemConfig{Credit: fastParams()})
+	info, err := dev.PostReading(ctx, []byte("plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := sys.ManagerGateway().Node().GetTransaction(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensitive, err := biot.IsSensitive(tx.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sensitive {
+		t.Error("plaintext flagged sensitive")
+	}
+}
+
+func TestFacadeKeyLifecycle(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sys, owner := newAuthorizedSystem(t, biot.SystemConfig{Credit: fastParams()})
+	reader, err := sys.NewDevice(biot.DeviceConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AuthorizeDevice(reader.Key())
+	if err := sys.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sys.DistributeKey(ctx, owner); err != nil {
+		t.Fatalf("distribute: %v", err)
+	}
+	first, _ := sys.IssuedKey(owner)
+
+	// Share with the reader: both now hold the same key.
+	if err := sys.ShareKey(ctx, owner, reader); err != nil {
+		t.Fatalf("share: %v", err)
+	}
+	if !reader.HasDataKey() {
+		t.Fatal("reader missing shared key")
+	}
+	info, err := owner.PostReading(ctx, []byte("group data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := reader.FetchReading(info.ID, &first)
+	if err != nil || string(body) != "group data" {
+		t.Errorf("shared fetch: %q, %v", body, err)
+	}
+
+	// Rotate the owner's key: a fresh key replaces the old one.
+	if err := sys.RotateKey(ctx, owner); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	second, ok := sys.IssuedKey(owner)
+	if !ok {
+		t.Fatal("no key after rotation")
+	}
+	if second == first {
+		t.Error("rotation kept the old key")
+	}
+	info2, err := owner.PostReading(ctx, []byte("rotated data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.FetchReading(info2.ID, &first); err == nil {
+		t.Error("old key decrypted rotated data")
+	}
+	if body, err := owner.FetchReading(info2.ID, &second); err != nil || string(body) != "rotated data" {
+		t.Errorf("rotated fetch: %q, %v", body, err)
+	}
+}
+
+func TestGatewayServeRPCLifecycle(t *testing.T) {
+	ctx := context.Background()
+	sys, err := biot.NewSystem(biot.SystemConfig{Credit: fastParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	gw, err := sys.AddGateway(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := gw.ServeRPC("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("empty bound address")
+	}
+	if _, err := gw.ServeRPC("127.0.0.1:0"); err == nil {
+		t.Error("double ServeRPC accepted")
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if len(sys.ManagerPublic()) == 0 {
+		t.Error("empty manager public key")
+	}
+}
+
+func TestDeviceFetchReadingWrongKind(t *testing.T) {
+	ctx := context.Background()
+	sys, dev := newAuthorizedSystem(t, biot.SystemConfig{Credit: fastParams()})
+	sys.Mint(dev.Address(), 10)
+	info, err := dev.Transfer(ctx, dev.Address(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.FetchReading(info.ID, nil); err == nil {
+		t.Error("FetchReading accepted a transfer transaction")
+	}
+}
+
+func TestSystemZeroConfigDefaults(t *testing.T) {
+	// A downstream user's first program: zero-value config must work
+	// out of the box with the paper's default parameters (D0 = 11,
+	// ≈2048 expected hashes per PoW — fast even on modest hardware).
+	ctx := context.Background()
+	sys, err := biot.NewSystem(biot.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	dev, err := sys.NewDevice(biot.DeviceConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AuthorizeDevice(dev.Key())
+	if err := sys.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	info, err := dev.PostReading(ctx, []byte("hello, tangle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := dev.FetchReading(info.ID, nil)
+	if err != nil || string(body) != "hello, tangle" {
+		t.Errorf("zero-config round trip: %q, %v", body, err)
+	}
+	if d := sys.DifficultyFor(dev.Address()); d != 11 {
+		t.Errorf("default difficulty = %d, want the paper's 11", d)
+	}
+}

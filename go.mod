@@ -1,0 +1,3 @@
+module github.com/b-iot/biot
+
+go 1.22

@@ -1,0 +1,214 @@
+// Package attack implements injectors for the paper's §III threat
+// model: double-spending, lazy tips, Sybil flooding, and DDoS-style
+// submission floods. The security experiments (§VI-C, reproduced by
+// internal/experiments.SecurityMatrix) drive these against a live
+// deployment and measure the system's reaction: authorization rejects
+// the Sybil/DDoS traffic, the tangle detects lazy tips and conflicts,
+// and the credit mechanism raises the attackers' PoW difficulty.
+package attack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/pow"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Attacker is a malicious light node: it shares an honest device's key
+// machinery but bypasses the honest submission pipeline to craft
+// protocol-violating transactions.
+type Attacker struct {
+	key    *identity.KeyPair
+	gw     node.Gateway
+	worker *pow.Worker
+	clk    clock.Clock
+
+	// lazyTrunk/lazyBranch is the "fixed pair of very old transactions"
+	// a lazy attacker keeps approving; pinned on first use.
+	lazyTrunk  hashutil.Hash
+	lazyBranch hashutil.Hash
+}
+
+// Config configures an attacker.
+type Config struct {
+	// Key is the attacker's account (may be authorized or not,
+	// depending on the scenario).
+	Key *identity.KeyPair
+	// Gateway is the full node under attack.
+	Gateway node.Gateway
+	// Worker runs the attacker's PoW; the paper assumes "attackers have
+	// limited computation capability ... close to IoT devices".
+	Worker *pow.Worker
+	// Clock stamps transactions; nil selects the real clock.
+	Clock clock.Clock
+}
+
+// ErrNoAttackSurface reports a missing gateway or key.
+var ErrNoAttackSurface = errors.New("attacker requires a key and a gateway")
+
+// New creates an attacker.
+func New(cfg Config) (*Attacker, error) {
+	if cfg.Key == nil || cfg.Gateway == nil {
+		return nil, ErrNoAttackSurface
+	}
+	w := cfg.Worker
+	if w == nil {
+		w = &pow.Worker{}
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Attacker{key: cfg.Key, gw: cfg.Gateway, worker: w, clk: clk}, nil
+}
+
+// Address returns the attacker's account address.
+func (a *Attacker) Address() identity.Address { return a.key.Address() }
+
+// buildAndSubmit signs, mines at the gateway-required difficulty, and
+// submits one transaction with the given parents.
+func (a *Attacker) buildAndSubmit(ctx context.Context, trunk, branch hashutil.Hash, kind txn.Kind, payload []byte) (tangle.Info, error) {
+	t := &txn.Transaction{
+		Trunk:     trunk,
+		Branch:    branch,
+		Timestamp: a.clk.Now(),
+		Kind:      kind,
+		Payload:   payload,
+	}
+	t.Sign(a.key)
+	difficulty := a.gw.DifficultyFor(a.key.Address())
+	if _, err := a.worker.Attach(ctx, t, difficulty); err != nil {
+		return tangle.Info{}, fmt.Errorf("attacker pow: %w", err)
+	}
+	return a.gw.Submit(ctx, t)
+}
+
+// DoubleSpend submits two conflicting transfers of the same spend
+// sequence to different recipients — "a malicious node wants to spend
+// the same token twice or more through submitting multiple transactions
+// before the previous one is verified". It returns both submission
+// results; the second may succeed at admission (the conflict is a
+// ledger-level event) or be rejected outright.
+func (a *Attacker) DoubleSpend(ctx context.Context, victim1, victim2 identity.Address, amount, seq uint64) (first, second tangle.Info, err error) {
+	trunk, branch, err := a.gw.TipsForApproval()
+	if err != nil {
+		return tangle.Info{}, tangle.Info{}, fmt.Errorf("get tips: %w", err)
+	}
+	first, err = a.buildAndSubmit(ctx, trunk, branch, txn.KindTransfer,
+		txn.EncodeTransfer(txn.Transfer{To: victim1, Amount: amount, Seq: seq}))
+	if err != nil {
+		return tangle.Info{}, tangle.Info{}, fmt.Errorf("first spend: %w", err)
+	}
+	// The conflicting spend approves fresh tips so both attach cleanly.
+	trunk2, branch2, err := a.gw.TipsForApproval()
+	if err != nil {
+		return first, tangle.Info{}, fmt.Errorf("get tips: %w", err)
+	}
+	second, err = a.buildAndSubmit(ctx, trunk2, branch2, txn.KindTransfer,
+		txn.EncodeTransfer(txn.Transfer{To: victim2, Amount: amount, Seq: seq}))
+	if err != nil {
+		return first, tangle.Info{}, fmt.Errorf("second spend: %w", err)
+	}
+	return first, second, nil
+}
+
+// PinLazyParents fixes the parent pair the lazy attacker will keep
+// approving. Call once while those transactions are fresh; subsequent
+// LazySubmit calls reuse them forever.
+func (a *Attacker) PinLazyParents(trunk, branch hashutil.Hash) {
+	a.lazyTrunk = trunk
+	a.lazyBranch = branch
+}
+
+// ErrNoLazyParents reports LazySubmit before PinLazyParents.
+var ErrNoLazyParents = errors.New("lazy parents not pinned")
+
+// LazySubmit issues a transaction that approves the pinned stale pair
+// instead of current tips — the §III "lazy tips" behaviour.
+func (a *Attacker) LazySubmit(ctx context.Context, payload []byte) (tangle.Info, error) {
+	if a.lazyTrunk.IsZero() || a.lazyBranch.IsZero() {
+		return tangle.Info{}, ErrNoLazyParents
+	}
+	return a.buildAndSubmit(ctx, a.lazyTrunk, a.lazyBranch, txn.KindData, payload)
+}
+
+// HonestSubmit posts a well-formed data transaction (the attacker
+// behaving, e.g. before turning malicious in Fig 8's timeline).
+func (a *Attacker) HonestSubmit(ctx context.Context, payload []byte) (tangle.Info, error) {
+	trunk, branch, err := a.gw.TipsForApproval()
+	if err != nil {
+		return tangle.Info{}, fmt.Errorf("get tips: %w", err)
+	}
+	return a.buildAndSubmit(ctx, trunk, branch, txn.KindData, payload)
+}
+
+// SybilResult summarizes a Sybil flood.
+type SybilResult struct {
+	Identities int
+	Accepted   int
+	Rejected   int
+}
+
+// SybilFlood fabricates n fresh identities and submits one transaction
+// from each — "evil nodes, which pretend multiple identities
+// illegitimately". Against a correct deployment every submission is
+// rejected at the authorization gate, before any ledger work happens.
+func SybilFlood(ctx context.Context, gw node.Gateway, worker *pow.Worker, clk clock.Clock, n int) (SybilResult, error) {
+	res := SybilResult{Identities: n}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		key, err := identity.Generate()
+		if err != nil {
+			return res, fmt.Errorf("fabricate identity: %w", err)
+		}
+		atk, err := New(Config{Key: key, Gateway: gw, Worker: worker, Clock: clk})
+		if err != nil {
+			return res, err
+		}
+		if _, err := atk.HonestSubmit(ctx, []byte("sybil probe")); err != nil {
+			res.Rejected++
+		} else {
+			res.Accepted++
+		}
+	}
+	return res, nil
+}
+
+// FloodResult summarizes a DDoS-style submission flood.
+type FloodResult struct {
+	Sent        int
+	Accepted    int
+	RateLimited int
+	OtherErrors int
+}
+
+// Flood submits n transactions from one (authorized) identity as fast
+// as PoW allows, measuring how many the gateway's rate limiter absorbs.
+func (a *Attacker) Flood(ctx context.Context, n int) (FloodResult, error) {
+	var res FloodResult
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		res.Sent++
+		_, err := a.HonestSubmit(ctx, []byte(fmt.Sprintf("flood %d", i)))
+		switch {
+		case err == nil:
+			res.Accepted++
+		case errors.Is(err, node.ErrRateLimited):
+			res.RateLimited++
+		default:
+			res.OtherErrors++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+package authz
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+func mustKey(t *testing.T) *identity.KeyPair {
+	t.Helper()
+	k, err := identity.Generate()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return k
+}
+
+func authTx(t *testing.T, issuer *identity.KeyPair, list List) *txn.Transaction {
+	t.Helper()
+	payload, err := EncodeList(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &txn.Transaction{
+		Trunk:     hashutil.Sum([]byte("t")),
+		Branch:    hashutil.Sum([]byte("b")),
+		Timestamp: time.Unix(1, 0),
+		Kind:      txn.KindAuthorization,
+		Payload:   payload,
+	}
+	tx.Sign(issuer)
+	return tx
+}
+
+func TestListRoundTrip(t *testing.T) {
+	in := List{Seq: 3, Devices: []string{"aa", "bb"}, Gateways: []string{"cc"}}
+	data, err := EncodeList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeList(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 3 || len(out.Devices) != 2 || len(out.Gateways) != 1 {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestDecodeListErrors(t *testing.T) {
+	if _, err := DecodeList([]byte("{not json")); err == nil {
+		t.Error("malformed list decoded")
+	}
+}
+
+func TestRegistryApplyAndQuery(t *testing.T) {
+	manager := mustKey(t)
+	device := mustKey(t)
+	gateway := mustKey(t)
+	reg, err := NewRegistry(manager.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.IsAuthorizedDevice(device.Address()) {
+		t.Error("device authorized before any list")
+	}
+	if !reg.IsAuthorizedDevice(manager.Address()) {
+		t.Error("manager not self-authorized")
+	}
+
+	tx := authTx(t, manager, List{
+		Seq:      1,
+		Devices:  []string{identity.EncodePublic(device.Public())},
+		Gateways: []string{identity.EncodePublic(gateway.Public())},
+	})
+	if err := reg.Apply(tx, time.Unix(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.IsAuthorizedDevice(device.Address()) {
+		t.Error("device not authorized after list")
+	}
+	if !reg.IsGateway(gateway.Address()) {
+		t.Error("gateway not recognized")
+	}
+	if reg.Seq() != 1 {
+		t.Errorf("seq = %d", reg.Seq())
+	}
+	pub, ok := reg.DeviceKey(device.Address())
+	if !ok || identity.EncodePublic(pub) != identity.EncodePublic(device.Public()) {
+		t.Error("device key lookup failed")
+	}
+	devices := reg.Devices()
+	if len(devices) != 1 || devices[0] != device.Address() {
+		t.Errorf("devices = %v", devices)
+	}
+}
+
+func TestRegistryRejectsNonManager(t *testing.T) {
+	manager := mustKey(t)
+	impostor := mustKey(t)
+	reg, err := NewRegistry(manager.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := authTx(t, impostor, List{Seq: 1})
+	if err := reg.Apply(tx, time.Unix(2, 0)); !errors.Is(err, ErrNotManager) {
+		t.Errorf("err = %v, want ErrNotManager", err)
+	}
+}
+
+func TestRegistryRejectsStaleList(t *testing.T) {
+	manager := mustKey(t)
+	device := mustKey(t)
+	reg, err := NewRegistry(manager.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviceHex := identity.EncodePublic(device.Public())
+	if err := reg.Apply(authTx(t, manager, List{Seq: 5, Devices: []string{deviceHex}}), time.Unix(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying an old (or same-seq) list must not roll back state.
+	if err := reg.Apply(authTx(t, manager, List{Seq: 5}), time.Unix(3, 0)); !errors.Is(err, ErrStaleList) {
+		t.Errorf("err = %v, want ErrStaleList", err)
+	}
+	if err := reg.Apply(authTx(t, manager, List{Seq: 4}), time.Unix(3, 0)); !errors.Is(err, ErrStaleList) {
+		t.Errorf("err = %v, want ErrStaleList", err)
+	}
+	if !reg.IsAuthorizedDevice(device.Address()) {
+		t.Error("stale list rolled back authorization")
+	}
+}
+
+func TestDeauthorizationByOmission(t *testing.T) {
+	manager := mustKey(t)
+	device := mustKey(t)
+	reg, err := NewRegistry(manager.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviceHex := identity.EncodePublic(device.Public())
+	if err := reg.Apply(authTx(t, manager, List{Seq: 1, Devices: []string{deviceHex}}), time.Unix(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Next list omits the device: deauthorized.
+	if err := reg.Apply(authTx(t, manager, List{Seq: 2}), time.Unix(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if reg.IsAuthorizedDevice(device.Address()) {
+		t.Error("omitted device still authorized")
+	}
+}
+
+func TestRegistryRejectsWrongKind(t *testing.T) {
+	manager := mustKey(t)
+	reg, err := NewRegistry(manager.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := authTx(t, manager, List{Seq: 1})
+	tx.Kind = txn.KindData
+	if err := reg.Apply(tx, time.Unix(2, 0)); !errors.Is(err, ErrNotAuthList) {
+		t.Errorf("err = %v, want ErrNotAuthList", err)
+	}
+}
+
+func TestRegistryRejectsBadKeys(t *testing.T) {
+	manager := mustKey(t)
+	reg, err := NewRegistry(manager.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := authTx(t, manager, List{Seq: 1, Devices: []string{"zzzz"}})
+	if err := reg.Apply(tx, time.Unix(2, 0)); !errors.Is(err, ErrBadListedKey) {
+		t.Errorf("err = %v, want ErrBadListedKey", err)
+	}
+}
+
+func TestNewRegistryRequiresManager(t *testing.T) {
+	if _, err := NewRegistry(hashutil.Zero); !errors.Is(err, ErrNilManagerKey) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBuilderLifecycle(t *testing.T) {
+	b := NewBuilder()
+	d1, d2, gw := mustKey(t), mustKey(t), mustKey(t)
+	b.AuthorizeDevice(d1.Public())
+	b.AuthorizeDevice(d2.Public())
+	b.RegisterGateway(gw.Public())
+
+	l1 := b.Next()
+	if l1.Seq != 1 || len(l1.Devices) != 2 || len(l1.Gateways) != 1 {
+		t.Errorf("list 1 = %+v", l1)
+	}
+
+	b.DeauthorizeDevice(d1.Public())
+	l2 := b.Next()
+	if l2.Seq != 2 || len(l2.Devices) != 1 {
+		t.Errorf("list 2 = %+v", l2)
+	}
+	if l2.Devices[0] != identity.EncodePublic(d2.Public()) {
+		t.Error("wrong device deauthorized")
+	}
+}
+
+func TestBuilderListsAreSorted(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AuthorizeDevice(mustKey(t).Public())
+	}
+	list := b.Next()
+	for i := 1; i < len(list.Devices); i++ {
+		if list.Devices[i-1] > list.Devices[i] {
+			t.Fatal("device list not sorted (non-deterministic payloads)")
+		}
+	}
+}
+
+// Eqn-1 fidelity: the transaction is the manager's signature over the
+// device public keys — verify the full path from builder to registry.
+func TestEqn1EndToEnd(t *testing.T) {
+	manager := mustKey(t)
+	devices := []*identity.KeyPair{mustKey(t), mustKey(t), mustKey(t)}
+	b := NewBuilder()
+	for _, d := range devices {
+		b.AuthorizeDevice(d.Public())
+	}
+	tx := authTx(t, manager, b.Next())
+	if err := tx.VerifyBasic(); err != nil {
+		t.Fatalf("authorization tx invalid: %v", err)
+	}
+	reg, err := NewRegistry(manager.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Apply(tx, time.Unix(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range devices {
+		if !reg.IsAuthorizedDevice(d.Address()) {
+			t.Errorf("device %s not authorized", d.Address().Short())
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package chainbc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+func testConfig() Config {
+	return Config{Difficulty: 4, MaxTxPerBlock: 4}
+}
+
+func mustChain(t *testing.T) *Chain {
+	t.Helper()
+	c, err := New(testConfig(), nil)
+	if err != nil {
+		t.Fatalf("new chain: %v", err)
+	}
+	return c
+}
+
+func mustKey(t *testing.T) *identity.KeyPair {
+	t.Helper()
+	k, err := identity.Generate()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return k
+}
+
+func dataTx(t *testing.T, key *identity.KeyPair, tag string) *txn.Transaction {
+	t.Helper()
+	tx := &txn.Transaction{
+		Trunk:     hashutil.Sum([]byte("p1")),
+		Branch:    hashutil.Sum([]byte("p2")),
+		Timestamp: time.Unix(1, 0),
+		Kind:      txn.KindData,
+		Payload:   []byte(tag),
+	}
+	tx.Sign(key)
+	return tx
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Difficulty: 0, MaxTxPerBlock: 1}).Validate(); err == nil {
+		t.Error("zero difficulty accepted")
+	}
+	if err := (Config{Difficulty: 4, MaxTxPerBlock: 0}).Validate(); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestGenesisDeterministic(t *testing.T) {
+	a := mustChain(t)
+	b := mustChain(t)
+	if a.Genesis() != b.Genesis() {
+		t.Error("genesis differs across instances")
+	}
+	if a.Height() != 0 {
+		t.Errorf("genesis height = %d", a.Height())
+	}
+}
+
+func TestSubmitMineRoundTrip(t *testing.T) {
+	c := mustChain(t)
+	key := mustKey(t)
+	var txs []*txn.Transaction
+	for i := 0; i < 10; i++ {
+		tx := dataTx(t, key, fmt.Sprintf("tx-%d", i))
+		txs = append(txs, tx)
+		if err := c.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.MempoolLen() != 10 {
+		t.Fatalf("mempool = %d", c.MempoolLen())
+	}
+	mined := 0
+	for c.MempoolLen() > 0 {
+		block, err := c.MineBlock(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(block.Txs) > testConfig().MaxTxPerBlock {
+			t.Errorf("block carries %d txs", len(block.Txs))
+		}
+		mined += len(block.Txs)
+	}
+	if mined != 10 {
+		t.Errorf("mined %d txs", mined)
+	}
+	if c.Height() != 3 { // 4+4+2
+		t.Errorf("height = %d", c.Height())
+	}
+	for _, tx := range txs {
+		if !c.OnMainChain(tx.ID()) {
+			t.Errorf("tx %s not on main chain", tx.ID().Short())
+		}
+	}
+}
+
+func TestSubmitRejectsInvalidTx(t *testing.T) {
+	c := mustChain(t)
+	key := mustKey(t)
+	tx := dataTx(t, key, "x")
+	tx.Signature[0] ^= 1
+	if err := c.SubmitTx(tx); !errors.Is(err, ErrInvalidTxSubm) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSubmitRejectsDuplicates(t *testing.T) {
+	c := mustChain(t)
+	key := mustKey(t)
+	tx := dataTx(t, key, "dup")
+	if err := c.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitTx(tx); !errors.Is(err, ErrTxKnown) {
+		t.Errorf("queued dup err = %v", err)
+	}
+	if _, err := c.MineBlock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitTx(tx); !errors.Is(err, ErrTxKnown) {
+		t.Errorf("mined dup err = %v", err)
+	}
+}
+
+func TestMineEmptyMempool(t *testing.T) {
+	c := mustChain(t)
+	if _, err := c.MineBlock(context.Background()); !errors.Is(err, ErrEmptyMempool) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMinedBlockVerifies(t *testing.T) {
+	c := mustChain(t)
+	key := mustKey(t)
+	if err := c.SubmitTx(dataTx(t, key, "a")); err != nil {
+		t.Fatal(err)
+	}
+	block, err := c.MineBlock(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !block.ID().MeetsDifficulty(testConfig().Difficulty) {
+		t.Error("mined block fails its own PoW")
+	}
+	root, err := MerkleRoot(block.Txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != block.Header.MerkleRoot {
+		t.Error("merkle root mismatch")
+	}
+}
+
+func TestAddBlockValidation(t *testing.T) {
+	c := mustChain(t)
+	key := mustKey(t)
+	if err := c.SubmitTx(dataTx(t, key, "a")); err != nil {
+		t.Fatal(err)
+	}
+	block, err := c.MineBlock(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate block.
+	if err := c.AddBlock(block); !errors.Is(err, ErrDupBlock) {
+		t.Errorf("dup err = %v", err)
+	}
+
+	// Tampered merkle root.
+	bad := *block
+	bad.Header.MerkleRoot = hashutil.Sum([]byte("evil"))
+	// Re-mine the tampered header so PoW passes but merkle fails.
+	for n := uint64(0); ; n++ {
+		bad.Header.Nonce = n
+		if bad.Header.ID().MeetsDifficulty(testConfig().Difficulty) {
+			break
+		}
+	}
+	if err := c.AddBlock(&bad); !errors.Is(err, ErrBadMerkle) {
+		t.Errorf("merkle err = %v", err)
+	}
+
+	// Unknown parent.
+	orphan := *block
+	orphan.Header.Prev = hashutil.Sum([]byte("missing"))
+	orphan.Header.Height = 9
+	for n := uint64(0); ; n++ {
+		orphan.Header.Nonce = n
+		if orphan.Header.ID().MeetsDifficulty(testConfig().Difficulty) {
+			break
+		}
+	}
+	if err := c.AddBlock(&orphan); !errors.Is(err, ErrUnknownPrev) {
+		t.Errorf("orphan err = %v", err)
+	}
+
+	// Insufficient PoW.
+	weak := *block
+	weak.Header.Nonce = 0
+	if !weak.Header.ID().MeetsDifficulty(testConfig().Difficulty) {
+		if err := c.AddBlock(&weak); !errors.Is(err, ErrBadBlockPoW) {
+			t.Errorf("weak pow err = %v", err)
+		}
+	}
+}
+
+// mineOn mines a block of the given txs on top of parent, outside the
+// chain's own mempool — a fork builder.
+func mineOn(t *testing.T, cfg Config, parent *Block, parentHeight uint64, txs []*txn.Transaction) *Block {
+	t.Helper()
+	root, err := MerkleRoot(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Header{
+		Prev:       parent.ID(),
+		MerkleRoot: root,
+		Height:     parentHeight + 1,
+		Timestamp:  time.Unix(2, 0),
+		Difficulty: cfg.Difficulty,
+	}
+	for n := uint64(0); ; n++ {
+		h.Nonce = n
+		if h.ID().MeetsDifficulty(cfg.Difficulty) {
+			return &Block{Header: h, Txs: txs}
+		}
+	}
+}
+
+func TestLongestChainReorg(t *testing.T) {
+	cfg := testConfig()
+	c := mustChain(t)
+	key := mustKey(t)
+
+	// Main chain: one block with tx A.
+	txA := dataTx(t, key, "A")
+	if err := c.SubmitTx(txA); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := c.MineBlock(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OnMainChain(txA.ID()) {
+		t.Fatal("tx A not on main chain")
+	}
+
+	// Competing fork from genesis, two blocks long, carrying tx B.
+	genesis := &Block{}
+	genesisBlocks := c.MainChain()
+	genesis = genesisBlocks[0]
+	txB := dataTx(t, key, "B")
+	f1 := mineOn(t, cfg, genesis, 0, []*txn.Transaction{txB})
+	if err := c.AddBlock(f1); err != nil {
+		t.Fatal(err)
+	}
+	// Same height as b1: no reorg yet (first-seen branch stays).
+	if !c.OnMainChain(txA.ID()) {
+		t.Fatal("reorg happened on equal height")
+	}
+	f2 := mineOn(t, cfg, f1, 1, nil)
+	if err := c.AddBlock(f2); err != nil {
+		t.Fatal(err)
+	}
+	// Fork is now longer: reorg.
+	if c.Height() != 2 {
+		t.Errorf("height = %d", c.Height())
+	}
+	if c.OnMainChain(txA.ID()) {
+		t.Error("orphaned tx A still on main chain")
+	}
+	if !c.OnMainChain(txB.ID()) {
+		t.Error("fork tx B not on main chain")
+	}
+	if c.BlockCount() != 4 { // genesis + b1 + f1 + f2
+		t.Errorf("blocks = %d", c.BlockCount())
+	}
+	_ = b1
+}
+
+func TestMainChainOrder(t *testing.T) {
+	c := mustChain(t)
+	key := mustKey(t)
+	for i := 0; i < 6; i++ {
+		if err := c.SubmitTx(dataTx(t, key, fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c.MempoolLen() > 0 {
+		if _, err := c.MineBlock(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := c.MainChain()
+	if len(blocks) != 3 { // genesis + 2
+		t.Fatalf("main chain = %d blocks", len(blocks))
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Header.Prev != blocks[i-1].ID() {
+			t.Fatal("main chain not linked")
+		}
+		if blocks[i].Header.Height != uint64(i) {
+			t.Fatal("heights not sequential")
+		}
+	}
+}
+
+func TestMineBlockContextCancel(t *testing.T) {
+	cfg := Config{Difficulty: 30, MaxTxPerBlock: 1} // effectively unminable quickly
+	c, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mustKey(t)
+	if err := c.SubmitTx(dataTx(t, key, "slow")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.MineBlock(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHeaderEncodeSensitivity(t *testing.T) {
+	h := Header{
+		Prev:       hashutil.Sum([]byte("p")),
+		MerkleRoot: hashutil.Sum([]byte("m")),
+		Height:     3,
+		Timestamp:  time.Unix(9, 9),
+		Difficulty: 4,
+		Nonce:      42,
+	}
+	id := h.ID()
+	h2 := h
+	h2.Nonce++
+	if h2.ID() == id {
+		t.Error("nonce change did not change header ID")
+	}
+	h3 := h
+	h3.Height++
+	if h3.ID() == id {
+		t.Error("height change did not change header ID")
+	}
+}
+
+func TestEmptyBlockMerkle(t *testing.T) {
+	root, err := MerkleRoot(nil)
+	if err != nil {
+		t.Fatalf("empty merkle: %v", err)
+	}
+	if root.IsZero() {
+		t.Error("empty block root is zero")
+	}
+}

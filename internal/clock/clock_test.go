@@ -1,0 +1,67 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	c := Real()
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(a) {
+		t.Error("real clock did not advance")
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	start := time.Unix(1_700_000_000, 0)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Errorf("Now = %v", v.Now())
+	}
+	v.Advance(30 * time.Second)
+	if got := v.Now(); !got.Equal(start.Add(30 * time.Second)) {
+		t.Errorf("after Advance: %v", got)
+	}
+	v.Sleep(10 * time.Second)
+	if got := v.Now(); !got.Equal(start.Add(40 * time.Second)) {
+		t.Errorf("after Sleep: %v", got)
+	}
+}
+
+func TestVirtualClockNeverGoesBackwards(t *testing.T) {
+	start := time.Unix(1_700_000_000, 0)
+	v := NewVirtual(start)
+	v.Advance(-time.Hour)
+	if !v.Now().Equal(start) {
+		t.Error("negative advance moved the clock")
+	}
+	if v.Set(start.Add(-time.Second)) {
+		t.Error("Set accepted a past instant")
+	}
+	if !v.Set(start.Add(time.Minute)) {
+		t.Error("Set rejected a future instant")
+	}
+	if !v.Now().Equal(start.Add(time.Minute)) {
+		t.Error("Set did not move the clock")
+	}
+}
+
+func TestVirtualClockConcurrentSafety(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			v.Advance(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = v.Now()
+	}
+	<-done
+	if got := v.Now(); !got.Equal(time.Unix(1, 0)) {
+		t.Errorf("final = %v, want 1s", got)
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+// TxRecord is one valid transaction attributed to a node: its approval
+// weight and the instant it was observed.
+type TxRecord struct {
+	ID     hashutil.Hash
+	Weight float64
+	At     time.Time
+}
+
+// EventRecord is one detected malicious behaviour.
+type EventRecord struct {
+	Behaviour Behaviour
+	At        time.Time
+	// Evidence optionally references the offending transaction(s).
+	Evidence []hashutil.Hash
+	// Detail is a human-readable description for operators.
+	Detail string
+}
+
+// Credit is a node's evaluated credit at some instant.
+type Credit struct {
+	CrP float64 // positive part, Eqn 3
+	CrN float64 // negative part (≤ 0), Eqn 4
+	Cr  float64 // combined, Eqn 2
+}
+
+// Ledger records per-node behaviour and evaluates credit. It is safe for
+// concurrent use. Records are append-only: "the credit value is
+// calculated based on transaction weight and abnormal behaviours, which
+// can be reflected from blockchain records, so the credit value cannot
+// be forged or tampered" (§IV-B).
+type Ledger struct {
+	params Params
+
+	mu    sync.RWMutex
+	nodes map[identity.Address]*nodeRecord
+}
+
+type nodeRecord struct {
+	txs     []TxRecord // ordered by At
+	txIndex map[hashutil.Hash]int
+	events  []EventRecord // ordered by At
+}
+
+// NewLedger creates a credit ledger with the given parameters.
+func NewLedger(params Params) (*Ledger, error) {
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("credit ledger params: %w", err)
+	}
+	return &Ledger{
+		params: params,
+		nodes:  make(map[identity.Address]*nodeRecord),
+	}, nil
+}
+
+// Params returns the ledger's parameter set.
+func (l *Ledger) Params() Params { return l.params }
+
+func (l *Ledger) record(addr identity.Address) *nodeRecord {
+	rec, ok := l.nodes[addr]
+	if !ok {
+		rec = &nodeRecord{txIndex: make(map[hashutil.Hash]int)}
+		l.nodes[addr] = rec
+	}
+	return rec
+}
+
+// RecordTransaction attributes a valid transaction with the given weight
+// to node addr at instant at. Weights are clamped to [0, MaxWeight].
+func (l *Ledger) RecordTransaction(addr identity.Address, id hashutil.Hash, weight float64, at time.Time) {
+	if weight < 0 {
+		weight = 0
+	}
+	if weight > l.params.MaxWeight {
+		weight = l.params.MaxWeight
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := l.record(addr)
+	rec.insertTx(TxRecord{ID: id, Weight: weight, At: at})
+}
+
+// UpdateWeight revises the recorded weight of a transaction previously
+// attributed to addr — invoked when the transaction gains approvals
+// ("the weight of a transaction means the number of validation to this
+// transaction"). Unknown IDs are ignored (the record may have been
+// pruned). Weights only grow; a smaller update is discarded.
+func (l *Ledger) UpdateWeight(addr identity.Address, id hashutil.Hash, weight float64) {
+	if weight > l.params.MaxWeight {
+		weight = l.params.MaxWeight
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.nodes[addr]
+	if !ok {
+		return
+	}
+	idx, ok := rec.txIndex[id]
+	if !ok {
+		return
+	}
+	if weight > rec.txs[idx].Weight {
+		rec.txs[idx].Weight = weight
+	}
+}
+
+// RecordMalicious attributes a detected malicious behaviour to addr.
+func (l *Ledger) RecordMalicious(addr identity.Address, ev EventRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := l.record(addr)
+	rec.events = insertEvent(rec.events, ev)
+}
+
+// insertTx keeps the slice ordered by At (records usually arrive in
+// order; the tail scan is O(1) amortized) and the ID index consistent.
+func (r *nodeRecord) insertTx(tr TxRecord) {
+	r.txs = append(r.txs, tr)
+	i := len(r.txs) - 1
+	for ; i > 0 && r.txs[i].At.Before(r.txs[i-1].At); i-- {
+		r.txs[i], r.txs[i-1] = r.txs[i-1], r.txs[i]
+		r.txIndex[r.txs[i].ID] = i
+	}
+	r.txIndex[r.txs[i].ID] = i
+}
+
+func insertEvent(evs []EventRecord, ev EventRecord) []EventRecord {
+	evs = append(evs, ev)
+	for i := len(evs) - 1; i > 0 && evs[i].At.Before(evs[i-1].At); i-- {
+		evs[i], evs[i-1] = evs[i-1], evs[i]
+	}
+	return evs
+}
+
+// PositiveCredit evaluates CrP (Eqn 3) for addr at instant now: the sum
+// of transaction weights within the latest ΔT window, divided by ΔT in
+// seconds. A node with no activity in the window scores 0 — "the system
+// will not decrease the difficulty of PoW for it at the beginning".
+func (l *Ledger) PositiveCredit(addr identity.Address, now time.Time) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.nodes[addr]
+	if !ok {
+		return 0
+	}
+	return l.positiveLocked(rec, now)
+}
+
+func (l *Ledger) positiveLocked(rec *nodeRecord, now time.Time) float64 {
+	windowStart := now.Add(-l.params.DeltaT)
+	// Binary search for the first record inside the window.
+	idx := sort.Search(len(rec.txs), func(i int) bool {
+		return !rec.txs[i].At.Before(windowStart)
+	})
+	var sum float64
+	for _, tr := range rec.txs[idx:] {
+		if tr.At.After(now) {
+			break // ignore records from the future (virtual-clock replays)
+		}
+		sum += tr.Weight
+	}
+	return sum / l.params.DeltaT.Seconds()
+}
+
+// NegativeCredit evaluates CrN (Eqn 4) for addr at instant now:
+//
+//	CrN = − Σ_k α(B_k) · ΔT / (t − t_k)
+//
+// The age (t − t_k) is floored at MinEventAge so the punishment is large
+// but finite at detection time. The contribution of each event decays
+// hyperbolically "but different from CrP, the impact cannot be
+// eliminated over time".
+func (l *Ledger) NegativeCredit(addr identity.Address, now time.Time) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.nodes[addr]
+	if !ok {
+		return 0
+	}
+	return l.negativeLocked(rec, now)
+}
+
+func (l *Ledger) negativeLocked(rec *nodeRecord, now time.Time) float64 {
+	var sum float64
+	deltaT := l.params.DeltaT.Seconds()
+	minAge := l.params.MinEventAge.Seconds()
+	for _, ev := range rec.events {
+		if ev.At.After(now) {
+			continue
+		}
+		age := now.Sub(ev.At).Seconds()
+		if age < minAge {
+			age = minAge
+		}
+		sum += l.params.Alpha(ev.Behaviour) * deltaT / age
+	}
+	return -sum
+}
+
+// CreditOf evaluates the full Eqn-2 credit for addr at now.
+func (l *Ledger) CreditOf(addr identity.Address, now time.Time) Credit {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.nodes[addr]
+	if !ok {
+		return Credit{}
+	}
+	crP := l.positiveLocked(rec, now)
+	crN := l.negativeLocked(rec, now)
+	return Credit{
+		CrP: crP,
+		CrN: crN,
+		Cr:  l.params.Lambda1*crP + l.params.Lambda2*crN,
+	}
+}
+
+// TransactionCount returns how many valid transactions are recorded for
+// addr (all time).
+func (l *Ledger) TransactionCount(addr identity.Address) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.nodes[addr]
+	if !ok {
+		return 0
+	}
+	return len(rec.txs)
+}
+
+// Events returns a copy of the malicious-event history for addr.
+func (l *Ledger) Events(addr identity.Address) []EventRecord {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.nodes[addr]
+	if !ok {
+		return nil
+	}
+	out := make([]EventRecord, len(rec.events))
+	copy(out, rec.events)
+	return out
+}
+
+// Nodes returns the addresses with any recorded history.
+func (l *Ledger) Nodes() []identity.Address {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]identity.Address, 0, len(l.nodes))
+	for addr := range l.nodes {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Prune drops transaction records older than keep before now. Event
+// records are never pruned: the paper requires that misbehaviour "cannot
+// be eliminated over time". Prune bounds light-ledger memory on
+// long-running gateways; keep must be ≥ ΔT or CrP evaluation would lose
+// in-window records (shorter values are raised to ΔT).
+func (l *Ledger) Prune(now time.Time, keep time.Duration) int {
+	if keep < l.params.DeltaT {
+		keep = l.params.DeltaT
+	}
+	cutoff := now.Add(-keep)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pruned := 0
+	for _, rec := range l.nodes {
+		idx := sort.Search(len(rec.txs), func(i int) bool {
+			return !rec.txs[i].At.Before(cutoff)
+		})
+		if idx > 0 {
+			pruned += idx
+			for _, tr := range rec.txs[:idx] {
+				delete(rec.txIndex, tr.ID)
+			}
+			rec.txs = append(rec.txs[:0], rec.txs[idx:]...)
+			for i, tr := range rec.txs {
+				rec.txIndex[tr.ID] = i
+			}
+		}
+	}
+	return pruned
+}

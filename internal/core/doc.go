@@ -1,0 +1,36 @@
+// Package core implements B-IoT's primary contribution: the credit-based
+// proof-of-work consensus mechanism (paper §IV-B).
+//
+// Every node i has a credit value
+//
+//	Cr_i = λ1·CrP_i + λ2·CrN_i                     (Eqn 2)
+//
+// combining a positive part measuring recent activity,
+//
+//	CrP_i = Σ_{k=1..n_i} w_k / ΔT                  (Eqn 3)
+//
+// over the node's valid transactions in the latest ΔT window (w_k being
+// each transaction's validation weight), and a negative part accumulating
+// punished misbehaviour,
+//
+//	CrN_i = − Σ_{k=1..m_i} α(B_k) · ΔT/(t − t_k)   (Eqn 4)
+//
+// with per-behaviour punishment coefficients α (Eqn 5): α_l for lazy
+// tips, α_d for double spending. The PoW difficulty of node i follows
+// Cr_i ∝ 1/D_i: honest active nodes mine at reduced difficulty while a
+// detected attacker faces exponentially more work, and the punishment
+// decays over time but "cannot be eliminated".
+//
+// The package provides:
+//
+//   - Params: the tunable constants (λ1, λ2, ΔT, α_l, α_d, D0, …) with
+//     the paper's §VI-A evaluation defaults;
+//   - Ledger: an append-only per-node behaviour record from which credit
+//     is computed — both light nodes and gateways derive difficulty from
+//     the same shared records, so "the credit value cannot be forged or
+//     tampered";
+//   - DifficultyPolicy: the Cr→D mapping, with the paper-literal inverse
+//     proportional policy and an additive-in-bits policy (default; see
+//     DESIGN.md §4 for why bits-domain adjustment reproduces Fig 9's
+//     multiplicative slow-downs).
+package core

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAdditivePolicyFreshNodeGetsD0(t *testing.T) {
+	p := DefaultParams()
+	pol := DefaultAdditivePolicy(p)
+	if got := pol.DifficultyFor(Credit{}); got != p.InitialDifficulty {
+		t.Errorf("fresh node difficulty = %d, want D0 = %d", got, p.InitialDifficulty)
+	}
+}
+
+func TestAdditivePolicyRewardsActivity(t *testing.T) {
+	p := DefaultParams()
+	pol := DefaultAdditivePolicy(p)
+	active := Credit{CrP: 2, Cr: 2}
+	if got := pol.DifficultyFor(active); got >= p.InitialDifficulty {
+		t.Errorf("active node difficulty = %d, want < %d", got, p.InitialDifficulty)
+	}
+}
+
+func TestAdditivePolicyPunishesMisbehaviour(t *testing.T) {
+	p := DefaultParams()
+	pol := DefaultAdditivePolicy(p)
+	bad := Credit{CrN: -30, Cr: -15}
+	if got := pol.DifficultyFor(bad); got <= p.InitialDifficulty {
+		t.Errorf("punished node difficulty = %d, want > %d", got, p.InitialDifficulty)
+	}
+}
+
+func TestAdditivePolicyClamped(t *testing.T) {
+	p := DefaultParams()
+	pol := DefaultAdditivePolicy(p)
+	if got := pol.DifficultyFor(Credit{CrP: 1000, Cr: 1000}); got != p.MinDifficulty {
+		t.Errorf("huge credit difficulty = %d, want min %d", got, p.MinDifficulty)
+	}
+	if got := pol.DifficultyFor(Credit{CrN: -1e6, Cr: -5e5}); got != p.MaxDifficulty {
+		t.Errorf("huge punishment difficulty = %d, want max %d", got, p.MaxDifficulty)
+	}
+}
+
+// Property: additive difficulty is antitone in CrP and antitone in CrN
+// (more negative CrN → higher difficulty) — the Cr ∝ 1/D direction.
+func TestAdditivePolicyMonotonicity(t *testing.T) {
+	p := DefaultParams()
+	pol := DefaultAdditivePolicy(p)
+	check := func(crP1, crP2, crN float64) bool {
+		a, b := abs64(crP1), abs64(crP2)
+		if a > b {
+			a, b = b, a
+		}
+		n := -abs64(crN)
+		dLow := pol.DifficultyFor(Credit{CrP: b, CrN: n})
+		dHigh := pol.DifficultyFor(Credit{CrP: a, CrN: n})
+		return dLow <= dHigh
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs64(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	if f != f { // NaN
+		return 0
+	}
+	return f
+}
+
+func TestInversePolicyFreshNodeGetsD0(t *testing.T) {
+	p := DefaultParams()
+	pol := DefaultInversePolicy(p)
+	if got := pol.DifficultyFor(Credit{}); got != p.InitialDifficulty {
+		t.Errorf("fresh node difficulty = %d, want %d", got, p.InitialDifficulty)
+	}
+}
+
+func TestInversePolicyInverseProportion(t *testing.T) {
+	p := DefaultParams()
+	pol := DefaultInversePolicy(p)
+	// D = κ/(Cr + 1): Cr = 1 → 11/2 = 5.5 → 6 (rounded).
+	if got := pol.DifficultyFor(Credit{Cr: 1}); got != 6 {
+		t.Errorf("Cr=1 difficulty = %d, want 6", got)
+	}
+	// Negative credit at/below −bias clamps to max.
+	for _, cr := range []float64{-1, -5, -1000} {
+		if got := pol.DifficultyFor(Credit{Cr: cr}); got != p.MaxDifficulty {
+			t.Errorf("Cr=%v difficulty = %d, want max %d", cr, got, p.MaxDifficulty)
+		}
+	}
+}
+
+func TestInversePolicyAntitone(t *testing.T) {
+	p := DefaultParams()
+	pol := DefaultInversePolicy(p)
+	check := func(a, b float64) bool {
+		x, y := abs64(a), abs64(b)
+		if x > y {
+			x, y = y, x
+		}
+		// Higher credit never yields higher difficulty.
+		return pol.DifficultyFor(Credit{Cr: y}) <= pol.DifficultyFor(Credit{Cr: x})
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticPolicy(t *testing.T) {
+	pol := StaticPolicy{Difficulty: 7}
+	for _, c := range []Credit{{}, {Cr: 100}, {Cr: -100}} {
+		if pol.DifficultyFor(c) != 7 {
+			t.Error("static policy varied")
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	p := DefaultParams()
+	if DefaultAdditivePolicy(p).Name() != "additive" ||
+		DefaultInversePolicy(p).Name() != "inverse" ||
+		(StaticPolicy{}).Name() != "static" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	p := DefaultParams()
+	l := mustLedger(t, p)
+	e := NewEngine(l, nil) // default additive
+	if e.Policy().Name() != "additive" {
+		t.Errorf("default policy = %q", e.Policy().Name())
+	}
+	if e.Ledger() != l {
+		t.Error("engine lost its ledger")
+	}
+
+	// Honest activity lowers difficulty.
+	for i := 0; i < 10; i++ {
+		l.RecordTransaction(nodeA, txFixt(i), 3, t0.Add(-time.Duration(i)*time.Second))
+	}
+	honest := e.DifficultyFor(nodeA, t0)
+	if honest >= p.InitialDifficulty {
+		t.Errorf("honest difficulty = %d, want < D0", honest)
+	}
+
+	// A malicious event raises it above the honest level immediately.
+	l.RecordMalicious(nodeA, EventRecord{Behaviour: BehaviourDoubleSpend, At: t0})
+	punished := e.DifficultyFor(nodeA, t0)
+	if punished <= honest {
+		t.Errorf("punished difficulty %d not above honest %d", punished, honest)
+	}
+
+	// Difficulty strictly increases relative to before the event — the
+	// DESIGN.md invariant.
+	if punished <= p.InitialDifficulty {
+		t.Errorf("punished difficulty %d not above D0 %d", punished, p.InitialDifficulty)
+	}
+
+	// CreditOf surfaces the same evaluation the policy used.
+	c := e.CreditOf(nodeA, t0)
+	if got := e.Policy().DifficultyFor(c); got != punished {
+		t.Errorf("policy(CreditOf) = %d, engine = %d", got, punished)
+	}
+}
+
+// TestPunishmentDecayRestoresDifficulty walks virtual time forward after
+// an attack and requires difficulty to come back down toward D0 — the
+// recovery arc of Fig 8.
+func TestPunishmentDecayRestoresDifficulty(t *testing.T) {
+	p := DefaultParams()
+	l := mustLedger(t, p)
+	e := NewEngine(l, nil)
+	l.RecordMalicious(nodeA, EventRecord{Behaviour: BehaviourDoubleSpend, At: t0})
+
+	dAttack := e.DifficultyFor(nodeA, t0)
+	dLater := e.DifficultyFor(nodeA, t0.Add(10*time.Minute))
+	if dLater >= dAttack {
+		t.Errorf("difficulty did not decay: %d → %d", dAttack, dLater)
+	}
+	if dLater < p.InitialDifficulty {
+		t.Errorf("punished node dropped below D0 without positive credit: %d", dLater)
+	}
+}

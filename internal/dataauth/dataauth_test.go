@@ -1,0 +1,180 @@
+package dataauth
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustNewKey(t *testing.T) Key {
+	t.Helper()
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("new key: %v", err)
+	}
+	return k
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := mustNewKey(t)
+	for _, scheme := range []Scheme{SchemeGCM, SchemeCTRHMAC} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			for _, size := range []int{0, 1, 15, 16, 17, 1000, 1 << 16} {
+				plain := make([]byte, size)
+				if _, err := rand.Read(plain); err != nil {
+					t.Fatal(err)
+				}
+				sealed, err := Encrypt(key, plain, scheme)
+				if err != nil {
+					t.Fatalf("encrypt %d: %v", size, err)
+				}
+				got, err := Decrypt(key, sealed)
+				if err != nil {
+					t.Fatalf("decrypt %d: %v", size, err)
+				}
+				if !bytes.Equal(got, plain) {
+					t.Errorf("round trip mismatch at %d bytes", size)
+				}
+			}
+		})
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	key := mustNewKey(t)
+	plain := bytes.Repeat([]byte("sensor data "), 64)
+	for _, scheme := range []Scheme{SchemeGCM, SchemeCTRHMAC} {
+		sealed, err := Encrypt(key, plain, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(sealed, plain) {
+			t.Errorf("%v ciphertext contains plaintext", scheme)
+		}
+	}
+}
+
+func TestDecryptWrongKeyFails(t *testing.T) {
+	k1, k2 := mustNewKey(t), mustNewKey(t)
+	for _, scheme := range []Scheme{SchemeGCM, SchemeCTRHMAC} {
+		sealed, err := Encrypt(k1, []byte("confidential"), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decrypt(k2, sealed); !errors.Is(err, ErrDecrypt) {
+			t.Errorf("%v: wrong-key decrypt err = %v", scheme, err)
+		}
+	}
+}
+
+func TestDecryptTamperedFails(t *testing.T) {
+	key := mustNewKey(t)
+	for _, scheme := range []Scheme{SchemeGCM, SchemeCTRHMAC} {
+		sealed, err := Encrypt(key, []byte("integrity matters"), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := 1; pos < len(sealed); pos += 7 {
+			mutated := append([]byte(nil), sealed...)
+			mutated[pos] ^= 0x01
+			if _, err := Decrypt(key, mutated); err == nil {
+				t.Errorf("%v: tampered byte %d accepted", scheme, pos)
+			}
+		}
+	}
+}
+
+func TestEncryptNonDeterministic(t *testing.T) {
+	key := mustNewKey(t)
+	for _, scheme := range []Scheme{SchemeGCM, SchemeCTRHMAC} {
+		a, err := Encrypt(key, []byte("same message"), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Encrypt(key, []byte("same message"), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a, b) {
+			t.Errorf("%v: deterministic ciphertext (nonce/iv reuse)", scheme)
+		}
+	}
+}
+
+func TestDecryptErrors(t *testing.T) {
+	key := mustNewKey(t)
+	if _, err := Decrypt(key, nil); err == nil {
+		t.Error("empty ciphertext accepted")
+	}
+	if _, err := Decrypt(key, []byte{0x7F, 1, 2, 3}); !errors.Is(err, ErrBadScheme) {
+		t.Errorf("unknown scheme err = %v", err)
+	}
+	if _, err := Decrypt(key, []byte{byte(SchemeGCM), 1, 2}); err == nil {
+		t.Error("truncated GCM body accepted")
+	}
+	if _, err := Decrypt(key, append([]byte{byte(SchemeCTRHMAC)}, make([]byte, 10)...)); err == nil {
+		t.Error("truncated CTR body accepted")
+	}
+}
+
+func TestEncryptUnknownScheme(t *testing.T) {
+	key := mustNewKey(t)
+	if _, err := Encrypt(key, []byte("x"), Scheme(9)); !errors.Is(err, ErrBadScheme) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	raw := bytes.Repeat([]byte{7}, KeySize)
+	k, err := KeyFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k[:], raw) {
+		t.Error("key bytes mismatch")
+	}
+	if _, err := KeyFromBytes(raw[:16]); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestSchemesCrossDecrypt(t *testing.T) {
+	// A GCM ciphertext decrypts via the dispatching Decrypt even when
+	// the caller doesn't know the scheme — the scheme byte routes it.
+	key := mustNewKey(t)
+	plain := []byte("routed")
+	for _, scheme := range []Scheme{SchemeGCM, SchemeCTRHMAC} {
+		sealed, err := Encrypt(key, plain, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Scheme(sealed[0]) != scheme {
+			t.Errorf("scheme byte = %d", sealed[0])
+		}
+		got, err := Decrypt(key, sealed)
+		if err != nil || !bytes.Equal(got, plain) {
+			t.Errorf("%v cross decrypt failed: %v", scheme, err)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	key := mustNewKey(t)
+	check := func(plain []byte, gcm bool) bool {
+		scheme := SchemeGCM
+		if !gcm {
+			scheme = SchemeCTRHMAC
+		}
+		sealed, err := Encrypt(key, plain, scheme)
+		if err != nil {
+			return false
+		}
+		got, err := Decrypt(key, sealed)
+		return err == nil && bytes.Equal(got, plain)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

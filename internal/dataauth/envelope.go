@@ -1,0 +1,115 @@
+package dataauth
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/b-iot/biot/internal/identity"
+)
+
+// Envelope is the on-ledger payload format of KindData transactions.
+// Layout:
+//
+//	flags(1) || body
+//
+// flags bit 0: body is encrypted (sensitive data); otherwise plaintext.
+//
+// "For those devices whose collected non-sensitive data, they do not
+// need to encrypt sensor data" (§IV-C) — so the envelope supports both.
+type Envelope struct {
+	Sensitive bool
+	Body      []byte // ciphertext when Sensitive, plaintext otherwise
+}
+
+const flagEncrypted = 0x01
+
+// ErrEmptyEnvelope reports a payload too short to carry an envelope.
+var ErrEmptyEnvelope = errors.New("empty data envelope")
+
+// Seal builds a KindData payload. When key is non-nil the reading is
+// encrypted with the given scheme; a nil key publishes plaintext.
+func Seal(reading []byte, key *Key, scheme Scheme) ([]byte, error) {
+	if key == nil {
+		out := make([]byte, 0, 1+len(reading))
+		out = append(out, 0)
+		return append(out, reading...), nil
+	}
+	sealed, err := Encrypt(*key, reading, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("seal sensitive reading: %w", err)
+	}
+	out := make([]byte, 0, 1+len(sealed))
+	out = append(out, flagEncrypted)
+	return append(out, sealed...), nil
+}
+
+// Parse splits a KindData payload into its envelope without decrypting.
+func Parse(payload []byte) (Envelope, error) {
+	if len(payload) < 1 {
+		return Envelope{}, ErrEmptyEnvelope
+	}
+	return Envelope{
+		Sensitive: payload[0]&flagEncrypted != 0,
+		Body:      payload[1:],
+	}, nil
+}
+
+// Open parses a payload and, when sensitive, decrypts with key. A nil
+// key on a sensitive envelope returns ErrDecrypt-compatible failure —
+// which is the privacy property: without SK_S the data are unreadable.
+func Open(payload []byte, key *Key) ([]byte, error) {
+	env, err := Parse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if !env.Sensitive {
+		return env.Body, nil
+	}
+	if key == nil {
+		return nil, fmt.Errorf("%w: no key for sensitive data", ErrDecrypt)
+	}
+	return Decrypt(*key, env.Body)
+}
+
+// KeyStore holds the symmetric keys a party has been distributed,
+// indexed by the peer group they were issued for. In the smart-factory
+// case study the manager issues one key per sensitive device.
+type KeyStore struct {
+	mu   sync.RWMutex
+	keys map[identity.Address]Key
+}
+
+// NewKeyStore creates an empty key store.
+func NewKeyStore() *KeyStore {
+	return &KeyStore{keys: make(map[identity.Address]Key)}
+}
+
+// Put stores the key distributed for addr.
+func (s *KeyStore) Put(addr identity.Address, k Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keys[addr] = k
+}
+
+// Get fetches the key for addr.
+func (s *KeyStore) Get(addr identity.Address) (Key, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.keys[addr]
+	return k, ok
+}
+
+// Delete removes addr's key (rotation or deauthorization).
+func (s *KeyStore) Delete(addr identity.Address) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.keys, addr)
+}
+
+// Len returns the number of stored keys.
+func (s *KeyStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.keys)
+}

@@ -1,0 +1,117 @@
+package dataauth
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+func TestSealOpenPlaintext(t *testing.T) {
+	payload, err := Seal([]byte("temp=20"), nil, SchemeGCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Parse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Sensitive {
+		t.Error("plaintext marked sensitive")
+	}
+	got, err := Open(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "temp=20" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSealOpenSensitive(t *testing.T) {
+	key := mustNewKey(t)
+	payload, err := Seal([]byte("secret reading"), &key, SchemeGCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Parse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.Sensitive {
+		t.Error("encrypted payload not marked sensitive")
+	}
+	// Without the key: refused.
+	if _, err := Open(payload, nil); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("keyless open err = %v", err)
+	}
+	// Wrong key: refused.
+	wrong := mustNewKey(t)
+	if _, err := Open(payload, &wrong); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("wrong-key open err = %v", err)
+	}
+	// Right key: plaintext.
+	got, err := Open(payload, &key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "secret reading" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSealCTRScheme(t *testing.T) {
+	key := mustNewKey(t)
+	payload, err := Seal([]byte("ctr data"), &key, SchemeCTRHMAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(payload, &key)
+	if err != nil || !bytes.Equal(got, []byte("ctr data")) {
+		t.Errorf("ctr round trip: %q, %v", got, err)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse(nil); !errors.Is(err, ErrEmptyEnvelope) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Open(nil, nil); err == nil {
+		t.Error("empty payload opened")
+	}
+}
+
+func TestSealEmptyReading(t *testing.T) {
+	payload, err := Seal(nil, nil, SchemeGCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(payload, nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty reading round trip: %q, %v", got, err)
+	}
+}
+
+func TestKeyStore(t *testing.T) {
+	s := NewKeyStore()
+	addr := identity.Address(hashutil.Sum([]byte("dev")))
+	if _, ok := s.Get(addr); ok {
+		t.Error("empty store returned a key")
+	}
+	k := mustNewKey(t)
+	s.Put(addr, k)
+	got, ok := s.Get(addr)
+	if !ok || got != k {
+		t.Error("stored key not returned")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+	s.Delete(addr)
+	if _, ok := s.Get(addr); ok {
+		t.Error("deleted key still present")
+	}
+	s.Delete(addr) // idempotent
+}

@@ -1,0 +1,162 @@
+// Package device provides synthetic wireless-sensor models and workload
+// generators for the smart-factory case study (paper §IV-A1). The
+// paper's prototype read real sensors on a Raspberry Pi; here sensor
+// readings are generated from parametric models so experiments are
+// reproducible and laptop-scale (see DESIGN.md §1 substitutions).
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"time"
+)
+
+// SensorKind enumerates the modelled sensor classes.
+type SensorKind int
+
+const (
+	// SensorTemperature models ambient temperature (°C): slow sinusoidal
+	// drift plus Gaussian noise. Non-sensitive in the case study.
+	SensorTemperature SensorKind = iota + 1
+	// SensorVibration models machine vibration (mm/s RMS): baseline hum
+	// with occasional bursts. Sensitive: reveals machine health.
+	SensorVibration
+	// SensorPower models power draw (kW): load steps. Sensitive:
+	// reveals production schedules.
+	SensorPower
+	// SensorHumidity models relative humidity (%). Non-sensitive.
+	SensorHumidity
+	// SensorMachineConfig models machine operating-parameter blobs — the
+	// cross-factory sharing payload of §IV-A4. Sensitive.
+	SensorMachineConfig
+)
+
+// String implements fmt.Stringer.
+func (k SensorKind) String() string {
+	switch k {
+	case SensorTemperature:
+		return "temperature"
+	case SensorVibration:
+		return "vibration"
+	case SensorPower:
+		return "power"
+	case SensorHumidity:
+		return "humidity"
+	case SensorMachineConfig:
+		return "machine-config"
+	default:
+		return fmt.Sprintf("sensor(%d)", int(k))
+	}
+}
+
+// Sensitive reports the case study's default sensitivity classification
+// for the sensor class ("there are two groups of sensor data, sensitive
+// and non-sensitive data", §VI-C2).
+func (k SensorKind) Sensitive() bool {
+	switch k {
+	case SensorVibration, SensorPower, SensorMachineConfig:
+		return true
+	default:
+		return false
+	}
+}
+
+// Reading is one generated sensor sample.
+type Reading struct {
+	Kind  SensorKind
+	Seq   uint64
+	At    time.Time
+	Value float64
+	// Blob is the serialized payload posted to the ledger.
+	Blob []byte
+}
+
+// Sensor generates readings from a parametric model.
+type Sensor struct {
+	kind SensorKind
+	rng  *rand.Rand
+	seq  uint64
+
+	// model state
+	phase float64
+	level float64
+}
+
+// NewSensor creates a sensor of the given kind with a deterministic
+// seed (same seed → same reading stream).
+func NewSensor(kind SensorKind, seed int64) *Sensor {
+	return &Sensor{
+		kind:  kind,
+		rng:   rand.New(rand.NewSource(seed)),
+		level: initialLevel(kind),
+	}
+}
+
+func initialLevel(kind SensorKind) float64 {
+	switch kind {
+	case SensorTemperature:
+		return 22.0
+	case SensorVibration:
+		return 0.35
+	case SensorPower:
+		return 12.0
+	case SensorHumidity:
+		return 45.0
+	default:
+		return 0
+	}
+}
+
+// Kind returns the sensor class.
+func (s *Sensor) Kind() SensorKind { return s.kind }
+
+// Next produces the next reading stamped at the given instant.
+func (s *Sensor) Next(at time.Time) Reading {
+	s.seq++
+	s.phase += 0.05
+	var value float64
+	switch s.kind {
+	case SensorTemperature:
+		value = s.level + 1.5*math.Sin(s.phase) + s.rng.NormFloat64()*0.2
+	case SensorVibration:
+		value = s.level + math.Abs(s.rng.NormFloat64())*0.05
+		if s.rng.Float64() < 0.03 { // bearing-fault burst
+			value += 1.5 + s.rng.Float64()
+		}
+	case SensorPower:
+		if s.rng.Float64() < 0.05 { // load step
+			s.level = 6 + s.rng.Float64()*18
+		}
+		value = s.level + s.rng.NormFloat64()*0.3
+	case SensorHumidity:
+		value = s.level + 4*math.Sin(s.phase/3) + s.rng.NormFloat64()*0.5
+	case SensorMachineConfig:
+		value = float64(s.seq)
+	}
+	r := Reading{Kind: s.kind, Seq: s.seq, At: at, Value: value}
+	r.Blob = s.encode(r)
+	return r
+}
+
+// encode renders the reading as a compact key=value line — realistic
+// for constrained devices and human-debuggable on the ledger.
+func (s *Sensor) encode(r Reading) []byte {
+	if s.kind == SensorMachineConfig {
+		// Machine configuration blobs: the §IV-A4 sharing payload.
+		return []byte(fmt.Sprintf(
+			"part=PX-%03d;spindle_rpm=%d;feed_mmpm=%d;coolant=on;tol_um=%d",
+			r.Seq%997, 8000+int(r.Seq%7)*500, 1200+int(r.Seq%5)*100, 5+int(r.Seq%4)))
+	}
+	b := make([]byte, 0, 64)
+	b = append(b, "sensor="...)
+	b = append(b, s.kind.String()...)
+	b = append(b, ";seq="...)
+	b = strconv.AppendUint(b, r.Seq, 10)
+	b = append(b, ";t="...)
+	b = strconv.AppendInt(b, r.At.UnixNano(), 10)
+	b = append(b, ";value="...)
+	b = strconv.AppendFloat(b, r.Value, 'f', 3, 64)
+	return b
+}

@@ -1,0 +1,208 @@
+package device
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1_700_000_000, 0).UTC()
+
+func TestSensorKindsProduceReadings(t *testing.T) {
+	kinds := []SensorKind{
+		SensorTemperature, SensorVibration, SensorPower,
+		SensorHumidity, SensorMachineConfig,
+	}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := NewSensor(kind, 1)
+			for i := 0; i < 50; i++ {
+				r := s.Next(t0.Add(time.Duration(i) * time.Second))
+				if r.Kind != kind {
+					t.Fatalf("reading kind = %v", r.Kind)
+				}
+				if r.Seq != uint64(i+1) {
+					t.Fatalf("seq = %d at i=%d", r.Seq, i)
+				}
+				if len(r.Blob) == 0 {
+					t.Fatal("empty blob")
+				}
+			}
+		})
+	}
+}
+
+func TestSensorDeterministicBySeed(t *testing.T) {
+	a := NewSensor(SensorTemperature, 7)
+	b := NewSensor(SensorTemperature, 7)
+	for i := 0; i < 20; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		ra, rb := a.Next(at), b.Next(at)
+		if ra.Value != rb.Value || !bytes.Equal(ra.Blob, rb.Blob) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewSensor(SensorTemperature, 8)
+	diverged := false
+	for i := 0; i < 20; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		if a.Next(at).Value != c.Next(at).Value {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSensorBlobFormat(t *testing.T) {
+	s := NewSensor(SensorTemperature, 1)
+	r := s.Next(t0)
+	blob := string(r.Blob)
+	for _, want := range []string{"sensor=temperature", "seq=1", "value="} {
+		if !strings.Contains(blob, want) {
+			t.Errorf("blob %q missing %q", blob, want)
+		}
+	}
+}
+
+func TestMachineConfigBlobFormat(t *testing.T) {
+	s := NewSensor(SensorMachineConfig, 1)
+	blob := string(s.Next(t0).Blob)
+	for _, want := range []string{"part=", "spindle_rpm=", "feed_mmpm=", "tol_um="} {
+		if !strings.Contains(blob, want) {
+			t.Errorf("config blob %q missing %q", blob, want)
+		}
+	}
+}
+
+func TestSensitivityClassification(t *testing.T) {
+	sensitive := []SensorKind{SensorVibration, SensorPower, SensorMachineConfig}
+	public := []SensorKind{SensorTemperature, SensorHumidity}
+	for _, k := range sensitive {
+		if !k.Sensitive() {
+			t.Errorf("%v not sensitive", k)
+		}
+	}
+	for _, k := range public {
+		if k.Sensitive() {
+			t.Errorf("%v sensitive", k)
+		}
+	}
+}
+
+func TestTemperatureStaysPlausible(t *testing.T) {
+	s := NewSensor(SensorTemperature, 3)
+	for i := 0; i < 500; i++ {
+		r := s.Next(t0.Add(time.Duration(i) * time.Second))
+		if r.Value < 10 || r.Value > 35 {
+			t.Fatalf("temperature %v out of plausible band at step %d", r.Value, i)
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	s := NewSensor(SensorTemperature, 1)
+	if _, err := NewWorkload(nil, ArrivalPeriodic, time.Second, 1); err == nil {
+		t.Error("nil sensor accepted")
+	}
+	if _, err := NewWorkload(s, ArrivalPeriodic, 0, 1); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewWorkload(s, ArrivalPattern(9), time.Second, 1); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestPeriodicWorkloadSchedule(t *testing.T) {
+	s := NewSensor(SensorTemperature, 1)
+	w, err := NewWorkload(s, ArrivalPeriodic, time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := w.Schedule(t0, 10*time.Second)
+	if len(readings) != 9 { // at 1s..9s (10s is outside [0,10))
+		t.Fatalf("readings = %d", len(readings))
+	}
+	for i, r := range readings {
+		want := t0.Add(time.Duration(i+1) * time.Second)
+		if !r.At.Equal(want) {
+			t.Errorf("reading %d at %v, want %v", i, r.At, want)
+		}
+	}
+}
+
+func TestPoissonWorkloadMeanGap(t *testing.T) {
+	s := NewSensor(SensorTemperature, 1)
+	w, err := NewWorkload(s, ArrivalPoisson, time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		total += w.NextGap()
+	}
+	mean := total / n
+	if mean < 800*time.Millisecond || mean > 1200*time.Millisecond {
+		t.Errorf("poisson mean gap = %v, want ≈1s", mean)
+	}
+}
+
+func TestBurstyWorkloadHasBursts(t *testing.T) {
+	s := NewSensor(SensorTemperature, 1)
+	w, err := NewWorkload(s, ArrivalBursty, time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, long := 0, 0
+	for i := 0; i < 500; i++ {
+		gap := w.NextGap()
+		if gap < 100*time.Millisecond {
+			short++
+		} else {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Errorf("bursty pattern degenerate: %d short, %d long", short, long)
+	}
+}
+
+func TestWorkloadScheduleDeterministic(t *testing.T) {
+	mk := func() []Reading {
+		s := NewSensor(SensorVibration, 5)
+		w, err := NewWorkload(s, ArrivalPoisson, time.Second, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Schedule(t0, 30*time.Second)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].At.Equal(b[i].At) || a[i].Value != b[i].Value {
+			t.Fatal("schedules diverged")
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if SensorTemperature.String() != "temperature" ||
+		SensorMachineConfig.String() != "machine-config" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.HasPrefix(SensorKind(42).String(), "sensor(") {
+		t.Error("unknown kind fallback missing")
+	}
+	if ArrivalPeriodic.String() != "periodic" || ArrivalPoisson.String() != "poisson" ||
+		ArrivalBursty.String() != "bursty" {
+		t.Error("pattern strings wrong")
+	}
+	if !strings.HasPrefix(ArrivalPattern(42).String(), "arrival(") {
+		t.Error("unknown pattern fallback missing")
+	}
+}

@@ -1,0 +1,107 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ArrivalPattern shapes the inter-transaction gaps of a workload —
+// "there are various IoT devices reporting data all the time in IoT
+// systems, which demand high concurrency" (§I challenge 3).
+type ArrivalPattern int
+
+const (
+	// ArrivalPeriodic emits readings at a fixed period.
+	ArrivalPeriodic ArrivalPattern = iota + 1
+	// ArrivalPoisson emits readings with exponential inter-arrival
+	// times around a mean period.
+	ArrivalPoisson
+	// ArrivalBursty alternates quiet periods with rapid bursts —
+	// event-driven sensors (door contacts, fault reporters).
+	ArrivalBursty
+)
+
+// String implements fmt.Stringer.
+func (p ArrivalPattern) String() string {
+	switch p {
+	case ArrivalPeriodic:
+		return "periodic"
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalBursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("arrival(%d)", int(p))
+	}
+}
+
+// Workload generates a reading schedule for one sensor.
+type Workload struct {
+	sensor  *Sensor
+	pattern ArrivalPattern
+	period  time.Duration
+	rng     *rand.Rand
+
+	burstLeft int
+}
+
+// NewWorkload builds a workload over the given sensor. period is the
+// mean inter-reading gap.
+func NewWorkload(sensor *Sensor, pattern ArrivalPattern, period time.Duration, seed int64) (*Workload, error) {
+	if sensor == nil {
+		return nil, fmt.Errorf("workload requires a sensor")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("workload period %v must be positive", period)
+	}
+	switch pattern {
+	case ArrivalPeriodic, ArrivalPoisson, ArrivalBursty:
+	default:
+		return nil, fmt.Errorf("unknown arrival pattern %v", pattern)
+	}
+	return &Workload{
+		sensor:  sensor,
+		pattern: pattern,
+		period:  period,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Sensor returns the underlying sensor.
+func (w *Workload) Sensor() *Sensor { return w.sensor }
+
+// NextGap returns the wait before the next reading.
+func (w *Workload) NextGap() time.Duration {
+	switch w.pattern {
+	case ArrivalPoisson:
+		return time.Duration(w.rng.ExpFloat64() * float64(w.period))
+	case ArrivalBursty:
+		if w.burstLeft > 0 {
+			w.burstLeft--
+			return w.period / 20
+		}
+		if w.rng.Float64() < 0.2 {
+			w.burstLeft = 3 + w.rng.Intn(5)
+			return w.period / 20
+		}
+		return w.period * 3
+	default:
+		return w.period
+	}
+}
+
+// Schedule materializes the reading instants within [start, start+span)
+// together with the generated readings. Deterministic for a given seed.
+func (w *Workload) Schedule(start time.Time, span time.Duration) []Reading {
+	var out []Reading
+	at := start
+	for {
+		gap := w.NextGap()
+		at = at.Add(gap)
+		if at.Sub(start) >= span {
+			return out
+		}
+		out = append(out, w.sensor.Next(at))
+	}
+}

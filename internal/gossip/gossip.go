@@ -1,0 +1,102 @@
+// Package gossip provides the broadcast network connecting B-IoT full
+// nodes: "gateways ... keep the network secure and stable by
+// broadcasting transactions and keeping copies of the blockchain"
+// (paper §IV-A4).
+//
+// Two transports implement the same Network interface:
+//
+//   - Bus: an in-memory network for simulations and tests, with
+//     configurable latency and partition injection;
+//   - TCP: a line-delimited JSON protocol over real sockets, used by the
+//     cmd/biot-node binary.
+package gossip
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/b-iot/biot/internal/hashutil"
+)
+
+// MsgType enumerates gossip message types.
+type MsgType int
+
+const (
+	// MsgTransaction carries newly attached transactions.
+	MsgTransaction MsgType = iota + 1
+	// MsgSyncRequest asks a peer for transactions the sender is missing;
+	// Have carries the IDs the sender already knows.
+	MsgSyncRequest
+	// MsgSyncResponse returns the requested transaction bytes.
+	MsgSyncResponse
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgTransaction:
+		return "transaction"
+	case MsgSyncRequest:
+		return "sync-request"
+	case MsgSyncResponse:
+		return "sync-response"
+	default:
+		return fmt.Sprintf("msgtype(%d)", int(t))
+	}
+}
+
+// Message is one gossip datagram.
+type Message struct {
+	Type MsgType `json:"type"`
+	// TxData carries canonical transaction encodings (MsgTransaction,
+	// MsgSyncResponse).
+	TxData [][]byte `json:"tx_data,omitempty"`
+	// Have carries known transaction IDs (MsgSyncRequest).
+	Have []hashutil.Hash `json:"have,omitempty"`
+}
+
+// Handler is implemented by the full-node layer to consume gossip.
+type Handler interface {
+	// HandleGossip processes an incoming message and optionally returns
+	// a reply (sync responses). from identifies the sending peer.
+	HandleGossip(from string, msg Message) (*Message, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from string, msg Message) (*Message, error)
+
+var _ Handler = HandlerFunc(nil)
+
+// HandleGossip implements Handler.
+func (f HandlerFunc) HandleGossip(from string, msg Message) (*Message, error) {
+	return f(from, msg)
+}
+
+// Network is a node's attachment to the gossip layer.
+type Network interface {
+	// Self returns this node's peer identifier (bus name or TCP addr).
+	Self() string
+	// Peers returns the currently known peer identifiers.
+	Peers() []string
+	// Broadcast delivers msg to every reachable peer. Per-peer failures
+	// are collected; a broadcast succeeds if any peer was reached (or
+	// there are no peers).
+	Broadcast(ctx context.Context, msg Message) error
+	// Request sends msg to one peer and waits for its reply.
+	Request(ctx context.Context, peer string, msg Message) (Message, error)
+	// SetHandler installs the inbound message handler. Must be called
+	// before the network receives traffic.
+	SetHandler(h Handler)
+	// Close detaches from the network and releases resources.
+	Close() error
+}
+
+// Common transport errors.
+var (
+	ErrNoHandler   = errors.New("gossip handler not installed")
+	ErrUnknownPeer = errors.New("unknown gossip peer")
+	ErrClosed      = errors.New("gossip network closed")
+	ErrPartitioned = errors.New("peers are partitioned")
+	ErrNoReply     = errors.New("peer returned no reply")
+)

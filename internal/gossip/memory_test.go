@@ -1,0 +1,215 @@
+package gossip
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/b-iot/biot/internal/hashutil"
+)
+
+// echoHandler records received messages and returns a fixed reply.
+type echoHandler struct {
+	mu       sync.Mutex
+	received []Message
+	reply    *Message
+}
+
+func (h *echoHandler) HandleGossip(_ string, msg Message) (*Message, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.received = append(h.received, msg)
+	return h.reply, nil
+}
+
+func (h *echoHandler) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.received)
+}
+
+func join(t *testing.T, b *Bus, name string) (*BusPeer, *echoHandler) {
+	t.Helper()
+	p, err := b.Join(name)
+	if err != nil {
+		t.Fatalf("join %s: %v", name, err)
+	}
+	h := &echoHandler{reply: &Message{}}
+	p.SetHandler(h)
+	return p, h
+}
+
+func TestBusBroadcastReachesAllPeers(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "a")
+	_, hb := join(t, bus, "b")
+	_, hc := join(t, bus, "c")
+
+	msg := Message{Type: MsgTransaction, TxData: [][]byte{{1, 2, 3}}}
+	if err := a.Broadcast(context.Background(), msg); err != nil {
+		t.Fatal(err)
+	}
+	if hb.count() != 1 || hc.count() != 1 {
+		t.Errorf("received: b=%d c=%d", hb.count(), hc.count())
+	}
+}
+
+func TestBusRequestReply(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "a")
+	_, hb := join(t, bus, "b")
+	hb.reply = &Message{Type: MsgSyncResponse, TxData: [][]byte{{9}}}
+
+	reply, err := a.Request(context.Background(), "b", Message{Type: MsgSyncRequest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != MsgSyncResponse || len(reply.TxData) != 1 {
+		t.Errorf("reply = %+v", reply)
+	}
+}
+
+func TestBusPartitionAndHeal(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "a")
+	_, hb := join(t, bus, "b")
+
+	bus.Partition("a", "b")
+	if _, err := a.Request(context.Background(), "b", Message{Type: MsgSyncRequest}); !errors.Is(err, ErrPartitioned) {
+		t.Errorf("err = %v, want ErrPartitioned", err)
+	}
+	// Broadcast to only-partitioned peers fails.
+	if err := a.Broadcast(context.Background(), Message{Type: MsgTransaction}); err == nil {
+		t.Error("broadcast succeeded with all peers partitioned")
+	}
+
+	bus.Heal("a", "b")
+	if _, err := a.Request(context.Background(), "b", Message{Type: MsgSyncRequest}); err != nil {
+		t.Errorf("after heal: %v", err)
+	}
+	if hb.count() != 1 {
+		t.Errorf("b received %d", hb.count())
+	}
+}
+
+func TestBusIsolateRestore(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "a")
+	_, hb := join(t, bus, "b")
+	_, hc := join(t, bus, "c")
+
+	bus.Isolate("b")
+	if err := a.Broadcast(context.Background(), Message{Type: MsgTransaction}); err != nil {
+		t.Fatalf("broadcast with one reachable peer: %v", err)
+	}
+	if hb.count() != 0 || hc.count() != 1 {
+		t.Errorf("received: b=%d c=%d", hb.count(), hc.count())
+	}
+	bus.Restore("b")
+	if err := a.Broadcast(context.Background(), Message{Type: MsgTransaction}); err != nil {
+		t.Fatal(err)
+	}
+	if hb.count() != 1 {
+		t.Errorf("b after restore = %d", hb.count())
+	}
+}
+
+func TestBusUnknownPeer(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "a")
+	if _, err := a.Request(context.Background(), "ghost", Message{}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBusNoHandler(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "a")
+	if _, err := bus.Join("bare"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request(context.Background(), "bare", Message{}); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBusDuplicateName(t *testing.T) {
+	bus := NewBus()
+	join(t, bus, "a")
+	if _, err := bus.Join("a"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestBusPeersSorted(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "a")
+	join(t, bus, "c")
+	join(t, bus, "b")
+	peers := a.Peers()
+	if len(peers) != 2 || peers[0] != "b" || peers[1] != "c" {
+		t.Errorf("peers = %v", peers)
+	}
+	if a.Self() != "a" {
+		t.Errorf("self = %q", a.Self())
+	}
+}
+
+func TestBusPeerClose(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "a")
+	b, _ := join(t, bus, "b")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request(context.Background(), "b", Message{}); err == nil {
+		t.Error("request to closed peer succeeded")
+	}
+	if len(a.Peers()) != 0 {
+		t.Errorf("peers after close = %v", a.Peers())
+	}
+}
+
+func TestBusContextCancelled(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "a")
+	join(t, bus, "b")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Request(ctx, "b", Message{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if err := a.Broadcast(ctx, Message{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("broadcast err = %v", err)
+	}
+}
+
+func TestBusEmptyBroadcast(t *testing.T) {
+	bus := NewBus()
+	a, _ := join(t, bus, "solo")
+	if err := a.Broadcast(context.Background(), Message{}); err != nil {
+		t.Errorf("broadcast with no peers = %v", err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	if MsgTransaction.String() != "transaction" ||
+		MsgSyncRequest.String() != "sync-request" ||
+		MsgSyncResponse.String() != "sync-response" {
+		t.Error("message type strings wrong")
+	}
+	_ = MsgType(42).String() // fallback must not panic
+}
+
+func TestHandlerFunc(t *testing.T) {
+	called := false
+	h := HandlerFunc(func(from string, msg Message) (*Message, error) {
+		called = true
+		return &Message{Have: []hashutil.Hash{hashutil.Sum([]byte("x"))}}, nil
+	})
+	reply, err := h.HandleGossip("peer", Message{})
+	if err != nil || !called || len(reply.Have) != 1 {
+		t.Error("HandlerFunc adapter broken")
+	}
+}

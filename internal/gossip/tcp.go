@@ -1,0 +1,234 @@
+package gossip
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TCPNetwork implements Network over real sockets with a line-delimited
+// JSON protocol: each request is one JSON-encoded Message terminated by
+// '\n'; the peer answers with one JSON-encoded Message line (possibly an
+// empty object for fire-and-forget messages).
+//
+// Connections are one-shot (dial, exchange, close): simple, stateless,
+// and robust against peer restarts — appropriate for the
+// gateway-population sizes of a smart factory.
+type TCPNetwork struct {
+	listener net.Listener
+	dialTO   time.Duration
+	ioTO     time.Duration
+
+	mu      sync.RWMutex
+	peers   map[string]struct{}
+	handler Handler
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// TCPOption customizes a TCPNetwork.
+type TCPOption func(*TCPNetwork)
+
+// WithDialTimeout sets the peer dial timeout (default 3 s).
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(n *TCPNetwork) { n.dialTO = d }
+}
+
+// WithIOTimeout sets the per-exchange read/write deadline (default 10 s).
+func WithIOTimeout(d time.Duration) TCPOption {
+	return func(n *TCPNetwork) { n.ioTO = d }
+}
+
+// ListenTCP starts a gossip endpoint on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string, opts ...TCPOption) (*TCPNetwork, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip listen %s: %w", addr, err)
+	}
+	n := &TCPNetwork{
+		listener: ln,
+		dialTO:   3 * time.Second,
+		ioTO:     10 * time.Second,
+		peers:    make(map[string]struct{}),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// AddPeer registers a peer's gossip address.
+func (n *TCPNetwork) AddPeer(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr != n.listener.Addr().String() {
+		n.peers[addr] = struct{}{}
+	}
+}
+
+// RemovePeer forgets a peer.
+func (n *TCPNetwork) RemovePeer(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.peers, addr)
+}
+
+// Self implements Network.
+func (n *TCPNetwork) Self() string { return n.listener.Addr().String() }
+
+// Peers implements Network.
+func (n *TCPNetwork) Peers() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.peers))
+	for addr := range n.peers {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetHandler implements Network.
+func (n *TCPNetwork) SetHandler(h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+func (n *TCPNetwork) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+func (n *TCPNetwork) serveConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.ioTO))
+
+	reader := bufio.NewReader(conn)
+	line, err := reader.ReadBytes('\n')
+	if err != nil {
+		return
+	}
+	var msg Message
+	if err := json.Unmarshal(line, &msg); err != nil {
+		return
+	}
+	n.mu.RLock()
+	h := n.handler
+	n.mu.RUnlock()
+	if h == nil {
+		return
+	}
+	reply, err := h.HandleGossip(conn.RemoteAddr().String(), msg)
+	if err != nil || reply == nil {
+		reply = &Message{} // empty ack
+	}
+	out, err := json.Marshal(reply)
+	if err != nil {
+		return
+	}
+	out = append(out, '\n')
+	_, _ = conn.Write(out)
+}
+
+func (n *TCPNetwork) exchange(ctx context.Context, addr string, msg Message) (Message, error) {
+	n.mu.RLock()
+	closed := n.closed
+	n.mu.RUnlock()
+	if closed {
+		return Message{}, ErrClosed
+	}
+	dialer := net.Dialer{Timeout: n.dialTO}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return Message{}, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(n.ioTO)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+
+	out, err := json.Marshal(msg)
+	if err != nil {
+		return Message{}, fmt.Errorf("marshal gossip message: %w", err)
+	}
+	out = append(out, '\n')
+	if _, err := conn.Write(out); err != nil {
+		return Message{}, fmt.Errorf("write to %s: %w", addr, err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return Message{}, fmt.Errorf("read reply from %s: %w", addr, err)
+	}
+	var reply Message
+	if err := json.Unmarshal(line, &reply); err != nil {
+		return Message{}, fmt.Errorf("decode reply from %s: %w", addr, err)
+	}
+	return reply, nil
+}
+
+// Broadcast implements Network.
+func (n *TCPNetwork) Broadcast(ctx context.Context, msg Message) error {
+	peers := n.Peers()
+	if len(peers) == 0 {
+		return nil
+	}
+	var lastErr error
+	delivered := 0
+	for _, addr := range peers {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := n.exchange(ctx, addr, msg); err != nil {
+			lastErr = err
+			continue
+		}
+		delivered++
+	}
+	if delivered == 0 && lastErr != nil {
+		return fmt.Errorf("broadcast reached no peers: %w", lastErr)
+	}
+	return nil
+}
+
+// Request implements Network.
+func (n *TCPNetwork) Request(ctx context.Context, peer string, msg Message) (Message, error) {
+	return n.exchange(ctx, peer, msg)
+}
+
+// Close implements Network.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+
+	err := n.listener.Close()
+	n.wg.Wait()
+	return err
+}

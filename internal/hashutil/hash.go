@@ -1,0 +1,128 @@
+// Package hashutil provides the hash primitives shared by every ledger
+// component: a fixed-size Hash value type, SHA-256 helpers, leading-zero
+// counting for proof-of-work targets, and a Merkle tree used by the
+// chain-structured baseline blockchain.
+package hashutil
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Size is the byte length of a Hash (SHA-256).
+const Size = sha256.Size
+
+// Hash is a 32-byte SHA-256 digest. It is a value type: comparable, usable
+// as a map key, and copied at API boundaries by construction.
+type Hash [Size]byte
+
+// Zero is the all-zero hash. It denotes "no parent" in genesis records.
+var Zero Hash
+
+// Sum hashes data with SHA-256.
+func Sum(data []byte) Hash { return sha256.Sum256(data) }
+
+// SumConcat hashes the concatenation of the given byte slices without
+// intermediate copies beyond the hasher's own buffering.
+func SumConcat(parts ...[]byte) Hash {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool { return h == Zero }
+
+// Bytes returns a fresh copy of the digest bytes.
+func (h Hash) Bytes() []byte {
+	out := make([]byte, Size)
+	copy(out, h[:])
+	return out
+}
+
+// Hex returns the lowercase hex encoding of h.
+func (h Hash) Hex() string { return hex.EncodeToString(h[:]) }
+
+// Short returns the first 8 hex characters, for logs and display.
+func (h Hash) Short() string { return h.Hex()[:8] }
+
+// String implements fmt.Stringer.
+func (h Hash) String() string { return h.Hex() }
+
+// MarshalText implements encoding.TextMarshaler (hex).
+func (h Hash) MarshalText() ([]byte, error) {
+	return []byte(h.Hex()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler (hex).
+func (h *Hash) UnmarshalText(text []byte) error {
+	decoded, err := hex.DecodeString(string(text))
+	if err != nil {
+		return fmt.Errorf("decode hash hex: %w", err)
+	}
+	if len(decoded) != Size {
+		return fmt.Errorf("hash length %d, want %d", len(decoded), Size)
+	}
+	copy(h[:], decoded)
+	return nil
+}
+
+// ErrBadHashHex reports an undecodable hash string.
+var ErrBadHashHex = errors.New("malformed hash hex")
+
+// FromHex parses a 64-character hex string into a Hash.
+func FromHex(s string) (Hash, error) {
+	var h Hash
+	if err := h.UnmarshalText([]byte(s)); err != nil {
+		return Zero, fmt.Errorf("%w: %v", ErrBadHashHex, err)
+	}
+	return h, nil
+}
+
+// LeadingZeroBits counts the number of consecutive zero bits at the start
+// of h. This is the proof-of-work difficulty metric from the paper's
+// Eqn 6: "the requirement of minimum length of prefix zero".
+func (h Hash) LeadingZeroBits() int {
+	total := 0
+	for _, b := range h {
+		if b == 0 {
+			total += 8
+			continue
+		}
+		total += bits.LeadingZeros8(b)
+		break
+	}
+	return total
+}
+
+// MeetsDifficulty reports whether h has at least difficulty leading zero
+// bits. A non-positive difficulty is met by every hash.
+func (h Hash) MeetsDifficulty(difficulty int) bool {
+	if difficulty <= 0 {
+		return true
+	}
+	if difficulty > Size*8 {
+		return false
+	}
+	return h.LeadingZeroBits() >= difficulty
+}
+
+// Compare lexicographically compares two hashes, returning -1, 0, or 1.
+func (h Hash) Compare(other Hash) int {
+	for i := range h {
+		switch {
+		case h[i] < other[i]:
+			return -1
+		case h[i] > other[i]:
+			return 1
+		}
+	}
+	return 0
+}

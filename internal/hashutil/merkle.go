@@ -1,0 +1,97 @@
+package hashutil
+
+import "errors"
+
+// ErrEmptyMerkle is returned when building a Merkle root over no leaves.
+var ErrEmptyMerkle = errors.New("merkle tree requires at least one leaf")
+
+// Domain-separation prefixes prevent second-preimage attacks where an
+// interior node is presented as a leaf (CVE-2012-2459 class).
+var (
+	leafPrefix     = []byte{0x00}
+	interiorPrefix = []byte{0x01}
+)
+
+// MerkleRoot computes the root hash of a binary Merkle tree over the
+// given leaves. Odd levels duplicate the final node, matching the
+// Bitcoin construction used by the chain-structured baseline.
+func MerkleRoot(leaves []Hash) (Hash, error) {
+	if len(leaves) == 0 {
+		return Zero, ErrEmptyMerkle
+	}
+	level := make([]Hash, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = SumConcat(leafPrefix, leaf[:])
+	}
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			j := i + 1
+			if j == len(level) {
+				j = i // duplicate final node on odd levels
+			}
+			next = append(next, SumConcat(interiorPrefix, level[i][:], level[j][:]))
+		}
+		level = next
+	}
+	return level[0], nil
+}
+
+// MerkleProof is an inclusion proof for one leaf: the sibling hashes from
+// the leaf to the root, with Left indicating the sibling's side.
+type MerkleProof struct {
+	Index    int
+	Siblings []Hash
+	Lefts    []bool // Lefts[i] is true when Siblings[i] is the left child
+}
+
+// BuildMerkleProof produces an inclusion proof for leaves[index].
+func BuildMerkleProof(leaves []Hash, index int) (MerkleProof, error) {
+	if len(leaves) == 0 {
+		return MerkleProof{}, ErrEmptyMerkle
+	}
+	if index < 0 || index >= len(leaves) {
+		return MerkleProof{}, errors.New("merkle proof index out of range")
+	}
+	level := make([]Hash, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = SumConcat(leafPrefix, leaf[:])
+	}
+	proof := MerkleProof{Index: index}
+	pos := index
+	for len(level) > 1 {
+		sib := pos ^ 1
+		if sib >= len(level) {
+			sib = pos // duplicated node
+		}
+		proof.Siblings = append(proof.Siblings, level[sib])
+		proof.Lefts = append(proof.Lefts, sib < pos)
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			j := i + 1
+			if j == len(level) {
+				j = i
+			}
+			next = append(next, SumConcat(interiorPrefix, level[i][:], level[j][:]))
+		}
+		level = next
+		pos /= 2
+	}
+	return proof, nil
+}
+
+// VerifyMerkleProof checks that leaf is included under root per proof.
+func VerifyMerkleProof(root Hash, leaf Hash, proof MerkleProof) bool {
+	if len(proof.Siblings) != len(proof.Lefts) {
+		return false
+	}
+	cur := SumConcat(leafPrefix, leaf[:])
+	for i, sib := range proof.Siblings {
+		if proof.Lefts[i] {
+			cur = SumConcat(interiorPrefix, sib[:], cur[:])
+		} else {
+			cur = SumConcat(interiorPrefix, cur[:], sib[:])
+		}
+	}
+	return cur == root
+}

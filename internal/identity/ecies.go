@@ -1,0 +1,131 @@
+package identity
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The paper's key distribution (§IV-C, Fig 4) encrypts the symmetric key
+// under the IoT device's public key: "M1 is encrypted by the public key
+// of IoT device, which means the message only can be decrypted by the
+// IoT device". Ed25519 keys sign but do not encrypt, so every account
+// also derives a deterministic X25519 key-agreement key from its seed;
+// SealTo/OpenSealed implement an ECIES construction over it
+// (ephemeral X25519 + HKDF-less SHA-256 KDF + AES-256-GCM).
+
+const (
+	// BoxPublicKeySize is the X25519 public key length.
+	BoxPublicKeySize = 32
+
+	eciesNonceSize = 12
+)
+
+var eciesKDFLabel = []byte("b-iot/ecies/v1")
+
+// ECIES errors.
+var (
+	ErrBadBoxKey    = errors.New("malformed encryption public key")
+	ErrSealedFormat = errors.New("malformed sealed box")
+	ErrOpenFailed   = errors.New("sealed box decryption failed")
+)
+
+// deriveBoxKey derives the account's X25519 private key from the Ed25519
+// seed. Deterministic: the same account always has the same box key, so
+// no extra key state needs distribution.
+func deriveBoxKey(seed []byte) (*ecdh.PrivateKey, error) {
+	scalar := sha256.Sum256(append(append([]byte{}, seed...), eciesKDFLabel...))
+	priv, err := ecdh.X25519().NewPrivateKey(scalar[:])
+	if err != nil {
+		return nil, fmt.Errorf("derive x25519 key: %w", err)
+	}
+	return priv, nil
+}
+
+// BoxPublic returns the account's X25519 public key used by peers to
+// encrypt to this account.
+func (k *KeyPair) BoxPublic() []byte {
+	return k.box.PublicKey().Bytes()
+}
+
+// SealTo encrypts plaintext so that only the holder of recipientBoxPub's
+// private counterpart can open it. Output layout:
+//
+//	ephemeralPub(32) || nonce(12) || ciphertext+tag
+func SealTo(recipientBoxPub, plaintext []byte) ([]byte, error) {
+	recipient, err := ecdh.X25519().NewPublicKey(recipientBoxPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBoxKey, err)
+	}
+	ephPriv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate ephemeral key: %w", err)
+	}
+	shared, err := ephPriv.ECDH(recipient)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh: %w", err)
+	}
+	aead, err := eciesAEAD(shared, ephPriv.PublicKey().Bytes(), recipientBoxPub)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, eciesNonceSize)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("generate nonce: %w", err)
+	}
+	out := make([]byte, 0, BoxPublicKeySize+eciesNonceSize+len(plaintext)+aead.Overhead())
+	out = append(out, ephPriv.PublicKey().Bytes()...)
+	out = append(out, nonce...)
+	return aead.Seal(out, nonce, plaintext, nil), nil
+}
+
+// OpenSealed decrypts a box produced by SealTo for this account.
+func (k *KeyPair) OpenSealed(sealed []byte) ([]byte, error) {
+	if len(sealed) < BoxPublicKeySize+eciesNonceSize+16 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrSealedFormat, len(sealed))
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(sealed[:BoxPublicKeySize])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSealedFormat, err)
+	}
+	shared, err := k.box.ECDH(ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh: %w", err)
+	}
+	aead, err := eciesAEAD(shared, sealed[:BoxPublicKeySize], k.BoxPublic())
+	if err != nil {
+		return nil, err
+	}
+	nonce := sealed[BoxPublicKeySize : BoxPublicKeySize+eciesNonceSize]
+	plain, err := aead.Open(nil, nonce, sealed[BoxPublicKeySize+eciesNonceSize:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrOpenFailed, err)
+	}
+	return plain, nil
+}
+
+// eciesAEAD derives the session AEAD from the shared secret and both
+// public keys (binding the ciphertext to the key exchange transcript).
+func eciesAEAD(shared, ephPub, recipientPub []byte) (cipher.AEAD, error) {
+	h := sha256.New()
+	h.Write(eciesKDFLabel)
+	h.Write(shared)
+	h.Write(ephPub)
+	h.Write(recipientPub)
+	sessionKey := h.Sum(nil)
+
+	block, err := aes.NewCipher(sessionKey)
+	if err != nil {
+		return nil, fmt.Errorf("aes cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("gcm mode: %w", err)
+	}
+	return aead, nil
+}

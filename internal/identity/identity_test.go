@@ -1,0 +1,255 @@
+package identity
+
+import (
+	"bytes"
+	"crypto/rand"
+	"strings"
+	"testing"
+)
+
+func mustKey(t *testing.T) *KeyPair {
+	t.Helper()
+	k, err := Generate()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return k
+}
+
+func TestGenerateDistinctAccounts(t *testing.T) {
+	a, b := mustKey(t), mustKey(t)
+	if a.Address() == b.Address() {
+		t.Error("two generated accounts share an address")
+	}
+	if bytes.Equal(a.Public(), b.Public()) {
+		t.Error("two generated accounts share a public key")
+	}
+}
+
+func TestGenerateFromDeterministic(t *testing.T) {
+	seed := bytes.Repeat([]byte{0x42}, 64)
+	k1, err := GenerateFrom(bytes.NewReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenerateFrom(bytes.NewReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Address() != k2.Address() {
+		t.Error("same seed produced different addresses")
+	}
+	if !bytes.Equal(k1.BoxPublic(), k2.BoxPublic()) {
+		t.Error("same seed produced different box keys")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	k := mustKey(t)
+	msg := []byte("the manager authorizes device 7")
+	sig := k.Sign(msg)
+	if err := Verify(k.Public(), msg, sig); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	k := mustKey(t)
+	msg := []byte("original")
+	sig := k.Sign(msg)
+	if err := Verify(k.Public(), []byte("originax"), sig); err == nil {
+		t.Error("tampered message verified")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	k := mustKey(t)
+	msg := []byte("msg")
+	sig := k.Sign(msg)
+	sig[0] ^= 1
+	if err := Verify(k.Public(), msg, sig); err == nil {
+		t.Error("tampered signature verified")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	a, b := mustKey(t), mustKey(t)
+	msg := []byte("msg")
+	sig := a.Sign(msg)
+	if err := Verify(b.Public(), msg, sig); err == nil {
+		t.Error("signature verified under the wrong key")
+	}
+}
+
+func TestVerifyRejectsMalformedKey(t *testing.T) {
+	k := mustKey(t)
+	sig := k.Sign([]byte("m"))
+	if err := Verify(k.Public()[:16], []byte("m"), sig); err == nil {
+		t.Error("short public key accepted")
+	}
+}
+
+func TestPublicIsACopy(t *testing.T) {
+	k := mustKey(t)
+	pub := k.Public()
+	pub[0] ^= 0xFF
+	if err := Verify(k.Public(), []byte("m"), k.Sign([]byte("m"))); err != nil {
+		t.Error("mutating the returned public key corrupted the account")
+	}
+}
+
+func TestAddressOfDerivation(t *testing.T) {
+	k := mustKey(t)
+	if AddressOf(k.Public()) != k.Address() {
+		t.Error("AddressOf(pub) != Address()")
+	}
+}
+
+func TestEncodeDecodePublic(t *testing.T) {
+	k := mustKey(t)
+	enc := EncodePublic(k.Public())
+	dec, err := DecodePublic(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, k.Public()) {
+		t.Error("public key round trip mismatch")
+	}
+}
+
+func TestDecodePublicErrors(t *testing.T) {
+	for _, in := range []string{"", "zz", strings.Repeat("ab", 5), strings.Repeat("ab", 64)} {
+		if _, err := DecodePublic(in); err == nil {
+			t.Errorf("DecodePublic(%q) succeeded", in)
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	tests := []struct {
+		role Role
+		want string
+	}{
+		{RoleDevice, "device"},
+		{RoleGateway, "gateway"},
+		{RoleManager, "manager"},
+		{Role(99), "role(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.role.String(); got != tt.want {
+			t.Errorf("Role(%d).String() = %q, want %q", tt.role, got, tt.want)
+		}
+	}
+}
+
+func TestRoleValid(t *testing.T) {
+	for _, r := range []Role{RoleDevice, RoleGateway, RoleManager} {
+		if !r.Valid() {
+			t.Errorf("%v not valid", r)
+		}
+	}
+	if Role(0).Valid() || Role(4).Valid() {
+		t.Error("out-of-range role valid")
+	}
+}
+
+func TestECIESRoundTrip(t *testing.T) {
+	recipient := mustKey(t)
+	plain := []byte("SK_S || TS || nonce_a")
+	sealed, err := SealTo(recipient.BoxPublic(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := recipient.OpenSealed(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Errorf("round trip = %q, want %q", got, plain)
+	}
+}
+
+func TestECIESWrongRecipient(t *testing.T) {
+	recipient, eavesdropper := mustKey(t), mustKey(t)
+	sealed, err := SealTo(recipient.BoxPublic(), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eavesdropper.OpenSealed(sealed); err == nil {
+		t.Error("eavesdropper opened the box")
+	}
+}
+
+func TestECIESTamperDetection(t *testing.T) {
+	recipient := mustKey(t)
+	sealed, err := SealTo(recipient.BoxPublic(), []byte("secret payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, BoxPublicKeySize, BoxPublicKeySize + 5, len(sealed) - 1} {
+		mutated := append([]byte(nil), sealed...)
+		mutated[pos] ^= 0x01
+		if _, err := recipient.OpenSealed(mutated); err == nil {
+			t.Errorf("tampered box (byte %d) opened", pos)
+		}
+	}
+}
+
+func TestECIESNonDeterministic(t *testing.T) {
+	recipient := mustKey(t)
+	s1, err := SealTo(recipient.BoxPublic(), []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SealTo(recipient.BoxPublic(), []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s1, s2) {
+		t.Error("two seals of the same message are identical (nonce reuse?)")
+	}
+}
+
+func TestECIESBadInputs(t *testing.T) {
+	recipient := mustKey(t)
+	if _, err := SealTo([]byte("short"), []byte("m")); err == nil {
+		t.Error("short recipient key accepted")
+	}
+	if _, err := recipient.OpenSealed([]byte("too short")); err == nil {
+		t.Error("truncated box accepted")
+	}
+}
+
+func TestECIESEmptyPlaintext(t *testing.T) {
+	recipient := mustKey(t)
+	sealed, err := SealTo(recipient.BoxPublic(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := recipient.OpenSealed(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty plaintext round trip = %q", got)
+	}
+}
+
+func TestECIESLargePlaintext(t *testing.T) {
+	recipient := mustKey(t)
+	plain := make([]byte, 1<<16)
+	if _, err := rand.Read(plain); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := SealTo(recipient.BoxPublic(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := recipient.OpenSealed(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Error("large plaintext round trip mismatch")
+	}
+}

@@ -1,0 +1,67 @@
+package keydist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+// Stage identifies a protocol message within a session.
+type Stage int
+
+// Protocol stages (Fig 4's M1, M2, M3).
+const (
+	StageM1 Stage = 1
+	StageM2 Stage = 2
+	StageM3 Stage = 3
+)
+
+// Valid reports whether s is a protocol stage.
+func (s Stage) Valid() bool { return s >= StageM1 && s <= StageM3 }
+
+// Envelope is the payload of a KindKeyDist transaction: one protocol
+// message addressed between the two parties. Riding the tangle gives the
+// exchange the paper's "without any central trust server" property — the
+// replicated ledger is the transport. The Body is already encrypted
+// (ECIES to the device for M1, under SK_S for M2/M3), so the envelope
+// leaks only routing metadata.
+type Envelope struct {
+	// Session pairs the three messages of one distribution run.
+	Session string `json:"session"`
+	// From and To are the account addresses of sender and recipient.
+	From hashutil.Hash `json:"from"`
+	To   hashutil.Hash `json:"to"`
+	// Stage is 1, 2 or 3.
+	Stage Stage `json:"stage"`
+	// Body is the sealed protocol message.
+	Body []byte `json:"body"`
+}
+
+// EncodeEnvelope serializes an envelope payload.
+func EncodeEnvelope(e Envelope) ([]byte, error) {
+	if !e.Stage.Valid() {
+		return nil, fmt.Errorf("%w: stage %d", ErrBadMessage, e.Stage)
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("encode keydist envelope: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeEnvelope parses an envelope payload.
+func DecodeEnvelope(data []byte) (Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Envelope{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if !e.Stage.Valid() {
+		return Envelope{}, fmt.Errorf("%w: stage %d", ErrBadMessage, e.Stage)
+	}
+	return e, nil
+}
+
+// AddressedTo reports whether the envelope targets addr.
+func (e Envelope) AddressedTo(addr identity.Address) bool { return e.To == addr }

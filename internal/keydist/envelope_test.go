@@ -1,0 +1,63 @@
+package keydist
+
+import (
+	"testing"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	from := identity.Address(hashutil.Sum([]byte("manager")))
+	to := identity.Address(hashutil.Sum([]byte("device")))
+	in := Envelope{
+		Session: "abcd1234",
+		From:    from,
+		To:      to,
+		Stage:   StageM1,
+		Body:    []byte{1, 2, 3},
+	}
+	data, err := EncodeEnvelope(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Session != in.Session || out.From != from || out.To != to || out.Stage != StageM1 {
+		t.Errorf("round trip = %+v", out)
+	}
+	if !out.AddressedTo(to) || out.AddressedTo(from) {
+		t.Error("AddressedTo wrong")
+	}
+}
+
+func TestEncodeEnvelopeRejectsBadStage(t *testing.T) {
+	if _, err := EncodeEnvelope(Envelope{Stage: 0}); err == nil {
+		t.Error("stage 0 encoded")
+	}
+	if _, err := EncodeEnvelope(Envelope{Stage: 4}); err == nil {
+		t.Error("stage 4 encoded")
+	}
+}
+
+func TestDecodeEnvelopeErrors(t *testing.T) {
+	if _, err := DecodeEnvelope([]byte("{bad")); err == nil {
+		t.Error("malformed envelope decoded")
+	}
+	if _, err := DecodeEnvelope([]byte(`{"stage":9}`)); err == nil {
+		t.Error("bad stage decoded")
+	}
+}
+
+func TestStageValid(t *testing.T) {
+	for _, s := range []Stage{StageM1, StageM2, StageM3} {
+		if !s.Valid() {
+			t.Errorf("stage %d invalid", s)
+		}
+	}
+	if Stage(0).Valid() || Stage(4).Valid() {
+		t.Error("out-of-range stage valid")
+	}
+}

@@ -1,0 +1,278 @@
+package keydist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+func mustKey(t *testing.T) *identity.KeyPair {
+	t.Helper()
+	k, err := identity.Generate()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return k
+}
+
+// runHonest drives a full Fig-4 exchange and returns both sessions.
+func runHonest(t *testing.T, opts ...Option) (*ManagerSession, *DeviceSession) {
+	t.Helper()
+	manager, device := mustKey(t), mustKey(t)
+	ms, err := NewManagerSession(manager, device.Public(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDeviceSession(device, manager.Public(), opts...)
+	m1, err := ms.M1(device.BoxPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ds.HandleM1(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := ms.HandleM2(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.HandleM3(m3); err != nil {
+		t.Fatal(err)
+	}
+	return ms, ds
+}
+
+func TestHonestExchange(t *testing.T) {
+	ms, ds := runHonest(t)
+	if !ms.Done() || !ds.Done() {
+		t.Fatal("sessions not done")
+	}
+	got, err := ds.Secret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ms.Secret() {
+		t.Error("device derived a different key")
+	}
+}
+
+func TestSecretUnavailableBeforeCompletion(t *testing.T) {
+	manager, device := mustKey(t), mustKey(t)
+	ds := NewDeviceSession(device, manager.Public())
+	if _, err := ds.Secret(); !errors.Is(err, ErrBadState) {
+		t.Errorf("err = %v, want ErrBadState", err)
+	}
+}
+
+func TestStateMachineOrdering(t *testing.T) {
+	manager, device := mustKey(t), mustKey(t)
+	ms, err := NewManagerSession(manager, device.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDeviceSession(device, manager.Public())
+
+	// HandleM2 before M1 was sent.
+	if _, err := ms.HandleM2([]byte("x")); !errors.Is(err, ErrBadState) {
+		t.Errorf("early M2: %v", err)
+	}
+	// HandleM3 before M1 received.
+	if err := ds.HandleM3([]byte("x")); !errors.Is(err, ErrBadState) {
+		t.Errorf("early M3: %v", err)
+	}
+	m1, err := ms.M1(device.BoxPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second M1 from the same session.
+	if _, err := ms.M1(device.BoxPublic()); !errors.Is(err, ErrBadState) {
+		t.Errorf("double M1: %v", err)
+	}
+	if _, err := ds.HandleM1(m1); err != nil {
+		t.Fatal(err)
+	}
+	// Second M1 to the device mid-exchange.
+	if _, err := ds.HandleM1(m1); !errors.Is(err, ErrBadState) {
+		t.Errorf("re-delivered M1: %v", err)
+	}
+}
+
+func TestM1OnlyDecryptableByDevice(t *testing.T) {
+	manager, device, thief := mustKey(t), mustKey(t), mustKey(t)
+	ms, err := NewManagerSession(manager, device.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := ms.M1(device.BoxPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A thief with its own keys cannot open M1.
+	thiefSession := NewDeviceSession(thief, manager.Public())
+	if _, err := thiefSession.HandleM1(m1); err == nil {
+		t.Error("thief decrypted M1")
+	}
+}
+
+func TestForgedM1Rejected(t *testing.T) {
+	manager, device, impostor := mustKey(t), mustKey(t), mustKey(t)
+	// The impostor builds a well-formed M1 signed by itself.
+	imposterSession, err := NewManagerSession(impostor, device.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := imposterSession.M1(device.BoxPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The device trusts only the real manager's key.
+	ds := NewDeviceSession(device, manager.Public())
+	if _, err := ds.HandleM1(forged); !errors.Is(err, ErrBadSigner) {
+		t.Errorf("forged M1 err = %v, want ErrBadSigner", err)
+	}
+}
+
+func TestTamperedMessagesRejected(t *testing.T) {
+	for stage := 1; stage <= 3; stage++ {
+		manager, device := mustKey(t), mustKey(t)
+		ms, err := NewManagerSession(manager, device.Public())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := NewDeviceSession(device, manager.Public())
+		m1, err := ms.M1(device.BoxPublic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stage == 1 {
+			m1[len(m1)/2] ^= 1
+			if _, err := ds.HandleM1(m1); err == nil {
+				t.Error("tampered M1 accepted")
+			}
+			continue
+		}
+		m2, err := ds.HandleM1(m1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stage == 2 {
+			m2[len(m2)/2] ^= 1
+			if _, err := ms.HandleM2(m2); err == nil {
+				t.Error("tampered M2 accepted")
+			}
+			continue
+		}
+		m3, err := ms.HandleM2(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m3[len(m3)/2] ^= 1
+		if err := ds.HandleM3(m3); err == nil {
+			t.Error("tampered M3 accepted")
+		}
+	}
+}
+
+func TestReplayedM1Rejected(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	manager, device := mustKey(t), mustKey(t)
+	ms, err := NewManagerSession(manager, device.Public(),
+		WithClock(vc), WithFreshness(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := ms.M1(device.BoxPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.Advance(time.Minute) // attacker held the message
+	ds := NewDeviceSession(device, manager.Public(),
+		WithClock(vc), WithFreshness(10*time.Second))
+	if _, err := ds.HandleM1(m1); !errors.Is(err, ErrStaleMessage) {
+		t.Errorf("replayed M1 err = %v, want ErrStaleMessage", err)
+	}
+}
+
+func TestReplayedM2Rejected(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	opts := []Option{WithClock(vc), WithFreshness(10 * time.Second)}
+	manager, device := mustKey(t), mustKey(t)
+	ms, err := NewManagerSession(manager, device.Public(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDeviceSession(device, manager.Public(), opts...)
+	m1, err := ms.M1(device.BoxPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ds.HandleM1(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.Advance(time.Minute)
+	if _, err := ms.HandleM2(m2); !errors.Is(err, ErrStaleMessage) {
+		t.Errorf("replayed M2 err = %v, want ErrStaleMessage", err)
+	}
+}
+
+func TestCrossSessionNonceRejected(t *testing.T) {
+	// M2 from session A must not complete session B (nonce_a binding).
+	manager, device := mustKey(t), mustKey(t)
+	msA, err := NewManagerSession(manager, device.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msB := NewManagerSessionWithKey(manager, device.Public(), msA.Secret())
+	dsA := NewDeviceSession(device, manager.Public())
+
+	m1A, err := msA.M1(device.BoxPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := msB.M1(device.BoxPublic()); err != nil {
+		t.Fatal(err)
+	}
+	m2A, err := dsA.HandleM1(m1A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session B shares the same symmetric key (group key rotation), so
+	// decryption succeeds — but nonce_a differs and must be rejected.
+	if _, err := msB.HandleM2(m2A); !errors.Is(err, ErrBadNonce) {
+		t.Errorf("cross-session M2 err = %v, want ErrBadNonce", err)
+	}
+}
+
+func TestPreSharedKeySession(t *testing.T) {
+	manager, device := mustKey(t), mustKey(t)
+	var secret [32]byte
+	copy(secret[:], "0123456789abcdef0123456789abcdef")
+	ms := NewManagerSessionWithKey(manager, device.Public(), secret)
+	ds := NewDeviceSession(device, manager.Public())
+	m1, err := ms.M1(device.BoxPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ds.HandleM1(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := ms.HandleM2(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.HandleM3(m3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Secret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Error("pre-shared key not delivered verbatim")
+	}
+}

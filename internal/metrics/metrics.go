@@ -1,0 +1,178 @@
+// Package metrics provides the light-weight instrumentation used by the
+// evaluation harness: counters, latency histograms with quantile
+// summaries, and windowed throughput (TPS) meters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/b-iot/biot/internal/clock"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.n.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Histogram collects duration samples and summarizes them. Safe for
+// concurrent use. Designed for experiment-scale sample counts (≤ 10^6).
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Summary holds descriptive statistics of a histogram.
+type Summary struct {
+	Count  int
+	Min    time.Duration
+	Mean   time.Duration
+	Median time.Duration
+	P95    time.Duration
+	Max    time.Duration
+	Total  time.Duration
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%v mean=%v median=%v p95=%v max=%v",
+		s.Count, s.Min, s.Mean, s.Median, s.P95, s.Max)
+}
+
+// Summarize computes descriptive statistics over the samples.
+func (h *Histogram) Summarize() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return Summary{}
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	var total time.Duration
+	for _, d := range h.samples {
+		total += d
+	}
+	return Summary{
+		Count:  n,
+		Min:    h.samples[0],
+		Mean:   total / time.Duration(n),
+		Median: h.samples[quantileIndex(n, 0.5)],
+		P95:    h.samples[quantileIndex(n, 0.95)],
+		Max:    h.samples[n-1],
+		Total:  total,
+	}
+}
+
+func quantileIndex(n int, q float64) int {
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
+}
+
+// TPSMeter measures throughput over the interval between Start and Stop.
+type TPSMeter struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	started time.Time
+	stopped time.Time
+	events  int64
+}
+
+// NewTPSMeter creates a meter on the given clock (nil means real time).
+func NewTPSMeter(clk clock.Clock) *TPSMeter {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &TPSMeter{clk: clk}
+}
+
+// Start begins (or restarts) the measurement window.
+func (m *TPSMeter) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.started = m.clk.Now()
+	m.stopped = time.Time{}
+	m.events = 0
+}
+
+// Record counts one event.
+func (m *TPSMeter) Record() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events++
+}
+
+// Stop ends the window.
+func (m *TPSMeter) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = m.clk.Now()
+}
+
+// Events returns the number of recorded events.
+func (m *TPSMeter) Events() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// TPS returns events per second over the window. If Stop was not called
+// the window extends to now.
+func (m *TPSMeter) TPS() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started.IsZero() {
+		return 0
+	}
+	end := m.stopped
+	if end.IsZero() {
+		end = m.clk.Now()
+	}
+	secs := end.Sub(m.started).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(m.events) / secs
+}

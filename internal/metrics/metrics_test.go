@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/clock"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 6 {
+		t.Errorf("value = %d, want 6", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("value = %d, want 8000", got)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	if s := h.Summarize(); s.Count != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 50*time.Millisecond {
+		t.Errorf("median = %v", s.Median)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	wantMean := 50500 * time.Microsecond
+	if s.Mean != wantMean {
+		t.Errorf("mean = %v, want %v", s.Mean, wantMean)
+	}
+	if s.Total != 5050*time.Millisecond {
+		t.Errorf("total = %v", s.Total)
+	}
+}
+
+func TestHistogramObserveAfterSummarize(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	_ = h.Summarize()
+	h.Observe(time.Millisecond) // must re-sort internally
+	s := h.Summarize()
+	if s.Min != time.Millisecond {
+		t.Errorf("min = %v after late observation", s.Min)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(7 * time.Millisecond)
+	s := h.Summarize()
+	if s.Min != s.Max || s.Median != s.Min || s.P95 != s.Min {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+	if h.Count() != 1 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	if h.Summarize().String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestTPSMeter(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	m := NewTPSMeter(vc)
+	if m.TPS() != 0 {
+		t.Error("unstarted meter reports TPS")
+	}
+	m.Start()
+	for i := 0; i < 30; i++ {
+		m.Record()
+	}
+	vc.Advance(10 * time.Second)
+	m.Stop()
+	if got := m.TPS(); got != 3.0 {
+		t.Errorf("TPS = %v, want 3", got)
+	}
+	if m.Events() != 30 {
+		t.Errorf("events = %d", m.Events())
+	}
+}
+
+func TestTPSMeterRunningWindow(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	m := NewTPSMeter(vc)
+	m.Start()
+	m.Record()
+	vc.Advance(time.Second)
+	if got := m.TPS(); got != 1.0 {
+		t.Errorf("running TPS = %v", got)
+	}
+	m.Start() // restart resets
+	if m.Events() != 0 {
+		t.Error("restart kept events")
+	}
+}
+
+func TestTPSMeterZeroDuration(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	m := NewTPSMeter(vc)
+	m.Start()
+	m.Record()
+	m.Stop() // zero elapsed
+	if got := m.TPS(); got != 0 {
+		t.Errorf("zero-window TPS = %v", got)
+	}
+}
+
+func TestNewTPSMeterNilClock(t *testing.T) {
+	m := NewTPSMeter(nil)
+	m.Start()
+	m.Record()
+	if m.Events() != 1 {
+		t.Error("nil-clock meter broken")
+	}
+}

@@ -1,0 +1,546 @@
+// Package node implements B-IoT's node roles (paper §IV-A):
+//
+//   - FullNode — gateways and the manager. "Their main duty is to
+//     maintain the whole blockchain network, i.e., the tangle. They
+//     receive transaction requests from light nodes and broadcast in the
+//     blockchain network"; gateways "only process transactions from
+//     legal sensors that are authorized by the manager."
+//   - LightNode — IoT devices. "They do not store blockchain
+//     information ... What they can do are to verify tips, run PoW
+//     consensus algorithm and send new transactions to full nodes."
+//
+// The package wires the substrates together: tangle + credit engine +
+// authorization registry + token ledger + gossip, and implements the
+// Fig-6 workflow.
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/b-iot/biot/internal/authz"
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/dataauth"
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/ledger"
+	"github.com/b-iot/biot/internal/metrics"
+	"github.com/b-iot/biot/internal/quality"
+	"github.com/b-iot/biot/internal/store"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// FullConfig configures a FullNode.
+type FullConfig struct {
+	// Key is the node's account.
+	Key *identity.KeyPair
+	// Role must be RoleGateway or RoleManager.
+	Role identity.Role
+	// ManagerPub is the pinned manager public key ("hard-coded into
+	// genesis config"); it determines both the trusted authorization-
+	// list issuer and the deployment's deterministic genesis. For a
+	// manager node it must be Key's own public key.
+	ManagerPub identity.PublicKey
+
+	// Tangle configures the ledger; zero value selects defaults.
+	Tangle tangle.Config
+	// Credit configures the consensus mechanism; zero value selects the
+	// paper's defaults.
+	Credit core.Params
+	// Policy maps credit to difficulty; nil selects the default
+	// additive policy.
+	Policy core.DifficultyPolicy
+	// TipStrategy selects parents for light nodes; zero selects uniform.
+	TipStrategy tangle.TipStrategy
+
+	// Clock is the time source; nil selects the real clock.
+	Clock clock.Clock
+	// Network attaches the node to the gossip fabric; nil runs the node
+	// standalone (single-gateway deployments, unit tests).
+	Network gossip.Network
+
+	// RateLimit bounds per-device submissions per RateWindow — the DDoS
+	// backstop behind the authorization check. Zero disables limiting.
+	RateLimit  int
+	RateWindow time.Duration
+
+	// Quality, when non-nil, validates plaintext sensor readings at
+	// admission (range, rate-of-change, sequence). Violations do not
+	// reject the transaction — the ledger keeps the evidence — but are
+	// recorded as protocol misbehaviour in the credit ledger, raising a
+	// persistent offender's PoW difficulty.
+	Quality *quality.Validator
+}
+
+func (c *FullConfig) withDefaults() (FullConfig, error) {
+	cfg := *c
+	if cfg.Key == nil {
+		return cfg, errors.New("full node requires a key pair")
+	}
+	if cfg.Role != identity.RoleGateway && cfg.Role != identity.RoleManager {
+		return cfg, fmt.Errorf("full node role must be gateway or manager, got %v", cfg.Role)
+	}
+	if len(cfg.ManagerPub) == 0 {
+		return cfg, errors.New("full node requires the manager public key")
+	}
+	if cfg.Role == identity.RoleManager && cfg.Key.Address() != identity.AddressOf(cfg.ManagerPub) {
+		return cfg, errors.New("manager node key does not match pinned manager key")
+	}
+	if cfg.Tangle == (tangle.Config{}) {
+		cfg.Tangle = tangle.DefaultConfig()
+	}
+	if cfg.Credit == (core.Params{}) {
+		cfg.Credit = core.DefaultParams()
+	}
+	if !cfg.TipStrategy.Valid() {
+		cfg.TipStrategy = tangle.StrategyUniform
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.RateWindow <= 0 {
+		cfg.RateWindow = time.Second
+	}
+	return cfg, nil
+}
+
+// Counters exposes a full node's operational counters.
+type Counters struct {
+	Accepted          *metrics.Counter
+	Rejected          *metrics.Counter
+	RateLimited       *metrics.Counter
+	Unauthorized      *metrics.Counter
+	GossipIn          *metrics.Counter
+	GossipOut         *metrics.Counter
+	JournalErrors     *metrics.Counter
+	QualityViolations *metrics.Counter
+}
+
+// FullNode is a gateway or manager. Safe for concurrent use.
+type FullNode struct {
+	cfg      FullConfig
+	tangle   *tangle.Tangle
+	engine   *core.Engine
+	registry *authz.Registry
+	tokens   *ledger.Ledger
+	counters Counters
+
+	mu       sync.Mutex
+	pending  map[hashutil.Hash]*txn.Transaction // transfers awaiting confirmation
+	limiter  map[identity.Address]*rateWindow
+	deferred []tangle.Event // events captured under the tangle lock
+	journal  *store.Log     // nil unless EnablePersistence was called
+}
+
+type rateWindow struct {
+	start time.Time
+	count int
+}
+
+// Submission errors surfaced to light nodes.
+var (
+	ErrUnauthorizedDevice = errors.New("device is not authorized by the manager")
+	ErrRateLimited        = errors.New("device exceeded submission rate limit")
+	ErrWrongDifficulty    = errors.New("proof of work below the node's required difficulty")
+)
+
+// NewFull constructs a full node with fresh genesis state. Gateways in
+// the same deployment share state through gossip sync, not through a
+// shared constructor.
+func NewFull(cfg FullConfig) (*FullNode, error) {
+	conf, err := cfg.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("full node config: %w", err)
+	}
+	creditLedger, err := core.NewLedger(conf.Credit)
+	if err != nil {
+		return nil, err
+	}
+	registry, err := authz.NewRegistry(identity.AddressOf(conf.ManagerPub))
+	if err != nil {
+		return nil, err
+	}
+	// Genesis derives deterministically from the manager public key, so
+	// every full node in the deployment shares it and gossip sync works
+	// from first principles.
+	tg, err := tangle.New(conf.Tangle, conf.ManagerPub, conf.Clock)
+	if err != nil {
+		return nil, err
+	}
+
+	n := &FullNode{
+		cfg:      conf,
+		tangle:   tg,
+		engine:   core.NewEngine(creditLedger, conf.Policy),
+		registry: registry,
+		tokens:   ledger.New(),
+		counters: Counters{
+			Accepted:          &metrics.Counter{},
+			Rejected:          &metrics.Counter{},
+			RateLimited:       &metrics.Counter{},
+			Unauthorized:      &metrics.Counter{},
+			GossipIn:          &metrics.Counter{},
+			GossipOut:         &metrics.Counter{},
+			JournalErrors:     &metrics.Counter{},
+			QualityViolations: &metrics.Counter{},
+		},
+		pending: make(map[hashutil.Hash]*txn.Transaction),
+		limiter: make(map[identity.Address]*rateWindow),
+	}
+	tg.Observe(tangle.ObserverFunc(n.onTangleEvent))
+	if conf.Network != nil {
+		conf.Network.SetHandler(gossip.HandlerFunc(n.handleGossip))
+	}
+	return n, nil
+}
+
+// Address returns the node's account address.
+func (n *FullNode) Address() identity.Address { return n.cfg.Key.Address() }
+
+// Key returns the node's account key pair (the manager layer signs
+// authorization lists and key-distribution messages with it).
+func (n *FullNode) Key() *identity.KeyPair { return n.cfg.Key }
+
+// Role returns the node's role.
+func (n *FullNode) Role() identity.Role { return n.cfg.Role }
+
+// Tangle exposes the underlying ledger (read paths; examples and the
+// RPC layer use it for queries).
+func (n *FullNode) Tangle() *tangle.Tangle { return n.tangle }
+
+// Engine exposes the credit-based consensus engine.
+func (n *FullNode) Engine() *core.Engine { return n.engine }
+
+// Registry exposes the authorization registry.
+func (n *FullNode) Registry() *authz.Registry { return n.registry }
+
+// Tokens exposes the settled token ledger.
+func (n *FullNode) Tokens() *ledger.Ledger { return n.tokens }
+
+// CountersView returns the node's operational counters.
+func (n *FullNode) CountersView() Counters { return n.counters }
+
+// Clock returns the node's time source.
+func (n *FullNode) Clock() clock.Clock { return n.cfg.Clock }
+
+// onTangleEvent routes ledger events. It runs under the tangle lock, so
+// it only touches FullNode-local state; heavier follow-ups (token
+// settlement) are deferred and drained after the attach completes.
+func (n *FullNode) onTangleEvent(ev tangle.Event) {
+	switch ev.Kind {
+	case tangle.EventLazyTips:
+		n.engine.Ledger().RecordMalicious(ev.Node, core.EventRecord{
+			Behaviour: core.BehaviourLazyTips,
+			At:        ev.At,
+			Evidence:  append([]hashutil.Hash{ev.Tx}, ev.Related...),
+			Detail:    "approved two stale, already-approved parents",
+		})
+	case tangle.EventDoubleSpend:
+		n.engine.Ledger().RecordMalicious(ev.Node, core.EventRecord{
+			Behaviour: core.BehaviourDoubleSpend,
+			At:        ev.At,
+			Evidence:  append([]hashutil.Hash{ev.Tx}, ev.Related...),
+			Detail:    "conflicting spend of the same (account, seq) resource",
+		})
+	case tangle.EventApproved:
+		n.engine.Ledger().UpdateWeight(ev.Node, ev.Tx, ev.Weight)
+	case tangle.EventConfirmed, tangle.EventRejected:
+		n.mu.Lock()
+		n.deferred = append(n.deferred, ev)
+		n.mu.Unlock()
+	}
+}
+
+// drainDeferred settles confirmed transfers and discards rejected ones.
+// Called after Attach returns (outside the tangle lock).
+func (n *FullNode) drainDeferred() {
+	n.mu.Lock()
+	events := n.deferred
+	n.deferred = nil
+	n.mu.Unlock()
+
+	for _, ev := range events {
+		if ev.Kind != tangle.EventConfirmed {
+			// Rejected transfers stay tracked: conflict resolution can
+			// reinstate a branch that later grows heavier, and only a
+			// confirmation is final.
+			continue
+		}
+		n.mu.Lock()
+		t, ok := n.pending[ev.Tx]
+		if ok {
+			delete(n.pending, ev.Tx)
+		}
+		n.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if t.Kind == txn.KindTransfer {
+			// Settlement can legitimately fail (e.g. overdraw after an
+			// earlier conflicting spend settled); the ledger stays
+			// consistent either way.
+			_ = n.tokens.Apply(t)
+		}
+	}
+}
+
+func (n *FullNode) allowRate(addr identity.Address, now time.Time) bool {
+	if n.cfg.RateLimit <= 0 {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	w := n.limiter[addr]
+	if w == nil || now.Sub(w.start) >= n.cfg.RateWindow {
+		n.limiter[addr] = &rateWindow{start: now, count: 1}
+		return true
+	}
+	if w.count >= n.cfg.RateLimit {
+		return false
+	}
+	w.count++
+	return true
+}
+
+// DifficultyFor returns the PoW difficulty currently required of addr —
+// what a light node queries before mining (Fig 6 step 4/5).
+func (n *FullNode) DifficultyFor(addr identity.Address) int {
+	return n.engine.DifficultyFor(addr, n.cfg.Clock.Now())
+}
+
+// TipsForApproval selects two parents for a light node (Fig 6 step 4:
+// "get two random tips information from gateways").
+func (n *FullNode) TipsForApproval() (trunk, branch hashutil.Hash, err error) {
+	return n.tangle.SelectTips(n.cfg.TipStrategy)
+}
+
+// GetTransaction returns an attached transaction by ID, for light-node
+// tip validation.
+func (n *FullNode) GetTransaction(id hashutil.Hash) (*txn.Transaction, error) {
+	return n.tangle.Get(id)
+}
+
+// TransactionsByKind pages through attached transactions of one kind.
+func (n *FullNode) TransactionsByKind(kind txn.Kind, offset int) ([]*txn.Transaction, error) {
+	return n.tangle.ByKind(kind, offset), nil
+}
+
+// InfoOf returns ledger metadata for a transaction.
+func (n *FullNode) InfoOf(id hashutil.Hash) (tangle.Info, error) {
+	return n.tangle.InfoOf(id)
+}
+
+// Submit runs the full admission pipeline on a light-node submission:
+// structural + signature verification, authorization (Sybil/DDoS
+// defense), rate limiting, credit-based PoW verification, attachment,
+// credit accounting, authorization-list application, and gossip
+// broadcast.
+func (n *FullNode) Submit(ctx context.Context, t *txn.Transaction) (tangle.Info, error) {
+	info, err := n.admit(ctx, t, true)
+	if err != nil {
+		return tangle.Info{}, err
+	}
+	n.broadcast(ctx, t)
+	return info, nil
+}
+
+func (n *FullNode) admit(ctx context.Context, t *txn.Transaction, local bool) (tangle.Info, error) {
+	if err := ctx.Err(); err != nil {
+		return tangle.Info{}, err
+	}
+	now := n.cfg.Clock.Now()
+
+	if err := t.VerifyBasic(); err != nil {
+		n.counters.Rejected.Inc()
+		return tangle.Info{}, fmt.Errorf("verify transaction: %w", err)
+	}
+	sender := t.Sender()
+
+	// Authorization: the Sybil/DDoS gate. Authorization lists
+	// themselves must come from the manager.
+	if t.Kind == txn.KindAuthorization {
+		if sender != n.registry.Manager() {
+			n.counters.Unauthorized.Inc()
+			return tangle.Info{}, fmt.Errorf("%w: authorization list from %s",
+				authz.ErrNotManager, sender.Short())
+		}
+	} else if !n.registry.IsAuthorizedDevice(sender) && !n.registry.IsGateway(sender) {
+		n.counters.Unauthorized.Inc()
+		return tangle.Info{}, fmt.Errorf("%w: %s", ErrUnauthorizedDevice, sender.Short())
+	}
+
+	if local && !n.allowRate(sender, now) {
+		n.counters.RateLimited.Inc()
+		return tangle.Info{}, fmt.Errorf("%w: %s", ErrRateLimited, sender.Short())
+	}
+
+	// Credit-based PoW verification: the difficulty demanded of this
+	// sender is derived from the shared behaviour records, so the
+	// gateway and an honest device agree on it.
+	required := n.engine.DifficultyFor(sender, now)
+	if err := t.VerifyPoW(required); err != nil {
+		n.counters.Rejected.Inc()
+		return tangle.Info{}, fmt.Errorf("%w: %v", ErrWrongDifficulty, err)
+	}
+
+	// Track transfers for settlement before attaching, so the
+	// confirmation event (which may fire during Attach) finds it.
+	if t.Kind == txn.KindTransfer {
+		n.mu.Lock()
+		n.pending[t.ID()] = t.Clone()
+		n.mu.Unlock()
+	}
+
+	info, err := n.tangle.Attach(t)
+	if err != nil {
+		n.mu.Lock()
+		delete(n.pending, t.ID())
+		n.mu.Unlock()
+		n.counters.Rejected.Inc()
+		return tangle.Info{}, fmt.Errorf("attach: %w", err)
+	}
+
+	// Credit accounting: the sender earns a valid-transaction record at
+	// initial weight 1; approvals raise it via EventApproved.
+	n.engine.Ledger().RecordTransaction(sender, info.ID, 1, now)
+
+	// Sensor data quality control (§VIII extension): plaintext readings
+	// are checked for plausibility; violations are punished through the
+	// credit ledger, not by rejecting the (already attached) evidence.
+	n.checkQuality(t, info.ID, now)
+
+	// Authorization lists take effect once attached.
+	if t.Kind == txn.KindAuthorization {
+		if err := n.registry.Apply(t, now); err != nil {
+			// The list is on-ledger but not applicable (e.g. stale
+			// sequence); ledger state is unaffected.
+			n.counters.Rejected.Inc()
+			return info, fmt.Errorf("apply authorization list: %w", err)
+		}
+	}
+
+	n.counters.Accepted.Inc()
+	n.journalAppend(t)
+	n.drainDeferred()
+	return info, nil
+}
+
+// broadcast gossips an accepted transaction to peer full nodes.
+func (n *FullNode) broadcast(ctx context.Context, t *txn.Transaction) {
+	if n.cfg.Network == nil {
+		return
+	}
+	msg := gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{t.Encode()}}
+	if err := n.cfg.Network.Broadcast(ctx, msg); err == nil {
+		n.counters.GossipOut.Inc()
+	}
+}
+
+// handleGossip processes inbound gossip.
+func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Message, error) {
+	n.counters.GossipIn.Inc()
+	switch msg.Type {
+	case gossip.MsgTransaction:
+		ctx := context.Background()
+		for _, raw := range msg.TxData {
+			t, err := txn.Decode(raw)
+			if err != nil {
+				return nil, fmt.Errorf("decode gossiped transaction: %w", err)
+			}
+			if n.tangle.Contains(t.ID()) {
+				continue
+			}
+			if _, err := n.admit(ctx, t, false); err != nil {
+				// Missing parents: pull what we lack from the sender.
+				if errors.Is(err, tangle.ErrUnknownParent) {
+					n.syncFrom(ctx, from)
+					_, _ = n.admit(ctx, t, false) // retry once after sync
+				}
+				continue
+			}
+		}
+		return &gossip.Message{}, nil
+	case gossip.MsgSyncRequest:
+		have := make(map[hashutil.Hash]struct{}, len(msg.Have))
+		for _, id := range msg.Have {
+			have[id] = struct{}{}
+		}
+		var data [][]byte
+		for _, t := range n.tangle.Export() {
+			if _, known := have[t.ID()]; !known {
+				data = append(data, t.Encode())
+			}
+		}
+		return &gossip.Message{Type: gossip.MsgSyncResponse, TxData: data}, nil
+	default:
+		return nil, fmt.Errorf("unhandled gossip message type %v", msg.Type)
+	}
+}
+
+// syncFrom pulls missing transactions from one peer and admits them in
+// order.
+func (n *FullNode) syncFrom(ctx context.Context, peer string) {
+	if n.cfg.Network == nil {
+		return
+	}
+	var have []hashutil.Hash
+	for _, t := range n.tangle.Export() {
+		have = append(have, t.ID())
+	}
+	reply, err := n.cfg.Network.Request(ctx, peer, gossip.Message{
+		Type: gossip.MsgSyncRequest,
+		Have: have,
+	})
+	if err != nil || reply.Type != gossip.MsgSyncResponse {
+		return
+	}
+	for _, raw := range reply.TxData {
+		t, err := txn.Decode(raw)
+		if err != nil {
+			continue
+		}
+		if n.tangle.Contains(t.ID()) {
+			continue
+		}
+		_, _ = n.admit(ctx, t, false)
+	}
+}
+
+// SyncAll requests missing history from every peer — used by a gateway
+// joining an existing deployment.
+func (n *FullNode) SyncAll(ctx context.Context) {
+	if n.cfg.Network == nil {
+		return
+	}
+	for _, peer := range n.cfg.Network.Peers() {
+		n.syncFrom(ctx, peer)
+	}
+}
+
+// checkQuality runs the configured validator over a plaintext data
+// payload and records any violations against the sender.
+func (n *FullNode) checkQuality(t *txn.Transaction, id hashutil.Hash, now time.Time) {
+	if n.cfg.Quality == nil || t.Kind != txn.KindData {
+		return
+	}
+	env, err := dataauth.Parse(t.Payload)
+	if err != nil || env.Sensitive {
+		return // opaque to the gateway: the key holder audits it
+	}
+	violations := n.cfg.Quality.Check(t.Sender(), env.Body)
+	for _, v := range violations {
+		n.counters.QualityViolations.Inc()
+		n.engine.Ledger().RecordMalicious(t.Sender(), core.EventRecord{
+			Behaviour: core.BehaviourProtocol,
+			At:        now,
+			Evidence:  []hashutil.Hash{id},
+			Detail:    v.Error(),
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/keydist"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Device-side key distribution: the light node polls its gateway for
+// KindKeyDist transactions addressed to it, answers each M1 with an M2,
+// and completes on the matching M3 (paper Fig 4). The distributed key
+// is installed as the device's data key, after which PostReading
+// encrypts automatically.
+//
+// The device tracks one protocol session per envelope session ID, so a
+// fresh distribution (or a key rotation) started while stale M1s are
+// still on the ledger converges on whichever exchange the manager
+// actually completes.
+
+// ErrKeyDistTimeout reports that the exchange did not complete within
+// the polling budget.
+var ErrKeyDistTimeout = errors.New("key distribution did not complete")
+
+// keyDistState tracks the device's in-flight exchanges.
+type keyDistState struct {
+	sessions map[string]*keydist.DeviceSession
+	opts     []keydist.Option
+	offset   int
+}
+
+// RunKeyDistribution participates in the Fig-4 protocol as the device,
+// polling the gateway every pollEvery until an exchange completes or
+// ctx is done. managerPub is the pinned manager signing key the device
+// trusts. On success the symmetric key is installed as the data key.
+func (l *LightNode) RunKeyDistribution(ctx context.Context, managerPub identity.PublicKey, pollEvery time.Duration, opts ...keydist.Option) error {
+	if pollEvery <= 0 {
+		pollEvery = 50 * time.Millisecond
+	}
+	opts = append([]keydist.Option{keydist.WithClock(l.clk)}, opts...)
+	state := &keyDistState{
+		sessions: make(map[string]*keydist.DeviceSession),
+		opts:     opts,
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrKeyDistTimeout, err)
+		}
+		done, err := l.stepKeyDistribution(ctx, managerPub, state)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %v", ErrKeyDistTimeout, ctx.Err())
+		case <-time.After(pollEvery):
+		}
+	}
+}
+
+// stepKeyDistribution performs one poll: consume new key-dist messages,
+// react to those addressed to this device, and report completion.
+func (l *LightNode) stepKeyDistribution(ctx context.Context, managerPub identity.PublicKey, state *keyDistState) (bool, error) {
+	msgs, err := l.cfg.Gateway.TransactionsByKind(txn.KindKeyDist, state.offset)
+	if err != nil {
+		return false, fmt.Errorf("poll key distribution: %w", err)
+	}
+	for _, t := range msgs {
+		state.offset++
+		env, err := keydist.DecodeEnvelope(t.Payload)
+		if err != nil || !env.AddressedTo(l.Address()) {
+			continue
+		}
+		switch env.Stage {
+		case keydist.StageM1:
+			if _, seen := state.sessions[env.Session]; seen {
+				continue // re-delivered M1
+			}
+			session := keydist.NewDeviceSession(l.cfg.Key, managerPub, state.opts...)
+			m2, err := session.HandleM1(env.Body)
+			if err != nil {
+				// Tampered, stale, or forged M1: ignore it. The manager
+				// retries with a fresh session if it was genuine.
+				continue
+			}
+			state.sessions[env.Session] = session
+			payload, err := keydist.EncodeEnvelope(keydist.Envelope{
+				Session: env.Session,
+				From:    l.Address(),
+				To:      env.From,
+				Stage:   keydist.StageM2,
+				Body:    m2,
+			})
+			if err != nil {
+				return false, err
+			}
+			if _, err := l.SubmitRaw(ctx, txn.KindKeyDist, payload); err != nil {
+				return false, fmt.Errorf("post M2: %w", err)
+			}
+		case keydist.StageM3:
+			session, ok := state.sessions[env.Session]
+			if !ok || session.Done() {
+				continue
+			}
+			if err := session.HandleM3(env.Body); err != nil {
+				continue
+			}
+			secret, err := session.Secret()
+			if err != nil {
+				return false, err
+			}
+			l.SetDataKey(secret, 0)
+			return true, nil
+		}
+	}
+	return false, nil
+}

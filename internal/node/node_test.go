@@ -1,0 +1,577 @@
+package node_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/dataauth"
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+func TestFullConfigValidation(t *testing.T) {
+	key, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		cfg  node.FullConfig
+	}{
+		{"no key", node.FullConfig{Role: identity.RoleGateway, ManagerPub: key.Public()}},
+		{"bad role", node.FullConfig{Key: key, Role: identity.RoleDevice, ManagerPub: key.Public()}},
+		{"no manager", node.FullConfig{Key: key, Role: identity.RoleGateway}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := node.NewFull(tt.cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+
+	// Manager role must hold the pinned key.
+	other, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.NewFull(node.FullConfig{
+		Key:        key,
+		Role:       identity.RoleManager,
+		ManagerPub: other.Public(),
+	}); err == nil {
+		t.Error("manager with mismatched pinned key accepted")
+	}
+}
+
+func TestNewManagerRejectsGatewayNode(t *testing.T) {
+	managerKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := node.NewFull(node.FullConfig{
+		Key:        gwKey,
+		Role:       identity.RoleGateway,
+		ManagerPub: managerKey.Public(),
+		Credit:     testParams(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.NewManager(gw); !errors.Is(err, node.ErrNotManagerNode) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// multiNodeDeployment builds manager + n gateways over an in-memory bus.
+type multiNodeDeployment struct {
+	bus      *gossip.Bus
+	mgrKey   *identity.KeyPair
+	mgr      *node.Manager
+	gateways []*node.FullNode
+}
+
+func newMultiNode(t *testing.T, gateways int, clk clock.Clock) *multiNodeDeployment {
+	t.Helper()
+	bus := gossip.NewBus()
+	t.Cleanup(func() { _ = bus.Close() })
+	mgrKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgrNet, err := bus.Join("manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := node.NewFull(node.FullConfig{
+		Key:        mgrKey,
+		Role:       identity.RoleManager,
+		ManagerPub: mgrKey.Public(),
+		Credit:     testParams(),
+		Clock:      clk,
+		Network:    mgrNet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := node.NewManager(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := &multiNodeDeployment{bus: bus, mgrKey: mgrKey, mgr: mgr}
+	for i := 0; i < gateways; i++ {
+		gwKey, err := identity.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gwNet, err := bus.Join(fmt.Sprintf("gw-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, err := node.NewFull(node.FullConfig{
+			Key:        gwKey,
+			Role:       identity.RoleGateway,
+			ManagerPub: mgrKey.Public(),
+			Credit:     testParams(),
+			Clock:      clk,
+			Network:    gwNet,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep.gateways = append(dep.gateways, gw)
+	}
+	return dep
+}
+
+func TestGossipPropagatesTransactions(t *testing.T) {
+	ctx := context.Background()
+	dep := newMultiNode(t, 2, nil)
+	device := newTestDevice(t, dep.gateways[0])
+	dep.mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := device.PostReading(ctx, []byte("propagate me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous bus: the transaction is everywhere already.
+	for i, gw := range dep.gateways {
+		if !gw.Tangle().Contains(res.Info.ID) {
+			t.Errorf("gateway %d missing the transaction", i)
+		}
+	}
+	if !dep.mgr.Node().Tangle().Contains(res.Info.ID) {
+		t.Error("manager missing the transaction")
+	}
+}
+
+func TestGossipPropagatesCreditRecords(t *testing.T) {
+	ctx := context.Background()
+	dep := newMultiNode(t, 2, nil)
+	device := newTestDevice(t, dep.gateways[0])
+	dep.mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := device.PostReading(ctx, []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every full node independently derives the same difficulty for the
+	// device from its replicated records — "the credit value cannot be
+	// forged or tampered".
+	want := dep.gateways[0].DifficultyFor(device.Address())
+	for i, gw := range dep.gateways[1:] {
+		if got := gw.DifficultyFor(device.Address()); got != want {
+			t.Errorf("gateway %d difficulty %d != %d", i+1, got, want)
+		}
+	}
+	if got := dep.mgr.Node().DifficultyFor(device.Address()); got != want {
+		t.Errorf("manager difficulty %d != %d", got, want)
+	}
+}
+
+func TestLateJoiningGatewaySyncs(t *testing.T) {
+	ctx := context.Background()
+	dep := newMultiNode(t, 1, nil)
+	device := newTestDevice(t, dep.gateways[0])
+	dep.mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := device.PostReading(ctx, []byte("history")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lateKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateNet, err := dep.bus.Join("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := node.NewFull(node.FullConfig{
+		Key:        lateKey,
+		Role:       identity.RoleGateway,
+		ManagerPub: dep.mgrKey.Public(),
+		Credit:     testParams(),
+		Network:    lateNet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Tangle().Size() != 2 {
+		t.Fatalf("fresh gateway size = %d", late.Tangle().Size())
+	}
+	late.SyncAll(ctx)
+	want := dep.gateways[0].Tangle().Size()
+	if got := late.Tangle().Size(); got != want {
+		t.Errorf("synced size = %d, want %d", got, want)
+	}
+	// Authorization state came along: the late gateway serves the
+	// device immediately.
+	lateDevice, err := node.NewLight(node.LightConfig{Key: device.Key(), Gateway: late})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lateDevice.PostReading(ctx, []byte("served by late gateway")); err != nil {
+		t.Errorf("late gateway rejected authorized device: %v", err)
+	}
+}
+
+func TestTransferSettlementOnConfirmation(t *testing.T) {
+	ctx := context.Background()
+	dep := newTestDeployment(t)
+	alice := newTestDevice(t, dep.full)
+	bobKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.mgr.AuthorizeDevice(alice.Key().Public(), alice.Key().BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dep.full.Tokens().Mint(alice.Address(), 100)
+
+	res, err := alice.Transfer(ctx, bobKey.Address(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not settled until confirmed.
+	if bal := dep.full.Tokens().Balance(bobKey.Address()); bal != 0 {
+		t.Errorf("settled before confirmation: %d", bal)
+	}
+	// Drive confirmation with follow-on traffic.
+	for i := 0; i < 12; i++ {
+		if _, err := alice.PostReading(ctx, []byte("filler")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := dep.full.InfoOf(res.Info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != tangle.StatusConfirmed {
+		t.Fatalf("transfer status = %v (weight %d)", info.Status, info.CumulativeWeight)
+	}
+	if bal := dep.full.Tokens().Balance(bobKey.Address()); bal != 40 {
+		t.Errorf("bob balance = %d, want 40", bal)
+	}
+	if bal := dep.full.Tokens().Balance(alice.Address()); bal != 60 {
+		t.Errorf("alice balance = %d, want 60", bal)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	managerKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	full, err := node.NewFull(node.FullConfig{
+		Key:        managerKey,
+		Role:       identity.RoleManager,
+		ManagerPub: managerKey.Public(),
+		Credit:     testParams(),
+		Clock:      clk,
+		RateLimit:  3,
+		RateWindow: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := node.NewManager(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	device := newTestDevice(t, full)
+	mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := mgr.PublishAuthorization(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	accepted, limited := 0, 0
+	for i := 0; i < 10; i++ {
+		_, err := device.PostReading(context.Background(), []byte("x"))
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, node.ErrRateLimited):
+			limited++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	// Manager published one tx in this window too; allow one slack.
+	if accepted > 3 {
+		t.Errorf("accepted = %d with limit 3", accepted)
+	}
+	if limited < 7 {
+		t.Errorf("limited = %d", limited)
+	}
+
+	// Window rolls over with the clock.
+	clk.Advance(2 * time.Second)
+	if _, err := device.PostReading(context.Background(), []byte("next window")); err != nil {
+		t.Errorf("post in fresh window: %v", err)
+	}
+}
+
+func TestGatewayRejectsForeignAuthorizationList(t *testing.T) {
+	ctx := context.Background()
+	dep := newTestDeployment(t)
+	impostor := newTestDevice(t, dep.full)
+	dep.mgr.AuthorizeDevice(impostor.Key().Public(), impostor.Key().BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The (authorized!) impostor tries to publish its own list.
+	_, err := impostor.SubmitRaw(ctx, txn.KindAuthorization, []byte(`{"seq":99,"devices":[]}`))
+	if err == nil {
+		t.Fatal("foreign authorization list accepted")
+	}
+}
+
+func TestDifficultyDropsForActiveDevice(t *testing.T) {
+	ctx := context.Background()
+	dep := newTestDeployment(t)
+	device := newTestDevice(t, dep.full)
+	dep.mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	initial := dep.full.DifficultyFor(device.Address())
+	for i := 0; i < 20; i++ {
+		if _, err := device.PostReading(ctx, []byte("active")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := dep.full.DifficultyFor(device.Address())
+	if after >= initial {
+		t.Errorf("difficulty %d → %d, want reduced for active node", initial, after)
+	}
+	stats := device.PowTime.Summarize()
+	if stats.Count != 20 {
+		t.Errorf("pow observations = %d", stats.Count)
+	}
+}
+
+func TestCountersTrack(t *testing.T) {
+	ctx := context.Background()
+	dep := newTestDeployment(t)
+	device := newTestDevice(t, dep.full)
+
+	if _, err := device.PostReading(ctx, []byte("x")); err == nil {
+		t.Fatal("unauthorized accepted")
+	}
+	dep.mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := device.PostReading(ctx, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	c := dep.full.CountersView()
+	if c.Unauthorized.Value() < 1 {
+		t.Error("unauthorized counter")
+	}
+	if c.Accepted.Value() < 2 { // auth list + reading
+		t.Errorf("accepted counter = %d", c.Accepted.Value())
+	}
+}
+
+func TestManagerKeyDistUnknownDevice(t *testing.T) {
+	dep := newTestDeployment(t)
+	ghost, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.mgr.StartKeyDistribution(context.Background(), ghost.Address()); !errors.Is(err, node.ErrUnknownDevice) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLightConfigValidation(t *testing.T) {
+	key, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.NewLight(node.LightConfig{Key: key}); !errors.Is(err, node.ErrNoGateway) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := node.NewLight(node.LightConfig{}); !errors.Is(err, node.ErrNoKey) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPartitionedGatewayRecovers(t *testing.T) {
+	ctx := context.Background()
+	dep := newMultiNode(t, 2, nil)
+	device := newTestDevice(t, dep.gateways[0])
+	dep.mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	dep.bus.Isolate("gw-1")
+	res, err := device.PostReading(ctx, []byte("during partition"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.gateways[1].Tangle().Contains(res.Info.ID) {
+		t.Fatal("partitioned gateway received the transaction")
+	}
+	dep.bus.Restore("gw-1")
+	dep.gateways[1].SyncAll(ctx)
+	if !dep.gateways[1].Tangle().Contains(res.Info.ID) {
+		t.Error("healed gateway did not catch up")
+	}
+	// The synced gateway's credit view converges too.
+	if core.Credit((dep.gateways[1].Engine().CreditOf(device.Address(), time.Now()))).CrP <= 0 {
+		t.Error("healed gateway has no credit record for the device")
+	}
+}
+
+func TestKeyDistributionAcrossGateways(t *testing.T) {
+	// The Fig-4 exchange rides the replicated ledger: the manager posts
+	// M1 through its own node while the device polls a *different*
+	// gateway; gossip carries every protocol message both ways.
+	ctx := context.Background()
+	dep := newMultiNode(t, 2, nil)
+	deviceKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	device, err := node.NewLight(node.LightConfig{Key: deviceKey, Gateway: dep.gateways[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.mgr.AuthorizeDevice(deviceKey.Public(), deviceKey.BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.mgr.StartKeyDistribution(ctx, device.Address()); err != nil {
+		t.Fatal(err)
+	}
+
+	kdCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	deviceDone := make(chan error, 1)
+	go func() {
+		deviceDone <- device.RunKeyDistribution(kdCtx, dep.mgrKey.Public(), time.Millisecond)
+	}()
+	for {
+		select {
+		case err := <-deviceDone:
+			if err != nil {
+				t.Fatalf("cross-gateway key distribution: %v", err)
+			}
+			if !device.HasDataKey() {
+				t.Fatal("device has no key")
+			}
+			// Encrypted data posted via gateway 1 decrypts with the
+			// manager's issued copy.
+			res, err := device.PostReading(ctx, []byte("cross-gw secret"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, ok := dep.mgr.IssuedKey(device.Address())
+			if !ok {
+				t.Fatal("manager has no issued key")
+			}
+			stored, err := dep.mgr.Node().GetTransaction(res.Info.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := dataauth.Open(stored.Payload, &key)
+			if err != nil || string(body) != "cross-gw secret" {
+				t.Fatalf("decrypt: %q, %v", body, err)
+			}
+			return
+		default:
+			if _, err := dep.mgr.PumpKeyDistribution(ctx); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestGossipRejectsForgedTraffic(t *testing.T) {
+	// A malicious peer joins the gossip fabric directly and sends
+	// garbage: undecodable bytes, unsigned transactions, and
+	// wrong-difficulty submissions. The node must stay healthy and
+	// admit none of it.
+	ctx := context.Background()
+	dep := newMultiNode(t, 1, nil)
+	evilNet, err := dep.bus.Join("evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := dep.gateways[0].Tangle().Size()
+
+	// Undecodable payload.
+	_ = evilNet.Broadcast(ctx, gossip.Message{
+		Type:   gossip.MsgTransaction,
+		TxData: [][]byte{[]byte("not a transaction")},
+	})
+
+	// Well-formed but unsigned/unauthorized transaction.
+	evilKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dep.gateways[0].Tangle().Genesis()
+	forged := &txn.Transaction{
+		Trunk:     g[0],
+		Branch:    g[1],
+		Timestamp: time.Now(),
+		Kind:      txn.KindData,
+		Payload:   []byte("forged"),
+	}
+	forged.Sign(evilKey) // valid signature, but unauthorized sender
+	_ = evilNet.Broadcast(ctx, gossip.Message{
+		Type:   gossip.MsgTransaction,
+		TxData: [][]byte{forged.Encode()},
+	})
+
+	// Tampered signature.
+	tampered := forged.Clone()
+	tampered.Signature[0] ^= 1
+	_ = evilNet.Broadcast(ctx, gossip.Message{
+		Type:   gossip.MsgTransaction,
+		TxData: [][]byte{tampered.Encode()},
+	})
+
+	if got := dep.gateways[0].Tangle().Size(); got != sizeBefore {
+		t.Errorf("forged gossip changed ledger size %d → %d", sizeBefore, got)
+	}
+	// The node still serves honest traffic afterwards.
+	device := newTestDevice(t, dep.gateways[0])
+	dep.mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := device.PostReading(ctx, []byte("still alive")); err != nil {
+		t.Fatalf("post after forged gossip: %v", err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package quality implements sensor data quality control — the first of
+// the paper's §VIII future directions ("we can explore sensor data
+// quality control schemes in blockchain-based systems").
+//
+// Gateways run a Validator over plaintext sensor readings at admission:
+// range plausibility per sensor class, bounded rate-of-change per
+// device, and monotone sequence numbers. Violations are surfaced so the
+// node layer can punish persistent offenders through the same credit
+// mechanism that handles lazy tips and double spending — extending the
+// paper's behaviour set with "bad data" as a third misbehaviour class.
+//
+// Readings use the device package's key=value line format
+// (`sensor=temperature;seq=3;t=...;value=21.5`); unparseable plaintext
+// is itself a violation. Encrypted payloads are skipped: the gateway
+// cannot (and must not) inspect them — quality control for sensitive
+// streams belongs to the key holder.
+package quality
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/b-iot/biot/internal/identity"
+)
+
+// ViolationKind classifies quality violations.
+type ViolationKind int
+
+const (
+	// ViolationMalformed is an unparseable plaintext reading.
+	ViolationMalformed ViolationKind = iota + 1
+	// ViolationRange is a value outside the sensor class's plausible
+	// band.
+	ViolationRange
+	// ViolationJump is a rate-of-change beyond the configured bound.
+	ViolationJump
+	// ViolationSequence is a non-increasing per-device sequence number
+	// (stale or replayed reading).
+	ViolationSequence
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationMalformed:
+		return "malformed"
+	case ViolationRange:
+		return "out-of-range"
+	case ViolationJump:
+		return "implausible-jump"
+	case ViolationSequence:
+		return "stale-sequence"
+	default:
+		return fmt.Sprintf("violation(%d)", int(k))
+	}
+}
+
+// Violation describes one detected quality problem.
+type Violation struct {
+	Kind   ViolationKind
+	Detail string
+}
+
+// Error renders the violation as an error message.
+func (v Violation) Error() string {
+	return fmt.Sprintf("quality %s: %s", v.Kind, v.Detail)
+}
+
+// Band is a plausible value range for a sensor class, plus the largest
+// believable step between consecutive readings from one device.
+type Band struct {
+	Min     float64
+	Max     float64
+	MaxStep float64 // 0 disables the rate-of-change check
+}
+
+// DefaultBands returns plausibility bands for the built-in sensor
+// classes of the smart-factory case study.
+func DefaultBands() map[string]Band {
+	return map[string]Band{
+		"temperature": {Min: -40, Max: 125, MaxStep: 10},
+		"humidity":    {Min: 0, Max: 100, MaxStep: 20},
+		"vibration":   {Min: 0, Max: 50, MaxStep: 25},
+		"power":       {Min: 0, Max: 10_000, MaxStep: 5_000},
+	}
+}
+
+// Reading is a parsed plaintext sensor line.
+type Reading struct {
+	Sensor string
+	Seq    uint64
+	Value  float64
+	HasVal bool
+}
+
+// ErrUnparseable reports plaintext that is not a key=value reading.
+var ErrUnparseable = errors.New("unparseable sensor reading")
+
+// ParseReading parses the device package's key=value line format.
+func ParseReading(blob []byte) (Reading, error) {
+	var r Reading
+	s := string(blob)
+	if !strings.Contains(s, "=") {
+		return r, fmt.Errorf("%w: no key=value pairs", ErrUnparseable)
+	}
+	for _, field := range strings.Split(s, ";") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "sensor":
+			r.Sensor = val
+		case "seq":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return r, fmt.Errorf("%w: bad seq %q", ErrUnparseable, val)
+			}
+			r.Seq = n
+		case "value":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return r, fmt.Errorf("%w: bad value %q", ErrUnparseable, val)
+			}
+			r.Value = f
+			r.HasVal = true
+		}
+	}
+	return r, nil
+}
+
+// Validator checks readings against bands and per-device history. Safe
+// for concurrent use.
+type Validator struct {
+	bands map[string]Band
+
+	mu    sync.Mutex
+	state map[identity.Address]*deviceState
+}
+
+type deviceState struct {
+	lastSeq   uint64
+	hasSeq    bool
+	lastValue float64
+	hasValue  bool
+	sensor    string
+}
+
+// NewValidator builds a validator over the given bands (nil selects
+// DefaultBands).
+func NewValidator(bands map[string]Band) *Validator {
+	if bands == nil {
+		bands = DefaultBands()
+	}
+	copied := make(map[string]Band, len(bands))
+	for k, v := range bands {
+		copied[k] = v
+	}
+	return &Validator{
+		bands: copied,
+		state: make(map[identity.Address]*deviceState),
+	}
+}
+
+// Check validates one plaintext reading from addr, updating per-device
+// history. It returns every violation found (empty for a clean
+// reading). Unknown sensor classes pass range checks (no band ⇒ no
+// opinion) but still get sequence tracking.
+func (v *Validator) Check(addr identity.Address, blob []byte) []Violation {
+	reading, err := ParseReading(blob)
+	if err != nil {
+		return []Violation{{Kind: ViolationMalformed, Detail: err.Error()}}
+	}
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st, ok := v.state[addr]
+	if !ok {
+		st = &deviceState{}
+		v.state[addr] = st
+	}
+
+	var out []Violation
+
+	// Sequence monotonicity (replayed/stale readings).
+	if st.hasSeq && reading.Seq <= st.lastSeq {
+		out = append(out, Violation{
+			Kind:   ViolationSequence,
+			Detail: fmt.Sprintf("seq %d not after %d", reading.Seq, st.lastSeq),
+		})
+	} else {
+		st.lastSeq = reading.Seq
+		st.hasSeq = true
+	}
+
+	band, hasBand := v.bands[reading.Sensor]
+	if reading.HasVal && hasBand {
+		if reading.Value < band.Min || reading.Value > band.Max {
+			out = append(out, Violation{
+				Kind: ViolationRange,
+				Detail: fmt.Sprintf("%s value %g outside [%g, %g]",
+					reading.Sensor, reading.Value, band.Min, band.Max),
+			})
+		} else {
+			// Rate of change only against in-band history of the same
+			// sensor class.
+			if st.hasValue && st.sensor == reading.Sensor && band.MaxStep > 0 {
+				step := reading.Value - st.lastValue
+				if step < 0 {
+					step = -step
+				}
+				if step > band.MaxStep {
+					out = append(out, Violation{
+						Kind: ViolationJump,
+						Detail: fmt.Sprintf("%s stepped %g > %g",
+							reading.Sensor, step, band.MaxStep),
+					})
+				}
+			}
+			st.lastValue = reading.Value
+			st.hasValue = true
+			st.sensor = reading.Sensor
+		}
+	}
+	return out
+}
+
+// Forget drops the history for a device (deauthorization, key change).
+func (v *Validator) Forget(addr identity.Address) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.state, addr)
+}
+
+// Devices returns how many devices have tracked history.
+func (v *Validator) Devices() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.state)
+}

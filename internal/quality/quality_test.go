@@ -1,0 +1,164 @@
+package quality
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+var devA = identity.Address(hashutil.Sum([]byte("dev-a")))
+var devB = identity.Address(hashutil.Sum([]byte("dev-b")))
+
+func reading(sensor string, seq int, value float64) []byte {
+	return []byte(fmt.Sprintf("sensor=%s;seq=%d;t=123;value=%.3f", sensor, seq, value))
+}
+
+func TestParseReading(t *testing.T) {
+	r, err := ParseReading(reading("temperature", 3, 21.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sensor != "temperature" || r.Seq != 3 || !r.HasVal || r.Value != 21.5 {
+		t.Errorf("parsed = %+v", r)
+	}
+}
+
+func TestParseReadingErrors(t *testing.T) {
+	bad := [][]byte{
+		[]byte("no pairs here"),
+		[]byte("sensor=x;seq=abc"),
+		[]byte("sensor=x;seq=1;value=NaNope"),
+	}
+	for _, blob := range bad {
+		if _, err := ParseReading(blob); err == nil {
+			t.Errorf("parsed %q", blob)
+		}
+	}
+}
+
+func TestCleanStreamNoViolations(t *testing.T) {
+	v := NewValidator(nil)
+	for i := 1; i <= 20; i++ {
+		if got := v.Check(devA, reading("temperature", i, 20+float64(i%3))); len(got) != 0 {
+			t.Fatalf("clean reading %d flagged: %v", i, got)
+		}
+	}
+}
+
+func TestRangeViolation(t *testing.T) {
+	v := NewValidator(nil)
+	got := v.Check(devA, reading("temperature", 1, 900))
+	if len(got) != 1 || got[0].Kind != ViolationRange {
+		t.Errorf("violations = %v", got)
+	}
+	// Below min too.
+	got = v.Check(devA, reading("temperature", 2, -80))
+	if len(got) != 1 || got[0].Kind != ViolationRange {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestJumpViolation(t *testing.T) {
+	v := NewValidator(nil)
+	if got := v.Check(devA, reading("temperature", 1, 20)); len(got) != 0 {
+		t.Fatalf("first reading flagged: %v", got)
+	}
+	got := v.Check(devA, reading("temperature", 2, 80)) // Δ60 > MaxStep 10
+	if len(got) != 1 || got[0].Kind != ViolationJump {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestSequenceViolation(t *testing.T) {
+	v := NewValidator(nil)
+	if got := v.Check(devA, reading("temperature", 5, 20)); len(got) != 0 {
+		t.Fatal("clean reading flagged")
+	}
+	got := v.Check(devA, reading("temperature", 5, 20.1)) // replay
+	if len(got) != 1 || got[0].Kind != ViolationSequence {
+		t.Errorf("violations = %v", got)
+	}
+	got = v.Check(devA, reading("temperature", 4, 20.2)) // stale
+	if len(got) != 1 || got[0].Kind != ViolationSequence {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestMalformedViolation(t *testing.T) {
+	v := NewValidator(nil)
+	got := v.Check(devA, []byte("garbage blob"))
+	if len(got) != 1 || got[0].Kind != ViolationMalformed {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestDevicesTrackedIndependently(t *testing.T) {
+	v := NewValidator(nil)
+	v.Check(devA, reading("temperature", 10, 20))
+	// devB starting at seq 1 is fine even though devA is at 10.
+	if got := v.Check(devB, reading("temperature", 1, 20)); len(got) != 0 {
+		t.Errorf("cross-device state leak: %v", got)
+	}
+	if v.Devices() != 2 {
+		t.Errorf("devices = %d", v.Devices())
+	}
+}
+
+func TestUnknownSensorPassesRange(t *testing.T) {
+	v := NewValidator(nil)
+	if got := v.Check(devA, reading("co2", 1, 123456)); len(got) != 0 {
+		t.Errorf("unknown sensor flagged: %v", got)
+	}
+	// But sequence still enforced.
+	if got := v.Check(devA, reading("co2", 1, 1)); len(got) != 1 {
+		t.Errorf("unknown sensor seq not enforced: %v", got)
+	}
+}
+
+func TestForget(t *testing.T) {
+	v := NewValidator(nil)
+	v.Check(devA, reading("temperature", 9, 20))
+	v.Forget(devA)
+	if got := v.Check(devA, reading("temperature", 1, 20)); len(got) != 0 {
+		t.Errorf("forgotten device still tracked: %v", got)
+	}
+}
+
+func TestCustomBands(t *testing.T) {
+	v := NewValidator(map[string]Band{"flow": {Min: 0, Max: 10, MaxStep: 2}})
+	if got := v.Check(devA, reading("flow", 1, 5)); len(got) != 0 {
+		t.Errorf("in-band flagged: %v", got)
+	}
+	if got := v.Check(devA, reading("flow", 2, 11)); len(got) != 1 || got[0].Kind != ViolationRange {
+		t.Errorf("out-of-band not flagged: %v", got)
+	}
+	// Default band for temperature is gone under custom bands.
+	if got := v.Check(devA, reading("temperature", 3, 999)); len(got) != 0 {
+		t.Errorf("custom validator kept default bands: %v", got)
+	}
+}
+
+func TestJumpNotComparedAcrossSensorSwitch(t *testing.T) {
+	v := NewValidator(nil)
+	v.Check(devA, reading("temperature", 1, 20))
+	// Device repurposed to humidity: 60 is plausible even though the
+	// numeric step from 20 exceeds temperature's MaxStep.
+	if got := v.Check(devA, reading("humidity", 2, 60)); len(got) != 0 {
+		t.Errorf("cross-sensor jump flagged: %v", got)
+	}
+}
+
+func TestViolationStrings(t *testing.T) {
+	for _, k := range []ViolationKind{ViolationMalformed, ViolationRange, ViolationJump, ViolationSequence} {
+		if strings.HasPrefix(k.String(), "violation(") {
+			t.Errorf("%d missing name", k)
+		}
+	}
+	v := Violation{Kind: ViolationRange, Detail: "x"}
+	if !strings.Contains(v.Error(), "out-of-range") {
+		t.Error("violation error message wrong")
+	}
+}

@@ -1,0 +1,249 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Client talks to a full node's RPC API and implements node.Gateway, so
+// a LightNode runs against a remote gateway exactly as it does against
+// an in-process one.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+var _ node.Gateway = (*Client)(nil)
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// NewClient creates a client for the node at baseURL
+// (e.g. "http://127.0.0.1:14265").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		base: baseURL,
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the node.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rpc status %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("rpc GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("read rpc response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		msg := string(body)
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return mapAPIError(&APIError{Status: resp.StatusCode, Message: msg})
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("decode rpc response: %w", err)
+	}
+	return nil
+}
+
+// mapAPIError wraps well-known statuses with the node-layer sentinel
+// errors so light-node retry logic works across the wire.
+func mapAPIError(apiErr *APIError) error {
+	switch apiErr.Status {
+	case http.StatusForbidden:
+		return fmt.Errorf("%w: %w", node.ErrUnauthorizedDevice, apiErr)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %w", node.ErrRateLimited, apiErr)
+	case http.StatusPreconditionFailed:
+		return fmt.Errorf("%w: %w", node.ErrWrongDifficulty, apiErr)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %w", tangle.ErrDuplicate, apiErr)
+	case http.StatusUnprocessableEntity:
+		return fmt.Errorf("%w: %w", tangle.ErrUnknownParent, apiErr)
+	default:
+		return apiErr
+	}
+}
+
+// Info fetches node information.
+func (c *Client) Info() (InfoResponse, error) {
+	var out InfoResponse
+	err := c.get("/api/v1/info", &out)
+	return out, err
+}
+
+// Credit fetches the credit breakdown for an address.
+func (c *Client) Credit(addr identity.Address) (CreditResponse, error) {
+	var out CreditResponse
+	err := c.get("/api/v1/credit?address="+addr.Hex(), &out)
+	return out, err
+}
+
+// Events fetches the recorded malicious events for an address.
+func (c *Client) Events(addr identity.Address) (EventsResponse, error) {
+	var out EventsResponse
+	err := c.get("/api/v1/events?address="+addr.Hex(), &out)
+	return out, err
+}
+
+// TipsForApproval implements node.Gateway.
+func (c *Client) TipsForApproval() (hashutil.Hash, hashutil.Hash, error) {
+	var out TipsResponse
+	if err := c.get("/api/v1/tips", &out); err != nil {
+		return hashutil.Zero, hashutil.Zero, err
+	}
+	trunk, err := hashutil.FromHex(out.Trunk)
+	if err != nil {
+		return hashutil.Zero, hashutil.Zero, fmt.Errorf("parse trunk: %w", err)
+	}
+	branch, err := hashutil.FromHex(out.Branch)
+	if err != nil {
+		return hashutil.Zero, hashutil.Zero, fmt.Errorf("parse branch: %w", err)
+	}
+	return trunk, branch, nil
+}
+
+// DifficultyFor implements node.Gateway. On RPC failure it returns 0,
+// an out-of-range difficulty that makes the subsequent PoW call fail
+// fast instead of mining against a guessed target.
+func (c *Client) DifficultyFor(addr identity.Address) int {
+	var out DifficultyResponse
+	if err := c.get("/api/v1/difficulty?address="+addr.Hex(), &out); err != nil {
+		return 0
+	}
+	return out.Difficulty
+}
+
+// GetTransaction implements node.Gateway.
+func (c *Client) GetTransaction(id hashutil.Hash) (*txn.Transaction, error) {
+	var out TxResponse
+	if err := c.get("/api/v1/transactions/"+id.Hex(), &out); err != nil {
+		return nil, err
+	}
+	raw, err := base64.StdEncoding.DecodeString(out.Raw)
+	if err != nil {
+		return nil, fmt.Errorf("decode transaction: %w", err)
+	}
+	return txn.Decode(raw)
+}
+
+// TransactionsByKind implements node.Gateway.
+func (c *Client) TransactionsByKind(kind txn.Kind, offset int) ([]*txn.Transaction, error) {
+	q := url.Values{}
+	q.Set("kind", strconv.Itoa(int(kind)))
+	q.Set("offset", strconv.Itoa(offset))
+	var out TxPageResponse
+	if err := c.get("/api/v1/transactions?"+q.Encode(), &out); err != nil {
+		return nil, err
+	}
+	txs := make([]*txn.Transaction, 0, len(out.Raw))
+	for _, b64 := range out.Raw {
+		raw, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil, fmt.Errorf("decode transaction page: %w", err)
+		}
+		t, err := txn.Decode(raw)
+		if err != nil {
+			return nil, err
+		}
+		txs = append(txs, t)
+	}
+	return txs, nil
+}
+
+// Submit implements node.Gateway.
+func (c *Client) Submit(ctx context.Context, t *txn.Transaction) (tangle.Info, error) {
+	body, err := json.Marshal(SubmitRequest{
+		Raw: base64.StdEncoding.EncodeToString(t.Encode()),
+	})
+	if err != nil {
+		return tangle.Info{}, fmt.Errorf("encode submit request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/api/v1/transactions", bytes.NewReader(body))
+	if err != nil {
+		return tangle.Info{}, fmt.Errorf("build submit request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return tangle.Info{}, fmt.Errorf("rpc POST transactions: %w", err)
+	}
+	defer resp.Body.Close()
+	var out SubmitResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return tangle.Info{}, err
+	}
+	id, err := hashutil.FromHex(out.ID)
+	if err != nil {
+		return tangle.Info{}, fmt.Errorf("parse submitted id: %w", err)
+	}
+	return tangle.Info{
+		ID:               id,
+		Sender:           t.Sender(),
+		Kind:             t.Kind,
+		Status:           parseStatus(out.Status),
+		CumulativeWeight: out.CumulativeWeight,
+	}, nil
+}
+
+func parseStatus(s string) tangle.Status {
+	switch s {
+	case "confirmed":
+		return tangle.StatusConfirmed
+	case "rejected":
+		return tangle.StatusRejected
+	default:
+		return tangle.StatusPending
+	}
+}
+
+// ErrBadBaseURL reports a malformed base URL at construction time.
+var ErrBadBaseURL = errors.New("malformed rpc base url")

@@ -1,0 +1,355 @@
+// Package rpc exposes a full node over a RESTful HTTP interface, the
+// counterpart of IRI's HTTP API in the paper's prototype ("It provides a
+// convenient RESTful HTTP interface, so light nodes can post
+// transactions to full nodes through the RPC interface", §V-A).
+//
+// Endpoints (all JSON):
+//
+//	GET  /api/v1/info                         node role, address, ledger stats
+//	GET  /api/v1/tips                         two parents for approval
+//	GET  /api/v1/difficulty?address=HEX       credit-based PoW difficulty
+//	GET  /api/v1/credit?address=HEX           CrP / CrN / Cr breakdown
+//	GET  /api/v1/transactions/{idhex}         one transaction (base64 canonical bytes)
+//	GET  /api/v1/transactions?kind=K&offset=N page of transactions by kind
+//	POST /api/v1/transactions                 submit {"raw": base64}
+//
+// The Client type implements node.Gateway over this API, so a light node
+// runs identically in-process or across the network.
+package rpc
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/b-iot/biot/internal/authz"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// InfoResponse is the /info payload.
+type InfoResponse struct {
+	Address      string `json:"address"`
+	Role         string `json:"role"`
+	Transactions int    `json:"transactions"`
+	Tips         int    `json:"tips"`
+	Confirmed    int    `json:"confirmed"`
+	Rejected     int    `json:"rejected"`
+	Conflicts    int    `json:"conflicts"`
+	AuthzSeq     uint64 `json:"authz_seq"`
+}
+
+// TipsResponse is the /tips payload.
+type TipsResponse struct {
+	Trunk  string `json:"trunk"`
+	Branch string `json:"branch"`
+}
+
+// DifficultyResponse is the /difficulty payload.
+type DifficultyResponse struct {
+	Address    string `json:"address"`
+	Difficulty int    `json:"difficulty"`
+}
+
+// CreditResponse is the /credit payload.
+type CreditResponse struct {
+	Address string  `json:"address"`
+	CrP     float64 `json:"cr_p"`
+	CrN     float64 `json:"cr_n"`
+	Cr      float64 `json:"cr"`
+}
+
+// EventResponse is one recorded malicious event in the /events payload.
+type EventResponse struct {
+	Behaviour string   `json:"behaviour"`
+	At        string   `json:"at"` // RFC 3339
+	Detail    string   `json:"detail,omitempty"`
+	Evidence  []string `json:"evidence,omitempty"`
+}
+
+// EventsResponse is the /events payload.
+type EventsResponse struct {
+	Address string          `json:"address"`
+	Events  []EventResponse `json:"events"`
+}
+
+// TxResponse carries one canonical transaction encoding.
+type TxResponse struct {
+	Raw string `json:"raw"` // base64 of txn.Encode()
+}
+
+// TxPageResponse carries a page of transactions.
+type TxPageResponse struct {
+	Raw    []string `json:"raw"`
+	Offset int      `json:"offset"` // next offset to poll
+}
+
+// SubmitRequest is the POST /transactions body.
+type SubmitRequest struct {
+	Raw string `json:"raw"`
+}
+
+// SubmitResponse reports an accepted submission.
+type SubmitResponse struct {
+	ID               string `json:"id"`
+	Status           string `json:"status"`
+	CumulativeWeight int    `json:"cumulative_weight"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code mirrors the HTTP status for clients that surface the body.
+	Code int `json:"code"`
+}
+
+// Server serves the API for one full node.
+type Server struct {
+	node *node.FullNode
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer builds (but does not start) a server for n.
+func NewServer(n *node.FullNode) *Server {
+	s := &Server{node: n, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /api/v1/tips", s.handleTips)
+	s.mux.HandleFunc("GET /api/v1/difficulty", s.handleDifficulty)
+	s.mux.HandleFunc("GET /api/v1/credit", s.handleCredit)
+	s.mux.HandleFunc("GET /api/v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/transactions/{id}", s.handleGetTx)
+	s.mux.HandleFunc("GET /api/v1/transactions", s.handleListTx)
+	s.mux.HandleFunc("POST /api/v1/transactions", s.handleSubmit)
+	return s
+}
+
+// Handler returns the HTTP handler (for tests with httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
+// goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rpc listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		_ = s.http.Serve(ln) // returns on Close
+	}()
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: status})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	stats := s.node.Tangle().StatsNow()
+	writeJSON(w, http.StatusOK, InfoResponse{
+		Address:      s.node.Address().Hex(),
+		Role:         s.node.Role().String(),
+		Transactions: stats.Transactions,
+		Tips:         stats.Tips,
+		Confirmed:    stats.Confirmed,
+		Rejected:     stats.Rejected,
+		Conflicts:    stats.Conflicts,
+		AuthzSeq:     s.node.Registry().Seq(),
+	})
+}
+
+func (s *Server) handleTips(w http.ResponseWriter, _ *http.Request) {
+	trunk, branch, err := s.node.TipsForApproval()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TipsResponse{Trunk: trunk.Hex(), Branch: branch.Hex()})
+}
+
+func parseAddress(r *http.Request) (identity.Address, error) {
+	raw := r.URL.Query().Get("address")
+	if raw == "" {
+		return hashutil.Zero, errors.New("missing address parameter")
+	}
+	return hashutil.FromHex(raw)
+}
+
+func (s *Server) handleDifficulty(w http.ResponseWriter, r *http.Request) {
+	addr, err := parseAddress(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DifficultyResponse{
+		Address:    addr.Hex(),
+		Difficulty: s.node.DifficultyFor(addr),
+	})
+}
+
+func (s *Server) handleCredit(w http.ResponseWriter, r *http.Request) {
+	addr, err := parseAddress(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c := s.node.Engine().CreditOf(addr, s.node.Clock().Now())
+	writeJSON(w, http.StatusOK, CreditResponse{
+		Address: addr.Hex(),
+		CrP:     c.CrP,
+		CrN:     c.CrN,
+		Cr:      c.Cr,
+	})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	addr, err := parseAddress(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	records := s.node.Engine().Ledger().Events(addr)
+	resp := EventsResponse{Address: addr.Hex(), Events: []EventResponse{}}
+	for _, rec := range records {
+		ev := EventResponse{
+			Behaviour: rec.Behaviour.String(),
+			At:        rec.At.UTC().Format(time.RFC3339Nano),
+			Detail:    rec.Detail,
+		}
+		for _, id := range rec.Evidence {
+			ev.Evidence = append(ev.Evidence, id.Hex())
+		}
+		resp.Events = append(resp.Events, ev)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetTx(w http.ResponseWriter, r *http.Request) {
+	id, err := hashutil.FromHex(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := s.node.GetTransaction(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TxResponse{
+		Raw: base64.StdEncoding.EncodeToString(t.Encode()),
+	})
+}
+
+func (s *Server) handleListTx(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	kindNum, err := strconv.Atoi(q.Get("kind"))
+	if err != nil || !txn.Kind(kindNum).Valid() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad kind %q", q.Get("kind")))
+		return
+	}
+	offset := 0
+	if rawOffset := q.Get("offset"); rawOffset != "" {
+		offset, err = strconv.Atoi(rawOffset)
+		if err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", rawOffset))
+			return
+		}
+	}
+	txs, err := s.node.TransactionsByKind(txn.Kind(kindNum), offset)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := TxPageResponse{Offset: offset + len(txs)}
+	for _, t := range txs {
+		resp.Raw = append(resp.Raw, base64.StdEncoding.EncodeToString(t.Encode()))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(req.Raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode raw: %w", err))
+		return
+	}
+	t, err := txn.Decode(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode transaction: %w", err))
+		return
+	}
+	info, err := s.node.Submit(r.Context(), t)
+	if err != nil {
+		writeError(w, statusForSubmitError(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{
+		ID:               info.ID.Hex(),
+		Status:           info.Status.String(),
+		CumulativeWeight: info.CumulativeWeight,
+	})
+}
+
+// statusForSubmitError maps admission failures to HTTP statuses that the
+// client maps back to sentinel errors.
+func statusForSubmitError(err error) int {
+	switch {
+	case errors.Is(err, node.ErrUnauthorizedDevice), errors.Is(err, authz.ErrNotManager):
+		return http.StatusForbidden
+	case errors.Is(err, node.ErrRateLimited):
+		return http.StatusTooManyRequests
+	case errors.Is(err, node.ErrWrongDifficulty):
+		return http.StatusPreconditionFailed
+	case errors.Is(err, tangle.ErrDuplicate):
+		return http.StatusConflict
+	case errors.Is(err, tangle.ErrUnknownParent):
+		return http.StatusUnprocessableEntity
+	default:
+		if strings.Contains(err.Error(), "verify transaction") {
+			return http.StatusBadRequest
+		}
+		return http.StatusInternalServerError
+	}
+}

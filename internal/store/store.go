@@ -1,0 +1,179 @@
+// Package store provides durable storage for a full node's ledger: an
+// append-only, checksummed write-ahead log of canonical transaction
+// encodings, replayed in attachment order at startup.
+//
+// The paper lists "storage limitations" among its open problems (§VIII);
+// this package addresses the durability half (a gateway restart must not
+// lose the tangle) and pairs with the credit ledger's Prune for the
+// growth half.
+//
+// Log format, per record:
+//
+//	magic  uint32 = 0xB10C0DE5
+//	length uint32 (big endian)   — length of data
+//	crc32  uint32 (Castagnoli)   — over data
+//	data   []byte                — txn.Encode() bytes
+//
+// Torn tails (a crash mid-append) are detected via magic/length/CRC and
+// truncated away on open; everything before the tear replays.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/b-iot/biot/internal/txn"
+)
+
+const (
+	recordMagic  uint32 = 0xB10C0DE5
+	headerSize          = 12
+	maxRecordLen        = txn.MaxPayloadSize + 4096 // payload + envelope slack
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only transaction log. Safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	n    int // records written (including replayed)
+}
+
+// Errors.
+var (
+	ErrClosed      = errors.New("transaction log closed")
+	ErrCorruptLog  = errors.New("transaction log corrupt")
+	ErrRecordLarge = errors.New("transaction record exceeds maximum size")
+)
+
+// Open opens (creating if needed) the log at path, replays every intact
+// record through apply in order, truncates any torn tail, and leaves the
+// log ready for appends. apply errors abort the open (a record that no
+// longer applies indicates a foreign or corrupt log).
+func Open(path string, apply func(*txn.Transaction) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open tx log: %w", err)
+	}
+	l := &Log{f: f, path: path}
+
+	validLen, count, err := l.replay(apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seek log end: %w", err)
+	}
+	l.n = count
+	return l, nil
+}
+
+// replay reads records from the start, calling apply for each intact
+// one. It returns the byte offset of the last intact record's end.
+func (l *Log) replay(apply func(*txn.Transaction) error) (validLen int64, count int, err error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("seek log start: %w", err)
+	}
+	var offset int64
+	header := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(l.f, header); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return offset, count, nil // clean end or torn header
+			}
+			return 0, 0, fmt.Errorf("read record header: %w", err)
+		}
+		if binary.BigEndian.Uint32(header[0:4]) != recordMagic {
+			return offset, count, nil // tear or garbage: stop here
+		}
+		length := binary.BigEndian.Uint32(header[4:8])
+		if length == 0 || length > maxRecordLen {
+			return offset, count, nil
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(l.f, data); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return offset, count, nil // torn body
+			}
+			return 0, 0, fmt.Errorf("read record body: %w", err)
+		}
+		if crc32.Checksum(data, castagnoli) != binary.BigEndian.Uint32(header[8:12]) {
+			return offset, count, nil // corrupt record: treat as tear
+		}
+		t, err := txn.Decode(data)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: undecodable record at %d: %v",
+				ErrCorruptLog, offset, err)
+		}
+		if apply != nil {
+			if err := apply(t); err != nil {
+				return 0, 0, fmt.Errorf("replay record at %d: %w", offset, err)
+			}
+		}
+		offset += headerSize + int64(length)
+		count++
+	}
+}
+
+// Append durably records a transaction. The record is synced to stable
+// storage before Append returns.
+func (l *Log) Append(t *txn.Transaction) error {
+	data := t.Encode()
+	if len(data) > maxRecordLen {
+		return fmt.Errorf("%w: %d bytes", ErrRecordLarge, len(data))
+	}
+	buf := make([]byte, headerSize+len(data))
+	binary.BigEndian.PutUint32(buf[0:4], recordMagic)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(data)))
+	binary.BigEndian.PutUint32(buf[8:12], crc32.Checksum(data, castagnoli))
+	copy(buf[headerSize:], data)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("append tx record: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("sync tx log: %w", err)
+	}
+	l.n++
+	return nil
+}
+
+// Len returns the number of records in the log (replayed + appended).
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close releases the file handle.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

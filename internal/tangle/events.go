@@ -1,0 +1,94 @@
+package tangle
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+// EventKind classifies ledger events surfaced to observers.
+type EventKind int
+
+const (
+	// EventConfirmed fires when a transaction's cumulative weight
+	// crosses the confirmation threshold.
+	EventConfirmed EventKind = iota + 1
+	// EventLazyTips fires when a submission approves two stale,
+	// already-approved parents (§III "lazy tips").
+	EventLazyTips
+	// EventDoubleSpend fires when a transfer conflicts with an earlier
+	// spend of the same (account, seq) resource (§III).
+	EventDoubleSpend
+	// EventRejected fires when a transaction loses conflict resolution.
+	EventRejected
+	// EventApproved fires for each parent of a newly attached
+	// transaction; Weight carries the parent's updated validation weight
+	// w_k = 1 + direct approvers (consumed by the credit ledger, which
+	// measures CrP by transaction weight).
+	EventApproved
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventConfirmed:
+		return "confirmed"
+	case EventLazyTips:
+		return "lazy-tips"
+	case EventDoubleSpend:
+		return "double-spend"
+	case EventRejected:
+		return "rejected"
+	case EventApproved:
+		return "approved"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is a ledger occurrence. Node is the account the event is
+// attributed to (for malicious events, the offender).
+type Event struct {
+	Kind    EventKind
+	Node    identity.Address
+	Tx      hashutil.Hash
+	Related []hashutil.Hash
+	At      time.Time
+	// Weight is set on EventApproved: the parent's updated w_k.
+	Weight float64
+}
+
+// Observer receives ledger events. Events are delivered synchronously
+// while the ledger lock is held, so event order always matches ledger
+// order; implementations must therefore not call back into the Tangle
+// from OnEvent — queue work instead.
+type Observer interface {
+	OnEvent(ev Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ev Event)
+
+var _ Observer = ObserverFunc(nil)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
+
+// Observe registers an observer for subsequent events. Not safe to call
+// concurrently with Attach; register observers during setup.
+func (t *Tangle) Observe(o Observer) {
+	t.observers = append(t.observers, o)
+}
+
+// notifyLocked delivers events to observers. Called with t.mu held; the
+// Observer contract forbids re-entry, so holding the lock is safe and
+// keeps event order identical to ledger order.
+func (t *Tangle) notifyLocked(events []Event) {
+	for _, ev := range events {
+		for _, o := range t.observers {
+			o.OnEvent(ev)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package tangle
+
+import (
+	"errors"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Local snapshots bound ledger memory — the storage-growth half of the
+// paper's §VIII "storage limitations" problem (the durability half is
+// internal/store). Old, confirmed, fully-approved transactions are
+// dropped from the in-memory DAG; only their 32-byte IDs are retained in
+// a snapshotted set, preserving three safety properties:
+//
+//  1. duplicate suppression — a dropped transaction cannot be re-attached;
+//  2. double-spend finality — a new spend conflicting with a dropped
+//     (confirmed) spender still loses: the spend index outlives the
+//     vertex and a snapshotted group member always wins resolution;
+//  3. lazy-tip hygiene — attaching to a snapshotted parent is rejected
+//     outright (ErrSnapshottedParent): honest devices approve tips,
+//     which are never snapshotted, so only attackers pinning ancient
+//     parents and out-of-date sync peers ever see this error.
+//
+// The trade-off, as with IOTA's local snapshots: a freshly joining node
+// cannot replay pre-snapshot history from a snapshotted peer; it must
+// bootstrap from a full peer (or a snapshot exchange, which this
+// implementation leaves to deployments).
+
+// ErrSnapshottedParent reports an attachment to a pruned parent.
+var ErrSnapshottedParent = errors.New("parent transaction was snapshotted away")
+
+// Snapshot drops confirmed transactions attached before now−keep whose
+// direct approvers are all themselves confirmed or rejected. Genesis and
+// tips are always retained. It returns the number of dropped vertices.
+func (t *Tangle) Snapshot(now time.Time, keep time.Duration) int {
+	cutoff := now.Add(-keep)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	var drop []hashutil.Hash
+	for id, v := range t.vertices {
+		if v.status != StatusConfirmed || v.tx.Kind == txn.KindGenesis {
+			continue
+		}
+		if _, isTip := t.tips[id]; isTip {
+			continue
+		}
+		if !v.attachedAt.Before(cutoff) {
+			continue
+		}
+		settled := true
+		for _, aid := range v.approvers {
+			a, ok := t.vertices[aid]
+			if ok && a.status == StatusPending {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			drop = append(drop, id)
+		}
+	}
+	if len(drop) == 0 {
+		return 0
+	}
+
+	for _, id := range drop {
+		delete(t.vertices, id)
+		t.snapshotted[id] = struct{}{}
+	}
+
+	// Rebuild the attachment order and kind indexes without the
+	// dropped vertices.
+	retained := t.order[:0]
+	for _, id := range t.order {
+		if _, ok := t.vertices[id]; ok {
+			retained = append(retained, id)
+		}
+	}
+	t.order = retained
+	for kind, ids := range t.byKind {
+		kept := ids[:0]
+		for _, id := range ids {
+			if _, ok := t.vertices[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		t.byKind[kind] = kept
+	}
+	return len(drop)
+}
+
+// SnapshottedCount returns how many transaction IDs live only in the
+// snapshot set.
+func (t *Tangle) SnapshottedCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.snapshotted)
+}
+
+// WasSnapshotted reports whether id was pruned by a local snapshot.
+func (t *Tangle) WasSnapshotted(id hashutil.Hash) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.snapshotted[id]
+	return ok
+}

@@ -1,0 +1,536 @@
+// Package tangle implements the DAG-structured distributed ledger that
+// B-IoT is built on (paper §II-B, §IV-A4).
+//
+// There are no blocks: each transaction is a vertex that approves two
+// former transactions ("tips"). New transactions are attached after
+// validating their parents; every transaction accumulates weight as newer
+// transactions directly or indirectly approve it, and is confirmed once
+// its cumulative weight passes a threshold — the tangle analogue of
+// Bitcoin's six-block security.
+//
+// The package also houses the ledger-level detectors for the paper's
+// §III threat model: double-spend conflicts (resolved by cumulative
+// weight) and lazy-tip behaviour (approving a fixed pair of very old
+// transactions). Detections are emitted as Events that the node layer
+// feeds into the credit ledger.
+package tangle
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Config tunes ledger behaviour.
+type Config struct {
+	// ConfirmationWeight is the cumulative weight at which a transaction
+	// is considered confirmed (irreversible for practical purposes).
+	ConfirmationWeight int
+
+	// LazyParentAge: a parent approved this long before attach time is
+	// considered "very old"; approving two such parents is lazy-tip
+	// behaviour (unless the parents were still tips, i.e. the tangle is
+	// quiet).
+	LazyParentAge time.Duration
+
+	// Seed seeds tip selection. Zero selects a fixed default so runs
+	// are reproducible unless explicitly randomized.
+	Seed int64
+}
+
+// DefaultConfig returns production-ish defaults: confirmation at
+// cumulative weight 5, lazy threshold 30 s.
+func DefaultConfig() Config {
+	return Config{
+		ConfirmationWeight: 5,
+		LazyParentAge:      30 * time.Second,
+	}
+}
+
+// Validate checks config sanity.
+func (c Config) Validate() error {
+	if c.ConfirmationWeight < 1 {
+		return fmt.Errorf("confirmation weight %d must be ≥ 1", c.ConfirmationWeight)
+	}
+	if c.LazyParentAge <= 0 {
+		return fmt.Errorf("lazy parent age %v must be positive", c.LazyParentAge)
+	}
+	return nil
+}
+
+// Status describes a vertex's ledger state.
+type Status int
+
+const (
+	// StatusPending: attached, accumulating weight.
+	StatusPending Status = iota + 1
+	// StatusConfirmed: cumulative weight passed the threshold.
+	StatusConfirmed
+	// StatusRejected: lost a double-spend conflict.
+	StatusRejected
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusConfirmed:
+		return "confirmed"
+	case StatusRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+type vertex struct {
+	tx         *txn.Transaction
+	id         hashutil.Hash
+	approvers  []hashutil.Hash
+	cumWeight  int
+	status     Status
+	attachedAt time.Time
+	// firstApprovedAt is when the vertex gained its first approver
+	// (left the tip pool); zero while still a tip.
+	firstApprovedAt time.Time
+}
+
+// Info is the public view of a vertex.
+type Info struct {
+	ID               hashutil.Hash
+	Sender           identity.Address
+	Kind             txn.Kind
+	Status           Status
+	DirectApprovers  int
+	CumulativeWeight int
+	AttachedAt       time.Time
+}
+
+// Tangle is the DAG ledger. Safe for concurrent use.
+type Tangle struct {
+	cfg Config
+	clk clock.Clock
+
+	mu       sync.RWMutex
+	vertices map[hashutil.Hash]*vertex
+	tips     map[hashutil.Hash]struct{}
+	order    []hashutil.Hash // attachment order, for sync/export
+	byKind   map[txn.Kind][]hashutil.Hash
+	spends   map[txn.SpendKey][]hashutil.Hash
+	// snapshotted holds the IDs of vertices pruned by local snapshots
+	// (see snapshot.go).
+	snapshotted map[hashutil.Hash]struct{}
+	genesis     [2]hashutil.Hash
+	rng         *rand.Rand
+
+	observers []Observer
+}
+
+// Attach errors.
+var (
+	ErrDuplicate     = errors.New("transaction already attached")
+	ErrUnknownParent = errors.New("parent transaction not in tangle")
+	ErrUnknownTx     = errors.New("transaction not in tangle")
+)
+
+// GenesisTransactions derives the two genesis transactions for a
+// deployment from the manager's public key ("the public key of the
+// manager will be hard-coded into genesis config of blockchain"). The
+// derivation is deterministic and unsigned — genesis is trusted by fiat
+// and pinned, so every full node configured with the same manager key
+// computes identical genesis IDs and can sync.
+func GenesisTransactions(managerPub identity.PublicKey) [2]*txn.Transaction {
+	var out [2]*txn.Transaction
+	for i := 0; i < 2; i++ {
+		out[i] = &txn.Transaction{
+			Kind:      txn.KindGenesis,
+			Timestamp: time.Unix(0, 0).UTC(),
+			Issuer:    append(identity.PublicKey(nil), managerPub...),
+			Payload:   []byte(fmt.Sprintf("b-iot genesis %d", i)),
+		}
+	}
+	return out
+}
+
+// New creates a tangle bootstrapped with the two deterministic genesis
+// transactions of the deployment identified by managerPub.
+func New(cfg Config, managerPub identity.PublicKey, clk clock.Clock) (*Tangle, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("tangle config: %w", err)
+	}
+	if len(managerPub) == 0 {
+		return nil, errors.New("tangle requires the manager public key")
+	}
+	if clk == nil {
+		clk = clock.Real()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0xB107 // fixed default: reproducible runs
+	}
+	t := &Tangle{
+		cfg:         cfg,
+		clk:         clk,
+		vertices:    make(map[hashutil.Hash]*vertex),
+		tips:        make(map[hashutil.Hash]struct{}),
+		byKind:      make(map[txn.Kind][]hashutil.Hash),
+		spends:      make(map[txn.SpendKey][]hashutil.Hash),
+		snapshotted: make(map[hashutil.Hash]struct{}),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	now := clk.Now()
+	for i, g := range GenesisTransactions(managerPub) {
+		id := g.ID()
+		t.vertices[id] = &vertex{
+			tx:         g,
+			id:         id,
+			status:     StatusConfirmed, // genesis is trusted by fiat
+			attachedAt: now,
+		}
+		t.tips[id] = struct{}{}
+		t.order = append(t.order, id)
+		t.byKind[txn.KindGenesis] = append(t.byKind[txn.KindGenesis], id)
+		t.genesis[i] = id
+	}
+	return t, nil
+}
+
+// Genesis returns the two genesis transaction IDs.
+func (t *Tangle) Genesis() [2]hashutil.Hash { return t.genesis }
+
+// Size returns the number of attached transactions (including genesis).
+func (t *Tangle) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.vertices)
+}
+
+// TipCount returns the current number of tips.
+func (t *Tangle) TipCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.tips)
+}
+
+// Contains reports whether id is attached.
+func (t *Tangle) Contains(id hashutil.Hash) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.vertices[id]
+	return ok
+}
+
+// Get returns the transaction with the given ID.
+func (t *Tangle) Get(id hashutil.Hash) (*txn.Transaction, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.vertices[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTx, id.Short())
+	}
+	return v.tx.Clone(), nil
+}
+
+// InfoOf returns the ledger view of the transaction with the given ID.
+func (t *Tangle) InfoOf(id hashutil.Hash) (Info, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.vertices[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %s", ErrUnknownTx, id.Short())
+	}
+	return t.infoLocked(v), nil
+}
+
+func (t *Tangle) infoLocked(v *vertex) Info {
+	return Info{
+		ID:               v.id,
+		Sender:           v.tx.Sender(),
+		Kind:             v.tx.Kind,
+		Status:           v.status,
+		DirectApprovers:  len(v.approvers),
+		CumulativeWeight: v.cumWeight,
+		AttachedAt:       v.attachedAt,
+	}
+}
+
+// Weight returns the paper's per-transaction weight w_k used by the
+// credit mechanism: 1 + the number of direct approvals the transaction
+// has received ("the weight of a transaction means the number of
+// validation to this transaction").
+func (t *Tangle) Weight(id hashutil.Hash) (float64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.vertices[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownTx, id.Short())
+	}
+	return 1 + float64(len(v.approvers)), nil
+}
+
+// Attach inserts tx into the tangle. The caller (the gateway layer) is
+// responsible for signature, PoW and authorization checks; Attach
+// enforces structural validity only. Detected lazy-tip behaviour and
+// double-spend conflicts are reported through observers; a conflicting
+// transaction is still attached (the DAG keeps both branches) but the
+// lighter branch is marked rejected.
+func (t *Tangle) Attach(tx *txn.Transaction) (Info, error) {
+	id := tx.ID()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if _, dup := t.vertices[id]; dup {
+		return Info{}, fmt.Errorf("%w: %s", ErrDuplicate, id.Short())
+	}
+	if _, snap := t.snapshotted[id]; snap {
+		return Info{}, fmt.Errorf("%w: %s (snapshotted)", ErrDuplicate, id.Short())
+	}
+	trunk, ok := t.vertices[tx.Trunk]
+	if !ok {
+		if _, snap := t.snapshotted[tx.Trunk]; snap {
+			return Info{}, fmt.Errorf("%w: trunk %s", ErrSnapshottedParent, tx.Trunk.Short())
+		}
+		return Info{}, fmt.Errorf("%w: trunk %s", ErrUnknownParent, tx.Trunk.Short())
+	}
+	branch, ok := t.vertices[tx.Branch]
+	if !ok {
+		if _, snap := t.snapshotted[tx.Branch]; snap {
+			return Info{}, fmt.Errorf("%w: branch %s", ErrSnapshottedParent, tx.Branch.Short())
+		}
+		return Info{}, fmt.Errorf("%w: branch %s", ErrUnknownParent, tx.Branch.Short())
+	}
+
+	now := t.clk.Now()
+	lazy := t.lazyParentsLocked(trunk, branch, now)
+
+	v := &vertex{
+		tx:         tx.Clone(),
+		id:         id,
+		status:     StatusPending,
+		attachedAt: now,
+	}
+	t.vertices[id] = v
+	t.order = append(t.order, id)
+	t.byKind[tx.Kind] = append(t.byKind[tx.Kind], id)
+
+	// Wire approvals and retire approved tips.
+	var events []Event
+	for _, p := range [...]*vertex{trunk, branch} {
+		p.approvers = append(p.approvers, id)
+		if p.firstApprovedAt.IsZero() {
+			p.firstApprovedAt = now
+		}
+		delete(t.tips, p.id)
+		if p.tx.Kind != txn.KindGenesis {
+			events = append(events, Event{
+				Kind:   EventApproved,
+				Node:   p.tx.Sender(),
+				Tx:     p.id,
+				At:     now,
+				Weight: 1 + float64(len(p.approvers)),
+			})
+		}
+		if trunk == branch {
+			break // same parent twice: count the approval once
+		}
+	}
+	t.tips[id] = struct{}{}
+
+	// Propagate cumulative weight to all (unfrozen) ancestors and
+	// confirm those that cross the threshold.
+	t.propagateWeightLocked(v)
+
+	if lazy {
+		events = append(events, Event{
+			Kind:    EventLazyTips,
+			Node:    tx.Sender(),
+			Tx:      id,
+			At:      now,
+			Related: []hashutil.Hash{tx.Trunk, tx.Branch},
+		})
+	}
+
+	// Double-spend bookkeeping for transfers.
+	if tx.Kind == txn.KindTransfer {
+		if tr, err := txn.TransferOf(tx); err == nil {
+			events = append(events, t.recordSpendLocked(v, tr, now)...)
+		}
+	}
+
+	info := t.infoLocked(v)
+	t.notifyLocked(events)
+	return info, nil
+}
+
+// lazyParentsLocked implements the §III "lazy tips" detector: both
+// parents were already approved (left the tip pool) longer ago than
+// LazyParentAge. A node approving parents that are still tips is by
+// definition contributing, however old those tips are.
+func (t *Tangle) lazyParentsLocked(trunk, branch *vertex, now time.Time) bool {
+	for _, p := range [...]*vertex{trunk, branch} {
+		if p.firstApprovedAt.IsZero() {
+			return false // still a tip
+		}
+		if now.Sub(p.firstApprovedAt) < t.cfg.LazyParentAge {
+			return false
+		}
+	}
+	return true
+}
+
+// propagateWeightLocked adds 1 to the cumulative weight of every
+// ancestor of v, confirming vertices that cross the threshold. Traversal
+// stops at confirmed vertices: their inclusion is already final, so
+// their weight is frozen — this bounds attach cost to the unconfirmed
+// frontier instead of the whole history.
+func (t *Tangle) propagateWeightLocked(v *vertex) {
+	v.cumWeight++ // own weight
+
+	stack := make([]hashutil.Hash, 0, 8)
+	visited := map[hashutil.Hash]struct{}{v.id: {}}
+	push := func(id hashutil.Hash) {
+		if _, seen := visited[id]; !seen {
+			visited[id] = struct{}{}
+			stack = append(stack, id)
+		}
+	}
+	push(v.tx.Trunk)
+	push(v.tx.Branch)
+
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		a, ok := t.vertices[id]
+		if !ok {
+			continue
+		}
+		a.cumWeight++
+		if a.status == StatusConfirmed {
+			continue // frozen: do not descend further
+		}
+		if a.cumWeight >= t.cfg.ConfirmationWeight && a.status == StatusPending {
+			a.status = StatusConfirmed
+			t.notifyLocked([]Event{{
+				Kind: EventConfirmed,
+				Node: a.tx.Sender(),
+				Tx:   a.id,
+				At:   t.clk.Now(),
+			}})
+		}
+		if a.tx.Kind != txn.KindGenesis {
+			push(a.tx.Trunk)
+			push(a.tx.Branch)
+		}
+	}
+}
+
+// Tips returns the current tip IDs in deterministic (sorted) order.
+func (t *Tangle) Tips() []hashutil.Hash {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]hashutil.Hash, 0, len(t.tips))
+	for id := range t.tips {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Export returns all transactions in attachment order, for syncing a
+// freshly joined full node. The slice and transactions are copies.
+func (t *Tangle) Export() []*txn.Transaction {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*txn.Transaction, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, t.vertices[id].tx.Clone())
+	}
+	return out
+}
+
+// ByKind returns the transactions of the given kind in attachment
+// order, starting at the given offset into that kind's history. Callers
+// poll with a moving offset to consume only new messages (the
+// key-distribution transport does this).
+func (t *Tangle) ByKind(kind txn.Kind, offset int) []*txn.Transaction {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := t.byKind[kind]
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(ids) {
+		return nil
+	}
+	out := make([]*txn.Transaction, 0, len(ids)-offset)
+	for _, id := range ids[offset:] {
+		out = append(out, t.vertices[id].tx.Clone())
+	}
+	return out
+}
+
+// CountByKind returns how many transactions of the given kind are
+// attached.
+func (t *Tangle) CountByKind(kind txn.Kind) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byKind[kind])
+}
+
+// Missing returns, from the given candidate IDs, those not yet attached.
+func (t *Tangle) Missing(ids []hashutil.Hash) []hashutil.Hash {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []hashutil.Hash
+	for _, id := range ids {
+		if _, ok := t.vertices[id]; !ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Stats summarizes ledger state for RPC/monitoring.
+type Stats struct {
+	Transactions int
+	Tips         int
+	Confirmed    int
+	Rejected     int
+	Conflicts    int
+	Snapshotted  int
+}
+
+// StatsNow computes current ledger statistics.
+func (t *Tangle) StatsNow() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Stats{
+		Transactions: len(t.vertices),
+		Tips:         len(t.tips),
+		Snapshotted:  len(t.snapshotted),
+	}
+	for _, v := range t.vertices {
+		switch v.status {
+		case StatusConfirmed:
+			s.Confirmed++
+		case StatusRejected:
+			s.Rejected++
+		}
+	}
+	for _, ids := range t.spends {
+		if len(ids) > 1 {
+			s.Conflicts++
+		}
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package tangle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// TipStrategy selects the two parents a new transaction will approve.
+type TipStrategy int
+
+const (
+	// StrategyUniform picks two tips uniformly at random (URTS) — the
+	// paper's Fig-6 step 4: "get two random tips information from
+	// gateways". Default.
+	StrategyUniform TipStrategy = iota + 1
+	// StrategyWeightedWalk runs two independent IOTA-style MCMC random
+	// walks from genesis toward the tips, biased by cumulative weight.
+	// It resists lazy-tip inflation: a walk rarely ends on an abandoned
+	// branch.
+	StrategyWeightedWalk
+)
+
+// String implements fmt.Stringer.
+func (s TipStrategy) String() string {
+	switch s {
+	case StrategyUniform:
+		return "uniform"
+	case StrategyWeightedWalk:
+		return "weighted-walk"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Valid reports whether s names an implemented strategy.
+func (s TipStrategy) Valid() bool {
+	return s == StrategyUniform || s == StrategyWeightedWalk
+}
+
+// ErrNoTips is returned when the tip pool is empty (cannot happen after
+// genesis unless every tip was rejected, which conflict resolution
+// prevents — but callers still handle it).
+var ErrNoTips = errors.New("tangle has no tips")
+
+// walkAlpha biases the MCMC walk: the probability of stepping to
+// approver j is proportional to exp(alpha * cumWeight_j).
+const walkAlpha = 0.05
+
+// SelectTips returns two parent IDs using the given strategy. The two
+// may coincide when only one tip exists.
+func (t *Tangle) SelectTips(strategy TipStrategy) (trunk, branch hashutil.Hash, err error) {
+	t.mu.Lock() // rng is not concurrency-safe: full lock
+	defer t.mu.Unlock()
+
+	if len(t.tips) == 0 {
+		return hashutil.Zero, hashutil.Zero, ErrNoTips
+	}
+	switch strategy {
+	case StrategyWeightedWalk:
+		trunk = t.weightedWalkLocked()
+		branch = t.weightedWalkLocked()
+	case StrategyUniform:
+		trunk = t.uniformTipLocked()
+		branch = t.uniformTipLocked()
+	default:
+		return hashutil.Zero, hashutil.Zero, fmt.Errorf("unknown tip strategy %v", strategy)
+	}
+	return trunk, branch, nil
+}
+
+func (t *Tangle) uniformTipLocked() hashutil.Hash {
+	// Deterministic iteration: collect and sort, then sample. The tip
+	// pool is small (tips are consumed as fast as they are produced),
+	// so the sort cost is negligible next to PoW.
+	ids := make([]hashutil.Hash, 0, len(t.tips))
+	for id := range t.tips {
+		ids = append(ids, id)
+	}
+	sortHashes(ids)
+	return ids[t.rng.Intn(len(ids))]
+}
+
+// weightedWalkLocked performs one MCMC walk from a genesis vertex toward
+// the tips, stepping to approvers with probability ∝ exp(α·w).
+func (t *Tangle) weightedWalkLocked() hashutil.Hash {
+	cur := t.vertices[t.genesis[t.rng.Intn(2)]]
+	for {
+		next := t.stepLocked(cur)
+		if next == nil {
+			break
+		}
+		cur = next
+	}
+	if _, isTip := t.tips[cur.id]; !isTip {
+		// Walk ended on a vertex whose approvers are all rejected;
+		// fall back to uniform selection.
+		return t.uniformTipLocked()
+	}
+	return cur.id
+}
+
+func (t *Tangle) stepLocked(cur *vertex) *vertex {
+	candidates := make([]*vertex, 0, len(cur.approvers))
+	for _, id := range cur.approvers {
+		a := t.vertices[id]
+		if a != nil && a.status != StatusRejected {
+			candidates = append(candidates, a)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Softmax over cumulative weights, stabilized by the max.
+	maxW := candidates[0].cumWeight
+	for _, c := range candidates[1:] {
+		if c.cumWeight > maxW {
+			maxW = c.cumWeight
+		}
+	}
+	weights := make([]float64, len(candidates))
+	var total float64
+	for i, c := range candidates {
+		weights[i] = math.Exp(walkAlpha * float64(c.cumWeight-maxW))
+		total += weights[i]
+	}
+	r := t.rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return candidates[i]
+		}
+	}
+	return candidates[len(candidates)-1]
+}
+
+// OldestApproved returns the ID of the oldest already-approved,
+// non-genesis transaction — the favourite parent of a lazy attacker.
+// Used by the attack injectors; returns false when every non-genesis
+// vertex is still a tip.
+func (t *Tangle) OldestApproved() (hashutil.Hash, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var best *vertex
+	for _, v := range t.vertices {
+		if v.firstApprovedAt.IsZero() || v.tx.Kind == txn.KindGenesis {
+			continue
+		}
+		if best == nil ||
+			v.firstApprovedAt.Before(best.firstApprovedAt) ||
+			(v.firstApprovedAt.Equal(best.firstApprovedAt) && v.id.Compare(best.id) < 0) {
+			best = v
+		}
+	}
+	if best == nil {
+		return hashutil.Zero, false
+	}
+	return best.id, true
+}
+
+func sortHashes(ids []hashutil.Hash) {
+	// Insertion sort: tip pools are small and usually nearly sorted.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j].Compare(ids[j-1]) < 0; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package txn
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+// FuzzDecode checks that the canonical decoder never panics and that
+// any input it accepts re-encodes to the identical byte string (the
+// codec is bijective on its accepted set — the property that makes
+// ID() well-defined across the wire).
+func FuzzDecode(f *testing.F) {
+	key, err := identity.Generate()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed := &Transaction{
+		Trunk:     hashutil.Sum([]byte("t")),
+		Branch:    hashutil.Sum([]byte("b")),
+		Timestamp: time.Unix(1_700_000_000, 42),
+		Kind:      KindData,
+		Payload:   []byte("sensor=temperature;value=20"),
+		Nonce:     12345,
+	}
+	seed.Sign(key)
+	f.Add(seed.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xB1, 0x07})
+	f.Add(bytes.Repeat([]byte{0xFF}, 200))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(decoded.Encode(), data) {
+			t.Fatalf("accepted input does not round-trip")
+		}
+		// ID must be stable under clone.
+		if decoded.Clone().ID() != decoded.ID() {
+			t.Fatal("clone changed the ID")
+		}
+	})
+}
+
+// FuzzDecodeTransfer checks the transfer-body parser.
+func FuzzDecodeTransfer(f *testing.F) {
+	f.Add(EncodeTransfer(Transfer{Amount: 1, Seq: 2}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTransfer(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeTransfer(tr), data) {
+			t.Fatal("transfer round trip mismatch")
+		}
+	})
+}

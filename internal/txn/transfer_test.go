@@ -1,0 +1,101 @@
+package txn
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+func TestTransferRoundTrip(t *testing.T) {
+	check := func(to hashutil.Hash, amount, seq uint64) bool {
+		tr := Transfer{To: to, Amount: amount, Seq: seq}
+		got, err := DecodeTransfer(EncodeTransfer(tr))
+		return err == nil && got == tr
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTransferErrors(t *testing.T) {
+	for _, n := range []int{0, 1, 47, 49, 100} {
+		if _, err := DecodeTransfer(make([]byte, n)); err == nil {
+			t.Errorf("decoded transfer of %d bytes", n)
+		}
+	}
+}
+
+func transferTx(t *testing.T, key *identity.KeyPair, tr Transfer) *Transaction {
+	t.Helper()
+	tx := &Transaction{
+		Trunk:     hashutil.Sum([]byte("t")),
+		Branch:    hashutil.Sum([]byte("b")),
+		Timestamp: time.Unix(1, 0),
+		Kind:      KindTransfer,
+		Payload:   EncodeTransfer(tr),
+	}
+	tx.Sign(key)
+	return tx
+}
+
+func TestTransferOf(t *testing.T) {
+	key := mustKey(t)
+	to := identity.AddressOf(key.Public())
+	tx := transferTx(t, key, Transfer{To: to, Amount: 5, Seq: 3})
+	got, err := TransferOf(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Amount != 5 || got.Seq != 3 || got.To != to {
+		t.Errorf("TransferOf = %+v", got)
+	}
+}
+
+func TestTransferOfRejectsWrongKind(t *testing.T) {
+	key := mustKey(t)
+	tx := transferTx(t, key, Transfer{Amount: 5})
+	tx.Kind = KindData
+	if _, err := TransferOf(tx); err == nil {
+		t.Error("non-transfer accepted")
+	}
+}
+
+func TestTransferOfRejectsZeroAmount(t *testing.T) {
+	key := mustKey(t)
+	tx := transferTx(t, key, Transfer{Amount: 0, Seq: 1})
+	if _, err := TransferOf(tx); err == nil {
+		t.Error("zero-amount transfer accepted")
+	}
+}
+
+func TestTransferOfRejectsMalformedBody(t *testing.T) {
+	key := mustKey(t)
+	tx := transferTx(t, key, Transfer{Amount: 1})
+	tx.Payload = tx.Payload[:10]
+	if _, err := TransferOf(tx); err == nil {
+		t.Error("malformed body accepted")
+	}
+}
+
+func TestSpendKeyOf(t *testing.T) {
+	key := mustKey(t)
+	tr := Transfer{Amount: 1, Seq: 9}
+	tx := transferTx(t, key, tr)
+	sk := SpendKeyOf(tx, tr)
+	if sk.Account != key.Address() || sk.Seq != 9 {
+		t.Errorf("SpendKeyOf = %+v", sk)
+	}
+	// Two txs with the same (account, seq) share the spend key — the
+	// double-spend resource.
+	tx2 := transferTx(t, key, Transfer{To: hashutil.Sum([]byte("v")), Amount: 2, Seq: 9})
+	tr2, err := TransferOf(tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SpendKeyOf(tx2, tr2) != sk {
+		t.Error("same (account, seq) produced different spend keys")
+	}
+}

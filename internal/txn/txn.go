@@ -1,0 +1,195 @@
+// Package txn defines the B-IoT transaction model.
+//
+// In a DAG-structured blockchain there are no blocks: "each transaction
+// is an individual node linked in the distributed ledger" (paper §II-B).
+// Every non-genesis transaction approves two former transactions (its
+// trunk and branch parents, the "tips" it validated) and carries a
+// proof-of-work nonce per Eqn 6:
+//
+//	output = hash{hash(TX1) || hash(TX2) || nonce}
+//
+// Transactions are signed by the issuing account and carry a typed
+// payload: sensor data (optionally encrypted), a token transfer, a
+// manager authorization list, or a key-distribution protocol message.
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+// Kind enumerates payload types carried by transactions.
+type Kind int
+
+const (
+	// KindData is a sensor-data report (possibly AES-encrypted).
+	KindData Kind = iota + 1
+	// KindTransfer moves tokens between accounts; it is the payload on
+	// which double-spending has concrete semantics.
+	KindTransfer
+	// KindAuthorization is a manager-signed device authorization list
+	// update (paper Eqn 1).
+	KindAuthorization
+	// KindKeyDist carries one message of the Fig-4 symmetric-key
+	// distribution protocol.
+	KindKeyDist
+	// KindGenesis marks the two genesis transactions that bootstrap the
+	// tangle.
+	KindGenesis
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindTransfer:
+		return "transfer"
+	case KindAuthorization:
+		return "authorization"
+	case KindKeyDist:
+		return "keydist"
+	case KindGenesis:
+		return "genesis"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is a known payload kind.
+func (k Kind) Valid() bool { return k >= KindData && k <= KindGenesis }
+
+// MaxPayloadSize bounds payload bytes accepted by validation. The paper
+// (§VI-B) observes "a 256 kilobytes data package is large enough for IoT
+// transmission"; we allow 1 MiB so the Fig-10 sweep's largest message
+// still fits in a single transaction.
+const MaxPayloadSize = 1 << 20
+
+// Transaction is one vertex of the tangle DAG.
+type Transaction struct {
+	// Trunk and Branch are the two approved parent transactions
+	// ("tips" at issue time). Genesis transactions reference Zero.
+	Trunk  hashutil.Hash
+	Branch hashutil.Hash
+
+	// Issuer is the Ed25519 public key of the issuing account.
+	Issuer identity.PublicKey
+	// Timestamp is the issue instant claimed by the issuer.
+	Timestamp time.Time
+
+	// Kind tags the payload; Payload is the kind-specific body.
+	Kind    Kind
+	Payload []byte
+
+	// Nonce is the proof-of-work solution over (Trunk, Branch, Nonce).
+	Nonce uint64
+	// Signature is the issuer's Ed25519 signature over SigningBytes.
+	Signature []byte
+}
+
+// ID returns the transaction identity: the SHA-256 digest of the full
+// canonical encoding (parents, issuer, timestamp, payload, nonce,
+// signature). Any mutation changes the ID.
+func (t *Transaction) ID() hashutil.Hash {
+	return hashutil.Sum(t.Encode())
+}
+
+// Sender returns the issuing account's address.
+func (t *Transaction) Sender() identity.Address {
+	return identity.AddressOf(t.Issuer)
+}
+
+// PowDigest computes the Eqn-6 output for the transaction's parents and
+// the given nonce.
+func PowDigest(trunk, branch hashutil.Hash, nonce uint64) hashutil.Hash {
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	inner1 := hashutil.Sum(trunk[:])
+	inner2 := hashutil.Sum(branch[:])
+	return hashutil.SumConcat(inner1[:], inner2[:], nb[:])
+}
+
+// PowDigest returns the Eqn-6 output for this transaction's own nonce.
+func (t *Transaction) PowDigest() hashutil.Hash {
+	return PowDigest(t.Trunk, t.Branch, t.Nonce)
+}
+
+// SigningBytes returns the canonical byte string covered by the issuer's
+// signature: everything except the nonce and the signature itself. The
+// nonce is excluded because proof-of-work is computed after signing
+// (paper Fig 6 steps 4-5: validate tips, then bundle via PoW).
+func (t *Transaction) SigningBytes() []byte {
+	return t.encode(false)
+}
+
+// Sign signs the transaction with key and stores the signature. The
+// issuer field is set from the key; callers sign before running PoW.
+func (t *Transaction) Sign(key *identity.KeyPair) {
+	t.Issuer = key.Public()
+	t.Signature = key.Sign(t.SigningBytes())
+}
+
+// Validation errors. They are matched by gateways to decide whether a
+// submission is merely malformed or evidence of misbehaviour.
+var (
+	ErrNoIssuer         = errors.New("transaction has no issuer public key")
+	ErrBadKind          = errors.New("transaction has unknown payload kind")
+	ErrPayloadTooLarge  = errors.New("transaction payload exceeds maximum size")
+	ErrMissingParents   = errors.New("non-genesis transaction must approve two parents")
+	ErrSelfParent       = errors.New("transaction approves itself")
+	ErrBadTxSignature   = errors.New("transaction signature invalid")
+	ErrInsufficientWork = errors.New("proof of work does not meet required difficulty")
+	ErrGenesisParents   = errors.New("genesis transaction must reference zero parents")
+)
+
+// VerifyBasic checks structural integrity and the issuer signature. It
+// does not check proof-of-work (difficulty is per-node under the
+// credit-based mechanism; see VerifyPoW) nor ledger semantics.
+func (t *Transaction) VerifyBasic() error {
+	if len(t.Issuer) == 0 {
+		return ErrNoIssuer
+	}
+	if !t.Kind.Valid() {
+		return ErrBadKind
+	}
+	if len(t.Payload) > MaxPayloadSize {
+		return fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(t.Payload))
+	}
+	if t.Kind == KindGenesis {
+		if !t.Trunk.IsZero() || !t.Branch.IsZero() {
+			return ErrGenesisParents
+		}
+	} else {
+		if t.Trunk.IsZero() || t.Branch.IsZero() {
+			return ErrMissingParents
+		}
+	}
+	if err := identity.Verify(t.Issuer, t.SigningBytes(), t.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTxSignature, err)
+	}
+	return nil
+}
+
+// VerifyPoW checks that the transaction's nonce satisfies the given
+// difficulty (leading zero bits of the Eqn-6 output).
+func (t *Transaction) VerifyPoW(difficulty int) error {
+	if !t.PowDigest().MeetsDifficulty(difficulty) {
+		return fmt.Errorf("%w: have %d bits, need %d",
+			ErrInsufficientWork, t.PowDigest().LeadingZeroBits(), difficulty)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the transaction.
+func (t *Transaction) Clone() *Transaction {
+	cp := *t
+	cp.Issuer = append(identity.PublicKey(nil), t.Issuer...)
+	cp.Payload = append([]byte(nil), t.Payload...)
+	cp.Signature = append([]byte(nil), t.Signature...)
+	return &cp
+}
