@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench figures examples fuzz clean
+.PHONY: all build vet test test-short race cover bench figures examples fuzz clean
 
 all: build vet test
 
@@ -12,8 +12,14 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The default test run is race-enabled: the submission pipeline is
+# concurrent by design, so a non-race pass proves little.
 test:
-	$(GO) test ./...
+	$(GO) test -race ./...
+
+# Fast feedback loop: no race detector, skip the long soak/stress tests.
+test-short:
+	$(GO) test -short ./...
 
 race:
 	$(GO) test -race ./...
@@ -23,8 +29,11 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # One testing.B bench per paper figure + ablations (laptop-scale).
+# Also snapshots the submission-pipeline scaling curve to
+# BENCH_pipeline.json for machine consumption.
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
+	$(GO) run ./cmd/biot-bench -fig pipeline -quick -json BENCH_pipeline.json
 
 # Regenerate every paper figure with full (Pi-emulated) parameters.
 figures:
@@ -44,6 +53,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzDecodeTransfer$$' -fuzztime=15s ./internal/txn/
 	$(GO) test -fuzz='^FuzzDecrypt$$' -fuzztime=30s ./internal/dataauth/
 	$(GO) test -fuzz='^FuzzOpenEnvelope$$' -fuzztime=15s ./internal/dataauth/
+	$(GO) test -fuzz='^FuzzDecodeMessage$$' -fuzztime=30s ./internal/gossip/
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt BENCH_pipeline.json

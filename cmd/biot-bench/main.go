@@ -14,7 +14,9 @@
 //	biot-bench -fig security           # §VI-C threat scenarios, measured
 //	biot-bench -fig throughput         # DAG vs chain baseline
 //	biot-bench -fig keydist            # Fig-4 protocol experiment
+//	biot-bench -fig pipeline           # parallel-submission scaling
 //	biot-bench -fig 9 -csv out.csv     # also write CSV
+//	biot-bench -fig pipeline -json BENCH_pipeline.json
 package main
 
 import (
@@ -35,24 +37,33 @@ type renderable interface {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, all")
 	quick := flag.Bool("quick", false, "CI-scale parameters (smaller sweeps, no device emulation)")
 	csvPath := flag.String("csv", "", "also write the result as CSV to this file (single figure only)")
+	jsonPath := flag.String("json", "", "also write the result as JSON to this file (single figure only; figures that support it)")
 	flag.Parse()
 
-	if err := run(*fig, *quick, *csvPath); err != nil {
+	if err := run(*fig, *quick, *csvPath, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "biot-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, quick bool, csvPath string) error {
+// jsonable is implemented by results with a machine-readable snapshot.
+type jsonable interface {
+	JSON(w io.Writer) error
+}
+
+func run(fig string, quick bool, csvPath, jsonPath string) error {
 	ctx := context.Background()
 	figs := []string{fig}
 	if fig == "all" {
-		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda"}
+		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline"}
 		if csvPath != "" {
 			return fmt.Errorf("-csv requires a single figure")
+		}
+		if jsonPath != "" {
+			return fmt.Errorf("-json requires a single figure")
 		}
 	}
 	for i, f := range figs {
@@ -79,6 +90,24 @@ func run(fig string, quick bool, csvPath string) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "csv written to %s\n", csvPath)
+		}
+		if jsonPath != "" {
+			j, ok := res.(jsonable)
+			if !ok {
+				return fmt.Errorf("figure %s has no JSON snapshot", f)
+			}
+			out, err := os.Create(jsonPath)
+			if err != nil {
+				return fmt.Errorf("create json: %w", err)
+			}
+			if err := j.JSON(out); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "json written to %s\n", jsonPath)
 		}
 	}
 	return nil
@@ -119,6 +148,12 @@ func runOne(ctx context.Context, fig string, quick bool) (renderable, error) {
 		return experiments.RunLambdaSweep(experiments.DefaultLambdaSweepConfig())
 	case "lazyresist":
 		return experiments.RunLazyResist(experiments.DefaultLazyResistConfig())
+	case "pipeline":
+		cfg := experiments.DefaultPipelineConfig()
+		if quick {
+			cfg = experiments.QuickPipelineConfig()
+		}
+		return experiments.RunPipeline(ctx, cfg)
 	case "scale":
 		cfg := experiments.DefaultScalabilityConfig()
 		if quick {

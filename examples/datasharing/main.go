@@ -90,6 +90,12 @@ func run() error {
 		fmt.Printf("factory A published config %s: %s\n", info.ID.Short(), reading.Blob)
 	}
 
+	// Broadcast is asynchronous; wait for fan-out before reading factory
+	// A's records through factory B's gateway.
+	if err := sys.Flush(ctx); err != nil {
+		return err
+	}
+
 	// Factory B fetches the records through its own gateway. Without
 	// the sharing key the payloads are opaque.
 	if _, err := readerB.FetchReading(published[0], nil); err != nil {

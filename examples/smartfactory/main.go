@@ -110,6 +110,11 @@ func run() error {
 			}
 		}
 	}
+	// Wait for cross-gateway fan-out before reading through the other
+	// gateway below.
+	if err := sys.Flush(ctx); err != nil {
+		return err
+	}
 	stats := sys.Stats()
 	fmt.Printf("posted readings: tangle has %d transactions (%d confirmed)\n",
 		stats.Transactions, stats.Confirmed)

@@ -206,7 +206,10 @@ func TestFacadeMultiGatewayConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Visible through gateway B immediately (synchronous bus).
+	// Broadcast is asynchronous; Flush is the cross-gateway barrier.
+	if err := sys.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
 	devB, err := sys.NewDevice(biot.DeviceConfig{Key: devA.Key()}, gwB)
 	if err != nil {
 		t.Fatal(err)

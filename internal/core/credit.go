@@ -78,6 +78,9 @@ func (l *Ledger) record(addr identity.Address) *nodeRecord {
 
 // RecordTransaction attributes a valid transaction with the given weight
 // to node addr at instant at. Weights are clamped to [0, MaxWeight].
+// Idempotent per ID: re-recording a known transaction keeps its original
+// instant and only ever grows its weight, so concurrent duplicate
+// deliveries (gossip + sync racing) cannot double-count.
 func (l *Ledger) RecordTransaction(addr identity.Address, id hashutil.Hash, weight float64, at time.Time) {
 	if weight < 0 {
 		weight = 0
@@ -88,7 +91,34 @@ func (l *Ledger) RecordTransaction(addr identity.Address, id hashutil.Hash, weig
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	rec := l.record(addr)
+	if idx, ok := rec.txIndex[id]; ok {
+		if weight > rec.txs[idx].Weight {
+			rec.txs[idx].Weight = weight
+		}
+		return
+	}
 	rec.insertTx(TxRecord{ID: id, Weight: weight, At: at})
+}
+
+// RemoveTransaction withdraws a previously recorded transaction — the
+// node layer records before DAG attachment (so approval events always
+// find the record) and must roll back when the attach fails.
+func (l *Ledger) RemoveTransaction(addr identity.Address, id hashutil.Hash) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.nodes[addr]
+	if !ok {
+		return
+	}
+	idx, ok := rec.txIndex[id]
+	if !ok {
+		return
+	}
+	rec.txs = append(rec.txs[:idx], rec.txs[idx+1:]...)
+	delete(rec.txIndex, id)
+	for i := idx; i < len(rec.txs); i++ {
+		rec.txIndex[rec.txs[i].ID] = i
+	}
 }
 
 // UpdateWeight revises the recorded weight of a transaction previously

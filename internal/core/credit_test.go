@@ -415,3 +415,43 @@ func TestLedgerConcurrentAccess(t *testing.T) {
 		t.Errorf("transactions = %d, want 800", l.TransactionCount(nodeA))
 	}
 }
+
+// TestRecordTransactionIdempotent checks the upsert semantics the node
+// layer relies on: duplicate records never double-count, weight only
+// grows, and a rolled-back record disappears without corrupting the
+// index.
+func TestRecordTransactionIdempotent(t *testing.T) {
+	l := mustLedger(t, DefaultParams())
+	now := t0
+	idA := txFixt(100)
+	idB := txFixt(101)
+
+	l.RecordTransaction(nodeA, idA, 1, now)
+	l.RecordTransaction(nodeA, idA, 1, now.Add(time.Second)) // duplicate delivery
+	if got := l.TransactionCount(nodeA); got != 1 {
+		t.Fatalf("duplicate record double-counted: %d records", got)
+	}
+	want := 1 / l.Params().DeltaT.Seconds()
+	if got := l.PositiveCredit(nodeA, now); got != want {
+		t.Errorf("CrP = %v, want %v", got, want)
+	}
+
+	// Re-recording with a larger weight grows it (and never shrinks).
+	l.RecordTransaction(nodeA, idA, 3, now.Add(time.Second))
+	l.RecordTransaction(nodeA, idA, 2, now.Add(2*time.Second))
+	if got, want := l.PositiveCredit(nodeA, now), 3/l.Params().DeltaT.Seconds(); got != want {
+		t.Errorf("CrP after growth = %v, want %v", got, want)
+	}
+
+	l.RecordTransaction(nodeA, idB, 1, now)
+	l.RemoveTransaction(nodeA, idA)
+	if got := l.TransactionCount(nodeA); got != 1 {
+		t.Fatalf("remove left %d records, want 1", got)
+	}
+	// The surviving record's index entry must still resolve.
+	l.UpdateWeight(nodeA, idB, 5)
+	if got, want := l.PositiveCredit(nodeA, now), 5/l.Params().DeltaT.Seconds(); got != want {
+		t.Errorf("CrP after remove+update = %v, want %v", got, want)
+	}
+	l.RemoveTransaction(nodeA, idA) // absent: no-op
+}

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/pow"
+)
+
+// PipelineConfig parameterizes the parallel-submission experiment: the
+// same gateway workload is replayed with a growing number of concurrent
+// submitters, measuring how the staged admission pipeline (lock-free
+// checks → short attach critical section → async batched fan-out)
+// scales across cores. The single-submitter row is the baseline the
+// speedup column is relative to.
+type PipelineConfig struct {
+	// SubmitterCounts lists the concurrency levels to measure; zero
+	// selects {1, 4, GOMAXPROCS}.
+	SubmitterCounts []int
+	// TxPerSubmitter is the fixed per-submitter workload.
+	TxPerSubmitter int
+	// Difficulty is the static PoW difficulty, high enough that hash
+	// work (the part that parallelizes) dominates framework overhead.
+	Difficulty int
+	// PayloadBytes sizes each data payload.
+	PayloadBytes int
+	// Peers attaches this many passive full nodes over an in-memory bus
+	// so the asynchronous broadcast stage carries real fan-out.
+	Peers int
+	// ThinkTime models the device's sensor acquisition interval before
+	// each submission. Concurrent submitters overlap it, so the measured
+	// scaling reflects the gateway pipeline's ability to serve many
+	// devices at once rather than only the host's core count (PoW mining
+	// is the part that needs spare cores to parallelize).
+	ThinkTime time.Duration
+}
+
+// DefaultPipelineConfig measures 1, 4 and GOMAXPROCS submitters.
+func DefaultPipelineConfig() PipelineConfig {
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	return PipelineConfig{
+		SubmitterCounts: counts,
+		TxPerSubmitter:  30,
+		Difficulty:      12,
+		PayloadBytes:    64,
+		Peers:           2,
+		ThinkTime:       5 * time.Millisecond,
+	}
+}
+
+// QuickPipelineConfig is a CI-friendly reduction.
+func QuickPipelineConfig() PipelineConfig {
+	cfg := DefaultPipelineConfig()
+	cfg.TxPerSubmitter = 10
+	cfg.Difficulty = 10
+	cfg.ThinkTime = 3 * time.Millisecond
+	return cfg
+}
+
+// PipelineRow is one concurrency level's measurement.
+type PipelineRow struct {
+	Submitters   int           `json:"submitters"`
+	Transactions int           `json:"transactions"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	TPS          float64       `json:"tps"`
+	// Speedup is TPS relative to the single-submitter baseline row.
+	Speedup float64 `json:"speedup"`
+	// MeanAdmit / MeanAttach are the gateway's per-stage latencies.
+	MeanAdmit  time.Duration `json:"mean_admit_ns"`
+	MeanAttach time.Duration `json:"mean_attach_ns"`
+	// MeanBatch is transactions per gossip datagram (coalescing factor).
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// PipelineResult is the scaling curve.
+type PipelineResult struct {
+	Config PipelineConfig `json:"config"`
+	Rows   []PipelineRow  `json:"rows"`
+}
+
+// RunPipeline measures submission throughput at each concurrency level.
+func RunPipeline(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
+	if len(cfg.SubmitterCounts) == 0 {
+		cfg.SubmitterCounts = DefaultPipelineConfig().SubmitterCounts
+	}
+	if cfg.TxPerSubmitter < 1 {
+		return nil, fmt.Errorf("pipeline workload must be positive")
+	}
+	res := &PipelineResult{Config: cfg}
+	for _, submitters := range cfg.SubmitterCounts {
+		row, err := runPipelineLevel(ctx, cfg, submitters)
+		if err != nil {
+			return nil, fmt.Errorf("submitters=%d: %w", submitters, err)
+		}
+		if len(res.Rows) > 0 && res.Rows[0].TPS > 0 {
+			row.Speedup = row.TPS / res.Rows[0].TPS
+		} else {
+			row.Speedup = 1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runPipelineLevel(ctx context.Context, cfg PipelineConfig, submitters int) (PipelineRow, error) {
+	bus := gossip.NewBus()
+	defer func() { _ = bus.Close() }()
+	managerKey, err := identity.Generate()
+	if err != nil {
+		return PipelineRow{}, err
+	}
+	params := core.DefaultParams()
+	params.InitialDifficulty = cfg.Difficulty
+	params.MinDifficulty = 1
+	params.MaxDifficulty = pow.MaxDifficulty
+	mgrNet, err := bus.Join("manager")
+	if err != nil {
+		return PipelineRow{}, err
+	}
+	full, err := node.NewFull(node.FullConfig{
+		Key:        managerKey,
+		Role:       identity.RoleManager,
+		ManagerPub: managerKey.Public(),
+		Credit:     params,
+		Policy:     core.StaticPolicy{Difficulty: cfg.Difficulty},
+		Network:    mgrNet,
+	})
+	if err != nil {
+		return PipelineRow{}, err
+	}
+	defer func() { _ = full.Close() }()
+	mgr, err := node.NewManager(full)
+	if err != nil {
+		return PipelineRow{}, err
+	}
+
+	// Passive peers receive the async fan-out, so the measurement
+	// includes real (batched) gossip work, not a null transport.
+	peers := make([]*node.FullNode, cfg.Peers)
+	for i := range peers {
+		peerKey, err := identity.Generate()
+		if err != nil {
+			return PipelineRow{}, err
+		}
+		peerNet, err := bus.Join(fmt.Sprintf("peer-%d", i))
+		if err != nil {
+			return PipelineRow{}, err
+		}
+		peers[i], err = node.NewFull(node.FullConfig{
+			Key:        peerKey,
+			Role:       identity.RoleGateway,
+			ManagerPub: managerKey.Public(),
+			Credit:     params,
+			Policy:     core.StaticPolicy{Difficulty: cfg.Difficulty},
+			Network:    peerNet,
+		})
+		if err != nil {
+			return PipelineRow{}, err
+		}
+		defer func(p *node.FullNode) { _ = p.Close() }(peers[i])
+	}
+
+	devices := make([]*node.LightNode, submitters)
+	for i := range devices {
+		key, err := identity.Generate()
+		if err != nil {
+			return PipelineRow{}, err
+		}
+		mgr.AuthorizeDevice(key.Public(), key.BoxPublic())
+		devices[i], err = node.NewLight(node.LightConfig{Key: key, Gateway: full})
+		if err != nil {
+			return PipelineRow{}, err
+		}
+	}
+	if _, err := mgr.PublishAuthorization(ctx); err != nil {
+		return PipelineRow{}, err
+	}
+
+	payload := make([]byte, cfg.PayloadBytes)
+	total := submitters * cfg.TxPerSubmitter
+	var wg sync.WaitGroup
+	errCh := make(chan error, submitters)
+	start := time.Now()
+	for _, dev := range devices {
+		dev := dev
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cfg.TxPerSubmitter; i++ {
+				if cfg.ThinkTime > 0 {
+					time.Sleep(cfg.ThinkTime) // sensor acquisition
+				}
+				if _, err := dev.PostReading(ctx, payload); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := full.FlushBroadcast(ctx); err != nil {
+		return PipelineRow{}, err
+	}
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return PipelineRow{}, err
+	default:
+	}
+
+	p := full.Pipeline()
+	meanBatch := 0.0
+	if b := p.BatchesSent.Value(); b > 0 {
+		meanBatch = float64(p.TxBroadcast.Value()) / float64(b)
+	}
+	return PipelineRow{
+		Submitters:   submitters,
+		Transactions: total,
+		Elapsed:      elapsed,
+		TPS:          float64(total) / elapsed.Seconds(),
+		MeanAdmit:    p.AdmitLatency.Summarize().Mean,
+		MeanAttach:   p.AttachLatency.Summarize().Mean,
+		MeanBatch:    meanBatch,
+	}, nil
+}
+
+// Render writes the scaling curve as an aligned table.
+func (r *PipelineResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Submission pipeline scaling — %d txs/submitter at difficulty %d, %d gossip peers\n",
+		r.Config.TxPerSubmitter, r.Config.Difficulty, r.Config.Peers); err != nil {
+		return err
+	}
+	t := &table{header: []string{"submitters", "txs", "elapsed_s", "tps", "speedup", "mean_admit_s", "mean_attach_s", "mean_batch"}}
+	for _, row := range r.Rows {
+		t.add(
+			fmt.Sprintf("%d", row.Submitters),
+			fmt.Sprintf("%d", row.Transactions),
+			fsec(row.Elapsed),
+			fmt.Sprintf("%.1f", row.TPS),
+			fmt.Sprintf("%.2f", row.Speedup),
+			fsec(row.MeanAdmit),
+			fsec(row.MeanAttach),
+			fmt.Sprintf("%.2f", row.MeanBatch),
+		)
+	}
+	return t.render(w)
+}
+
+// CSV writes the scaling curve as CSV.
+func (r *PipelineResult) CSV(w io.Writer) error {
+	t := &table{header: []string{"submitters", "txs", "elapsed_s", "tps", "speedup", "mean_admit_s", "mean_attach_s", "mean_batch"}}
+	for _, row := range r.Rows {
+		t.add(
+			fmt.Sprintf("%d", row.Submitters),
+			fmt.Sprintf("%d", row.Transactions),
+			fsec(row.Elapsed),
+			fmt.Sprintf("%.1f", row.TPS),
+			fmt.Sprintf("%.2f", row.Speedup),
+			fsec(row.MeanAdmit),
+			fsec(row.MeanAttach),
+			fmt.Sprintf("%.2f", row.MeanBatch))
+	}
+	return t.csv(w)
+}
+
+// JSON writes the scaling curve as a machine-readable snapshot
+// (BENCH_pipeline.json in the Makefile's bench target).
+func (r *PipelineResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

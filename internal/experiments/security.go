@@ -370,6 +370,11 @@ func runFailoverScenario(ctx context.Context, cfg SecurityConfig) (SecurityRow, 
 	if _, err := dev0.PostReading(ctx, []byte("before failure")); err != nil {
 		return SecurityRow{}, fmt.Errorf("post via gateway-0: %w", err)
 	}
+	// Drain gateway-0's async fan-out before failing it, so the pre-
+	// failure posting is replicated rather than lost with the node.
+	if err := gateways[0].FlushBroadcast(ctx); err != nil {
+		return SecurityRow{}, err
+	}
 
 	// Gateway 0 fails: isolate it from the network. The device
 	// reconnects to gateway 1 ("find closest gateway enabled RPC
@@ -382,6 +387,9 @@ func runFailoverScenario(ctx context.Context, cfg SecurityConfig) (SecurityRow, 
 	res, err := dev1.PostReading(ctx, []byte("after failure"))
 	if err != nil {
 		return SecurityRow{}, fmt.Errorf("post via gateway-1: %w", err)
+	}
+	if err := gateways[1].FlushBroadcast(ctx); err != nil {
+		return SecurityRow{}, err
 	}
 
 	// The surviving replicas hold the data.

@@ -1,0 +1,142 @@
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/b-iot/biot/internal/hashutil"
+)
+
+// Canonical binary codec for Message. One encoded Message is one
+// datagram on the wire; TxData carries any number of transaction
+// encodings, so a single datagram batches an arbitrary number of
+// gossiped transactions (the node layer's broadcaster coalesces its
+// queue into such batches).
+//
+// Layout (all integers are minimally encoded uvarints):
+//
+//	magic 0xB1 0x07 | version 0x01 | type | txCount | {len | bytes}* | haveCount | {32-byte hash}*
+//
+// The codec is bijective on its accepted set: any input DecodeMessage
+// accepts re-encodes to the identical byte string. That property is
+// fuzz-enforced and is what makes the format safe to hash, dedupe or
+// journal.
+
+const (
+	encMagic0  = 0xB1
+	encMagic1  = 0x07
+	encVersion = 0x01
+
+	// MaxMessageBytes bounds one datagram: framing rejects anything
+	// larger before buffering it (flood defense on the TCP transport).
+	MaxMessageBytes = 8 << 20
+)
+
+// Codec errors.
+var (
+	ErrBadMessage  = errors.New("malformed gossip message")
+	ErrMessageSize = errors.New("gossip message exceeds size limit")
+)
+
+// EncodeMessage renders msg in the canonical binary form.
+func EncodeMessage(msg Message) []byte {
+	size := 3 + binary.MaxVarintLen64*2
+	for _, tx := range msg.TxData {
+		size += binary.MaxVarintLen64 + len(tx)
+	}
+	size += binary.MaxVarintLen64 + len(msg.Have)*hashutil.Size
+	out := make([]byte, 0, size)
+
+	out = append(out, encMagic0, encMagic1, encVersion)
+	out = binary.AppendUvarint(out, uint64(msg.Type))
+	out = binary.AppendUvarint(out, uint64(len(msg.TxData)))
+	for _, tx := range msg.TxData {
+		out = binary.AppendUvarint(out, uint64(len(tx)))
+		out = append(out, tx...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(msg.Have)))
+	for _, h := range msg.Have {
+		out = append(out, h[:]...)
+	}
+	return out
+}
+
+// uvarint reads a minimally encoded uvarint; non-minimal encodings are
+// rejected so every accepted message has exactly one byte form.
+func uvarint(buf []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: truncated varint", ErrBadMessage)
+	}
+	if n > 1 && buf[n-1] == 0 {
+		return 0, 0, fmt.Errorf("%w: non-minimal varint", ErrBadMessage)
+	}
+	return v, n, nil
+}
+
+// DecodeMessage parses the canonical binary form. Inputs with trailing
+// bytes, oversized counts or non-minimal varints are rejected.
+func DecodeMessage(data []byte) (Message, error) {
+	if len(data) > MaxMessageBytes {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrMessageSize, len(data))
+	}
+	if len(data) < 3 || data[0] != encMagic0 || data[1] != encMagic1 {
+		return Message{}, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if data[2] != encVersion {
+		return Message{}, fmt.Errorf("%w: unsupported version %d", ErrBadMessage, data[2])
+	}
+	rest := data[3:]
+
+	typ, n, err := uvarint(rest)
+	if err != nil {
+		return Message{}, err
+	}
+	rest = rest[n:]
+
+	txCount, n, err := uvarint(rest)
+	if err != nil {
+		return Message{}, err
+	}
+	rest = rest[n:]
+	// Each entry needs at least its one-byte length prefix; this bounds
+	// the allocation below by the input length.
+	if txCount > uint64(len(rest)) {
+		return Message{}, fmt.Errorf("%w: tx count %d exceeds payload", ErrBadMessage, txCount)
+	}
+	var txData [][]byte
+	if txCount > 0 {
+		txData = make([][]byte, 0, txCount)
+	}
+	for i := uint64(0); i < txCount; i++ {
+		l, n, err := uvarint(rest)
+		if err != nil {
+			return Message{}, err
+		}
+		rest = rest[n:]
+		if l > uint64(len(rest)) {
+			return Message{}, fmt.Errorf("%w: tx entry truncated", ErrBadMessage)
+		}
+		txData = append(txData, append([]byte(nil), rest[:l]...))
+		rest = rest[l:]
+	}
+
+	haveCount, n, err := uvarint(rest)
+	if err != nil {
+		return Message{}, err
+	}
+	rest = rest[n:]
+	if haveCount > uint64(len(rest)/hashutil.Size) || haveCount*hashutil.Size != uint64(len(rest)) {
+		return Message{}, fmt.Errorf("%w: have section length mismatch", ErrBadMessage)
+	}
+	var have []hashutil.Hash
+	if haveCount > 0 {
+		have = make([]hashutil.Hash, haveCount)
+		for i := range have {
+			copy(have[i][:], rest[:hashutil.Size])
+			rest = rest[hashutil.Size:]
+		}
+	}
+	return Message{Type: MsgType(typ), TxData: txData, Have: have}, nil
+}

@@ -1,0 +1,77 @@
+package gossip
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/b-iot/biot/internal/hashutil"
+)
+
+func sampleMessages() []Message {
+	return []Message{
+		{},
+		{Type: MsgTransaction, TxData: [][]byte{{1, 2, 3}}},
+		{Type: MsgTransaction, TxData: [][]byte{{1}, {2, 2}, {}, bytes.Repeat([]byte{0xAB}, 300)}},
+		{Type: MsgSyncRequest, Have: []hashutil.Hash{hashutil.Sum([]byte("a")), hashutil.Sum([]byte("b"))}},
+		{Type: MsgSyncResponse, TxData: [][]byte{bytes.Repeat([]byte{7}, 1000)}, Have: []hashutil.Hash{{}}},
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	for i, msg := range sampleMessages() {
+		raw := EncodeMessage(msg)
+		got, err := DecodeMessage(raw)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.Type != msg.Type || len(got.TxData) != len(msg.TxData) || len(got.Have) != len(msg.Have) {
+			t.Fatalf("case %d: round trip mismatch: %+v vs %+v", i, got, msg)
+		}
+		for j := range msg.TxData {
+			if !bytes.Equal(got.TxData[j], msg.TxData[j]) {
+				t.Errorf("case %d: tx %d mismatch", i, j)
+			}
+		}
+		for j := range msg.Have {
+			if got.Have[j] != msg.Have[j] {
+				t.Errorf("case %d: have %d mismatch", i, j)
+			}
+		}
+		// Canonical: re-encode reproduces the exact bytes.
+		if !bytes.Equal(EncodeMessage(got), raw) {
+			t.Errorf("case %d: re-encode differs", i)
+		}
+	}
+}
+
+func TestMessageDecodeRejects(t *testing.T) {
+	valid := EncodeMessage(Message{Type: MsgTransaction, TxData: [][]byte{{1, 2}}})
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte{0x00, 0x01, 0x01, 0x01, 0x00, 0x00}},
+		{"bad version", []byte{encMagic0, encMagic1, 0x7F, 0x01, 0x00, 0x00}},
+		{"truncated header", valid[:2]},
+		{"truncated body", valid[:len(valid)-1]},
+		{"trailing byte", append(append([]byte(nil), valid...), 0x00)},
+		{"tx count exceeds payload", []byte{encMagic0, encMagic1, encVersion, 0x01, 0xFF, 0x01, 0x00}},
+		{"non-minimal varint", []byte{encMagic0, encMagic1, encVersion, 0x81, 0x00, 0x00, 0x00}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeMessage(tc.data); !errors.Is(err, ErrBadMessage) {
+				t.Errorf("err = %v, want ErrBadMessage", err)
+			}
+		})
+	}
+}
+
+func TestMessageDecodeSizeLimit(t *testing.T) {
+	huge := make([]byte, MaxMessageBytes+1)
+	if _, err := DecodeMessage(huge); !errors.Is(err, ErrMessageSize) {
+		t.Errorf("err = %v, want ErrMessageSize", err)
+	}
+}

@@ -1,0 +1,69 @@
+package gossip_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// FuzzDecodeMessage checks that the batched gossip codec never panics
+// and is bijective on its accepted set: any accepted input re-encodes to
+// the identical byte string, and every carried transaction payload is
+// itself safe to hand to the txn decoder (the exact path inbound gossip
+// takes on a full node).
+func FuzzDecodeMessage(f *testing.F) {
+	key, err := identity.Generate()
+	if err != nil {
+		f.Fatal(err)
+	}
+	mkTx := func(payload string, nonce uint64) []byte {
+		t := &txn.Transaction{
+			Trunk:     hashutil.Sum([]byte("t")),
+			Branch:    hashutil.Sum([]byte("b")),
+			Timestamp: time.Unix(1_700_000_000, 42),
+			Kind:      txn.KindData,
+			Payload:   []byte(payload),
+			Nonce:     nonce,
+		}
+		t.Sign(key)
+		return t.Encode()
+	}
+	one := mkTx("sensor=temperature;value=20", 1)
+	two := mkTx("sensor=vibration;value=0.7", 2)
+
+	// Batched datagrams: multiple transactions per message, duplicated
+	// payloads, truncated payloads, sync requests.
+	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{one}}))
+	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{one, two}}))
+	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{one, one, one}}))
+	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{one[:len(one)/2], two}}))
+	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{append(append([]byte(nil), one...), one...)}}))
+	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgSyncRequest, Have: []hashutil.Hash{hashutil.Sum([]byte("h"))}}))
+	f.Add(gossip.EncodeMessage(gossip.Message{}))
+	f.Add([]byte{})
+	f.Add([]byte{0xB1, 0x07, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := gossip.DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(gossip.EncodeMessage(msg), data) {
+			t.Fatalf("accepted message does not round-trip")
+		}
+		for _, raw := range msg.TxData {
+			decoded, err := txn.Decode(raw)
+			if err != nil {
+				continue // a gateway skips undecodable entries
+			}
+			if !bytes.Equal(decoded.Encode(), raw) {
+				t.Fatalf("accepted tx payload does not round-trip")
+			}
+		}
+	})
+}

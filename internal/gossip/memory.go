@@ -137,7 +137,9 @@ func (p *BusPeer) SetHandler(h Handler) {
 func (p *BusPeer) Peers() []string {
 	p.bus.mu.RLock()
 	defer p.bus.mu.RUnlock()
-	out := make([]string, 0, len(p.bus.peers)-1)
+	// Not len-1: this peer may itself have left the bus already (an
+	// async pipeline can ask for peers after Close).
+	out := make([]string, 0, len(p.bus.peers))
 	for name := range p.bus.peers {
 		if name != p.name {
 			out = append(out, name)

@@ -3,18 +3,22 @@ package gossip
 import (
 	"bufio"
 	"context"
-	"encoding/json"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
 	"time"
 )
 
-// TCPNetwork implements Network over real sockets with a line-delimited
-// JSON protocol: each request is one JSON-encoded Message terminated by
-// '\n'; the peer answers with one JSON-encoded Message line (possibly an
-// empty object for fire-and-forget messages).
+// TCPNetwork implements Network over real sockets. Each exchange is one
+// length-prefixed datagram per direction: a 4-byte big-endian length
+// followed by one canonically encoded Message (see encode.go), which
+// batches any number of transaction payloads; the peer answers with one
+// datagram in the same framing (possibly an empty message for
+// fire-and-forget traffic). Frames above MaxMessageBytes are rejected
+// before buffering.
 //
 // Connections are one-shot (dial, exchange, close): simple, stateless,
 // and robust against peer restarts — appropriate for the
@@ -120,17 +124,45 @@ func (n *TCPNetwork) acceptLoop() {
 	}
 }
 
+// writeFrame sends one length-prefixed datagram.
+func writeFrame(conn net.Conn, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// readFrame receives one length-prefixed datagram, rejecting oversized
+// frames before buffering them.
+func readFrame(reader *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(reader, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxMessageBytes {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrMessageSize, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(reader, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
 func (n *TCPNetwork) serveConn(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(n.ioTO))
 
-	reader := bufio.NewReader(conn)
-	line, err := reader.ReadBytes('\n')
+	payload, err := readFrame(bufio.NewReader(conn))
 	if err != nil {
 		return
 	}
-	var msg Message
-	if err := json.Unmarshal(line, &msg); err != nil {
+	msg, err := DecodeMessage(payload)
+	if err != nil {
 		return
 	}
 	n.mu.RLock()
@@ -143,12 +175,7 @@ func (n *TCPNetwork) serveConn(conn net.Conn) {
 	if err != nil || reply == nil {
 		reply = &Message{} // empty ack
 	}
-	out, err := json.Marshal(reply)
-	if err != nil {
-		return
-	}
-	out = append(out, '\n')
-	_, _ = conn.Write(out)
+	_ = writeFrame(conn, EncodeMessage(*reply))
 }
 
 func (n *TCPNetwork) exchange(ctx context.Context, addr string, msg Message) (Message, error) {
@@ -170,20 +197,15 @@ func (n *TCPNetwork) exchange(ctx context.Context, addr string, msg Message) (Me
 	}
 	_ = conn.SetDeadline(deadline)
 
-	out, err := json.Marshal(msg)
-	if err != nil {
-		return Message{}, fmt.Errorf("marshal gossip message: %w", err)
-	}
-	out = append(out, '\n')
-	if _, err := conn.Write(out); err != nil {
+	if err := writeFrame(conn, EncodeMessage(msg)); err != nil {
 		return Message{}, fmt.Errorf("write to %s: %w", addr, err)
 	}
-	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	payload, err := readFrame(bufio.NewReader(conn))
 	if err != nil {
 		return Message{}, fmt.Errorf("read reply from %s: %w", addr, err)
 	}
-	var reply Message
-	if err := json.Unmarshal(line, &reply); err != nil {
+	reply, err := DecodeMessage(payload)
+	if err != nil {
 		return Message{}, fmt.Errorf("decode reply from %s: %w", addr, err)
 	}
 	return reply, nil

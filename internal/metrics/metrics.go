@@ -32,6 +32,27 @@ func (c *Counter) Add(delta int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
+// Gauge is an instantaneous level (queue depth, in-flight work). Unlike
+// Counter it moves in both directions. Safe for concurrent use.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add moves the gauge by delta (positive or negative).
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.n.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.n.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
 // Histogram collects duration samples and summarizes them. Safe for
 // concurrent use. Designed for experiment-scale sample counts (≤ 10^6).
 type Histogram struct {

@@ -36,6 +36,41 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	if got := g.Value(); got != 5 {
+		t.Errorf("value = %d, want 5", got)
+	}
+	g.Add(-100) // gauges may go negative (drained below a sampled level)
+	if got := g.Value(); got != -95 {
+		t.Errorf("value = %d, want -95", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("value = %d, want 0", got)
+	}
+}
+
 func TestHistogramSummary(t *testing.T) {
 	var h Histogram
 	if s := h.Summarize(); s.Count != 0 {

@@ -1,0 +1,309 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/metrics"
+)
+
+// Broadcast pipeline defaults (overridable through FullConfig).
+const (
+	defaultBroadcastQueue     = 1024
+	defaultBroadcastPeerQueue = 256
+	defaultBroadcastBatch     = 32
+)
+
+// ErrBroadcastBacklog reports that the node's asynchronous broadcast
+// queue is full. The submission was NOT admitted — the caller (a light
+// node) should back off and resubmit; this is the pipeline's
+// backpressure signal, distinct from rate limiting which is per-device.
+var ErrBroadcastBacklog = errors.New("gossip broadcast queue is full")
+
+// PipelineMetrics exposes the submission pipeline's observability
+// surface: per-stage latency histograms and queue instrumentation, so a
+// speedup (or a regression) is measurable rather than asserted.
+type PipelineMetrics struct {
+	// AdmitLatency covers the lock-free admission stage: structural,
+	// signature, authorization, rate-limit and PoW checks.
+	AdmitLatency *metrics.Histogram
+	// AttachLatency covers the short critical section: tangle attach +
+	// credit update (+ journal append).
+	AttachLatency *metrics.Histogram
+	// BroadcastLatency covers one batched peer send in the async stage.
+	BroadcastLatency *metrics.Histogram
+	// QueueDepth is the intake queue's current occupancy (reserved
+	// slots included).
+	QueueDepth *metrics.Gauge
+	// BatchesSent counts peer datagrams; TxBroadcast counts the
+	// transactions they carried (TxBroadcast/BatchesSent = mean batch).
+	BatchesSent *metrics.Counter
+	TxBroadcast *metrics.Counter
+	// PeerDrops counts transactions dropped for one slow peer (its
+	// bounded queue was full); gossip sync repairs the gap later.
+	PeerDrops *metrics.Counter
+	// SendFailures counts failed peer sends (partition, dead peer).
+	SendFailures *metrics.Counter
+}
+
+func newPipelineMetrics() PipelineMetrics {
+	return PipelineMetrics{
+		AdmitLatency:     &metrics.Histogram{},
+		AttachLatency:    &metrics.Histogram{},
+		BroadcastLatency: &metrics.Histogram{},
+		QueueDepth:       &metrics.Gauge{},
+		BatchesSent:      &metrics.Counter{},
+		TxBroadcast:      &metrics.Counter{},
+		PeerDrops:        &metrics.Counter{},
+		SendFailures:     &metrics.Counter{},
+	}
+}
+
+// broadcastItem is one unit flowing through the pipeline: an encoded
+// transaction, or a flush marker (tx nil) used as an ordering barrier.
+type broadcastItem struct {
+	tx    []byte
+	flush *sync.WaitGroup
+}
+
+// broadcaster is the asynchronous fan-out stage of the submission
+// pipeline: a bounded intake queue feeding one dispatcher goroutine,
+// which distributes work to per-peer bounded queues each drained by one
+// sender goroutine that coalesces consecutive transactions into batched
+// MsgTransaction datagrams.
+//
+// Backpressure: intake capacity is reserved before admission and
+// surfaces as ErrBroadcastBacklog when exhausted. A slow peer never
+// stalls the pipeline — its queue overflows by dropping (counted), and
+// the tangle sync protocol repairs the gap.
+type broadcaster struct {
+	net       gossip.Network
+	counters  Counters
+	pipeline  PipelineMetrics
+	maxBatch  int
+	peerQueue int
+
+	intake   chan broadcastItem
+	reserved atomic.Int64 // slots promised to in-flight admissions
+
+	// sendMu serializes producers against close: sends hold the read
+	// side, close takes the write side before closing the intake, so a
+	// send can never hit a closed channel.
+	sendMu sync.RWMutex
+	closed bool
+
+	mu      sync.Mutex
+	senders map[string]*peerSender
+
+	wg sync.WaitGroup // dispatcher + sender goroutines
+}
+
+type peerSender struct {
+	name  string
+	queue chan broadcastItem
+}
+
+func newBroadcaster(net gossip.Network, counters Counters, pipeline PipelineMetrics, queue, peerQueue, maxBatch int) *broadcaster {
+	if queue <= 0 {
+		queue = defaultBroadcastQueue
+	}
+	if peerQueue <= 0 {
+		peerQueue = defaultBroadcastPeerQueue
+	}
+	if maxBatch <= 0 {
+		maxBatch = defaultBroadcastBatch
+	}
+	b := &broadcaster{
+		net:       net,
+		counters:  counters,
+		pipeline:  pipeline,
+		maxBatch:  maxBatch,
+		peerQueue: peerQueue,
+		intake:    make(chan broadcastItem, queue),
+		senders:   make(map[string]*peerSender),
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	return b
+}
+
+// reserve claims one intake slot ahead of admission, so a successful
+// admit can always enqueue without blocking. The returned release frees
+// the slot if admission fails.
+func (b *broadcaster) reserve() (release func(), err error) {
+	for {
+		cur := b.reserved.Load()
+		if cur >= int64(cap(b.intake)) {
+			return nil, ErrBroadcastBacklog
+		}
+		if b.reserved.CompareAndSwap(cur, cur+1) {
+			b.pipeline.QueueDepth.Set(cur + 1)
+			return func() {
+				b.reserved.Add(-1)
+				b.pipeline.QueueDepth.Set(b.reserved.Load())
+			}, nil
+		}
+	}
+}
+
+// enqueue hands an encoded transaction to the async stage. The caller
+// must hold a reservation; the send therefore never blocks.
+func (b *broadcaster) enqueue(encoded []byte) {
+	b.sendMu.RLock()
+	defer b.sendMu.RUnlock()
+	if b.closed {
+		b.reserved.Add(-1)
+		return
+	}
+	b.intake <- broadcastItem{tx: encoded}
+}
+
+// flush blocks until every transaction enqueued before the call has
+// been attempted against every current peer (delivered, failed or
+// dropped) — the barrier tests and graceful shutdown use.
+func (b *broadcaster) flush(ctx context.Context) error {
+	var wg sync.WaitGroup
+	wg.Add(1) // matched by the dispatcher after fan-out
+
+	b.sendMu.RLock()
+	if b.closed {
+		b.sendMu.RUnlock()
+		return nil
+	}
+	// Markers carry no reservation, so this send can briefly block on a
+	// full intake; the dispatcher is always draining, so it progresses.
+	b.intake <- broadcastItem{flush: &wg}
+	b.sendMu.RUnlock()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops the pipeline: the dispatcher drains the intake, sender
+// queues are closed and drained, and all goroutines join.
+func (b *broadcaster) close() {
+	b.sendMu.Lock()
+	if b.closed {
+		b.sendMu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.intake)
+	b.sendMu.Unlock()
+	b.wg.Wait()
+}
+
+func (b *broadcaster) dispatch() {
+	defer b.wg.Done()
+	for it := range b.intake {
+		if it.tx != nil {
+			b.reserved.Add(-1)
+			b.pipeline.QueueDepth.Set(b.reserved.Load())
+		}
+		peers := b.net.Peers()
+		if it.flush != nil {
+			// Barrier: propagate to every current peer queue with a
+			// blocking send (a flush must not be dropped), then release
+			// the dispatcher's own count.
+			for _, name := range peers {
+				it.flush.Add(1)
+				b.sender(name).queue <- it
+			}
+			it.flush.Done()
+			continue
+		}
+		for _, name := range peers {
+			s := b.sender(name)
+			select {
+			case s.queue <- it:
+			default:
+				b.pipeline.PeerDrops.Inc() // slow peer: sync repairs it
+			}
+		}
+	}
+	// Shutdown: close sender queues and let them drain.
+	b.mu.Lock()
+	senders := make([]*peerSender, 0, len(b.senders))
+	for _, s := range b.senders {
+		senders = append(senders, s)
+	}
+	b.mu.Unlock()
+	for _, s := range senders {
+		close(s.queue)
+	}
+}
+
+// sender returns (starting if needed) the queue worker for one peer.
+func (b *broadcaster) sender(name string) *peerSender {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.senders[name]; ok {
+		return s
+	}
+	s := &peerSender{name: name, queue: make(chan broadcastItem, b.peerQueue)}
+	b.senders[name] = s
+	b.wg.Add(1)
+	go b.sendLoop(s)
+	return s
+}
+
+// sendLoop drains one peer's queue, coalescing consecutive transactions
+// into batched datagrams of up to maxBatch entries.
+func (b *broadcaster) sendLoop(s *peerSender) {
+	defer b.wg.Done()
+	for it := range s.queue {
+		var barriers []*sync.WaitGroup
+		if it.flush != nil {
+			it.flush.Done()
+			continue
+		}
+		batch := [][]byte{it.tx}
+	coalesce:
+		for len(batch) < b.maxBatch {
+			select {
+			case next, ok := <-s.queue:
+				if !ok {
+					break coalesce
+				}
+				if next.flush != nil {
+					// The barrier completes after this batch is sent.
+					barriers = append(barriers, next.flush)
+					break coalesce
+				}
+				batch = append(batch, next.tx)
+			default:
+				break coalesce
+			}
+		}
+		b.send(s.name, batch)
+		for _, wg := range barriers {
+			wg.Done()
+		}
+	}
+}
+
+func (b *broadcaster) send(peer string, batch [][]byte) {
+	start := time.Now()
+	_, err := b.net.Request(context.Background(), peer, gossip.Message{
+		Type:   gossip.MsgTransaction,
+		TxData: batch,
+	})
+	b.pipeline.BroadcastLatency.Observe(time.Since(start))
+	if err != nil {
+		b.pipeline.SendFailures.Inc()
+		return
+	}
+	b.pipeline.BatchesSent.Inc()
+	b.pipeline.TxBroadcast.Add(int64(len(batch)))
+	b.counters.GossipOut.Inc()
+}

@@ -76,6 +76,16 @@ type FullConfig struct {
 	// recorded as protocol misbehaviour in the credit ledger, raising a
 	// persistent offender's PoW difficulty.
 	Quality *quality.Validator
+
+	// Broadcast pipeline tuning (zero selects defaults; only consulted
+	// when Network is non-nil). BroadcastQueue bounds admissions awaiting
+	// fan-out — when full, Submit rejects with ErrBroadcastBacklog before
+	// admitting. BroadcastPeerQueue bounds each peer's private queue (a
+	// slow peer overflows by dropping; sync repairs it) and
+	// BroadcastBatch caps how many transactions one datagram coalesces.
+	BroadcastQueue     int
+	BroadcastPeerQueue int
+	BroadcastBatch     int
 }
 
 func (c *FullConfig) withDefaults() (FullConfig, error) {
@@ -122,7 +132,11 @@ type Counters struct {
 	QualityViolations *metrics.Counter
 }
 
-// FullNode is a gateway or manager. Safe for concurrent use.
+// FullNode is a gateway or manager. Safe for concurrent use: Submit may
+// be called from many goroutines at once. Admission checks run lock-free
+// (the tangle, credit ledger and registry carry their own fine-grained
+// locks); the two node-local mutexes below guard disjoint state and are
+// never held across a substrate call that can block.
 type FullNode struct {
 	cfg      FullConfig
 	tangle   *tangle.Tangle
@@ -130,12 +144,16 @@ type FullNode struct {
 	registry *authz.Registry
 	tokens   *ledger.Ledger
 	counters Counters
+	pipeline PipelineMetrics
+	bcast    *broadcaster // nil when Network is nil
 
-	mu       sync.Mutex
-	pending  map[hashutil.Hash]*txn.Transaction // transfers awaiting confirmation
-	limiter  map[identity.Address]*rateWindow
-	deferred []tangle.Event // events captured under the tangle lock
-	journal  *store.Log     // nil unless EnablePersistence was called
+	pendingMu sync.Mutex
+	pending   map[hashutil.Hash]*txn.Transaction // transfers awaiting confirmation
+	deferred  []tangle.Event                     // events captured under the tangle lock
+	journal   *store.Log                         // nil unless EnablePersistence was called
+
+	limiterMu sync.Mutex
+	limiter   map[identity.Address]*rateWindow
 }
 
 type rateWindow struct {
@@ -190,11 +208,14 @@ func NewFull(cfg FullConfig) (*FullNode, error) {
 			JournalErrors:     &metrics.Counter{},
 			QualityViolations: &metrics.Counter{},
 		},
-		pending: make(map[hashutil.Hash]*txn.Transaction),
-		limiter: make(map[identity.Address]*rateWindow),
+		pipeline: newPipelineMetrics(),
+		pending:  make(map[hashutil.Hash]*txn.Transaction),
+		limiter:  make(map[identity.Address]*rateWindow),
 	}
 	tg.Observe(tangle.ObserverFunc(n.onTangleEvent))
 	if conf.Network != nil {
+		n.bcast = newBroadcaster(conf.Network, n.counters, n.pipeline,
+			conf.BroadcastQueue, conf.BroadcastPeerQueue, conf.BroadcastBatch)
 		conf.Network.SetHandler(gossip.HandlerFunc(n.handleGossip))
 	}
 	return n, nil
@@ -251,19 +272,19 @@ func (n *FullNode) onTangleEvent(ev tangle.Event) {
 	case tangle.EventApproved:
 		n.engine.Ledger().UpdateWeight(ev.Node, ev.Tx, ev.Weight)
 	case tangle.EventConfirmed, tangle.EventRejected:
-		n.mu.Lock()
+		n.pendingMu.Lock()
 		n.deferred = append(n.deferred, ev)
-		n.mu.Unlock()
+		n.pendingMu.Unlock()
 	}
 }
 
 // drainDeferred settles confirmed transfers and discards rejected ones.
 // Called after Attach returns (outside the tangle lock).
 func (n *FullNode) drainDeferred() {
-	n.mu.Lock()
+	n.pendingMu.Lock()
 	events := n.deferred
 	n.deferred = nil
-	n.mu.Unlock()
+	n.pendingMu.Unlock()
 
 	for _, ev := range events {
 		if ev.Kind != tangle.EventConfirmed {
@@ -272,12 +293,12 @@ func (n *FullNode) drainDeferred() {
 			// confirmation is final.
 			continue
 		}
-		n.mu.Lock()
+		n.pendingMu.Lock()
 		t, ok := n.pending[ev.Tx]
 		if ok {
 			delete(n.pending, ev.Tx)
 		}
-		n.mu.Unlock()
+		n.pendingMu.Unlock()
 		if !ok {
 			continue
 		}
@@ -294,8 +315,8 @@ func (n *FullNode) allowRate(addr identity.Address, now time.Time) bool {
 	if n.cfg.RateLimit <= 0 {
 		return true
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.limiterMu.Lock()
+	defer n.limiterMu.Unlock()
 	w := n.limiter[addr]
 	if w == nil || now.Sub(w.start) >= n.cfg.RateWindow {
 		n.limiter[addr] = &rateWindow{start: now, count: 1}
@@ -340,21 +361,72 @@ func (n *FullNode) InfoOf(id hashutil.Hash) (tangle.Info, error) {
 // structural + signature verification, authorization (Sybil/DDoS
 // defense), rate limiting, credit-based PoW verification, attachment,
 // credit accounting, authorization-list application, and gossip
-// broadcast.
+// broadcast. Safe to call from many goroutines concurrently.
+//
+// Broadcast is asynchronous: Submit returns once the transaction is
+// attached locally and queued for fan-out; peers observe it shortly
+// after (FlushBroadcast provides a barrier). When the broadcast queue
+// is saturated Submit rejects with ErrBroadcastBacklog *before*
+// admitting anything — the caller backs off and retries, and the local
+// ledger never diverges from what was gossiped.
 func (n *FullNode) Submit(ctx context.Context, t *txn.Transaction) (tangle.Info, error) {
+	var release func()
+	if n.bcast != nil {
+		var err error
+		if release, err = n.bcast.reserve(); err != nil {
+			return tangle.Info{}, err
+		}
+	}
 	info, err := n.admit(ctx, t, true)
 	if err != nil {
+		if release != nil {
+			release()
+		}
 		return tangle.Info{}, err
 	}
-	n.broadcast(ctx, t)
+	if n.bcast != nil {
+		// The reservation is consumed by the dispatcher; no release here.
+		n.bcast.enqueue(t.Encode())
+	}
 	return info, nil
 }
 
+// FlushBroadcast blocks until every transaction accepted before the
+// call has been attempted against every current peer (delivered, failed
+// or dropped). It is the ordering barrier for callers that need the old
+// synchronous-broadcast visibility — tests, the facade's authorization
+// publish, graceful shutdown.
+func (n *FullNode) FlushBroadcast(ctx context.Context) error {
+	if n.bcast == nil {
+		return nil
+	}
+	return n.bcast.flush(ctx)
+}
+
+// Pipeline exposes the submission pipeline's metrics.
+func (n *FullNode) Pipeline() PipelineMetrics { return n.pipeline }
+
+// Close drains and stops the broadcast pipeline. Read paths and local
+// admission keep working; subsequent Submits attach locally but are no
+// longer gossiped. Safe to call more than once.
+func (n *FullNode) Close() error {
+	if n.bcast != nil {
+		n.bcast.close()
+	}
+	return nil
+}
+
+// admit is the first two pipeline stages. Everything up to the PoW
+// check is lock-free with respect to node-local mutexes (signature and
+// difficulty verification dominate and run fully concurrently); the
+// attach + credit update that follows is the short critical section,
+// serialized inside the tangle and credit ledger's own locks.
 func (n *FullNode) admit(ctx context.Context, t *txn.Transaction, local bool) (tangle.Info, error) {
 	if err := ctx.Err(); err != nil {
 		return tangle.Info{}, err
 	}
 	now := n.cfg.Clock.Now()
+	admitStart := time.Now()
 
 	if err := t.VerifyBasic(); err != nil {
 		n.counters.Rejected.Inc()
@@ -388,27 +460,38 @@ func (n *FullNode) admit(ctx context.Context, t *txn.Transaction, local bool) (t
 		n.counters.Rejected.Inc()
 		return tangle.Info{}, fmt.Errorf("%w: %v", ErrWrongDifficulty, err)
 	}
+	n.pipeline.AdmitLatency.Observe(time.Since(admitStart))
+	attachStart := time.Now()
 
 	// Track transfers for settlement before attaching, so the
 	// confirmation event (which may fire during Attach) finds it.
 	if t.Kind == txn.KindTransfer {
-		n.mu.Lock()
+		n.pendingMu.Lock()
 		n.pending[t.ID()] = t.Clone()
-		n.mu.Unlock()
-	}
-
-	info, err := n.tangle.Attach(t)
-	if err != nil {
-		n.mu.Lock()
-		delete(n.pending, t.ID())
-		n.mu.Unlock()
-		n.counters.Rejected.Inc()
-		return tangle.Info{}, fmt.Errorf("attach: %w", err)
+		n.pendingMu.Unlock()
 	}
 
 	// Credit accounting: the sender earns a valid-transaction record at
-	// initial weight 1; approvals raise it via EventApproved.
-	n.engine.Ledger().RecordTransaction(sender, info.ID, 1, now)
+	// initial weight 1; approvals raise it via EventApproved. The record
+	// must exist BEFORE Attach makes the transaction approvable — a
+	// concurrent admission can approve it the instant Attach returns,
+	// and UpdateWeight against a not-yet-recorded transaction would be
+	// silently dropped.
+	n.engine.Ledger().RecordTransaction(sender, t.ID(), 1, now)
+
+	info, err := n.tangle.Attach(t)
+	if err != nil {
+		if !errors.Is(err, tangle.ErrDuplicate) {
+			// A duplicate keeps its (idempotent) record; anything else
+			// never entered the ledger.
+			n.engine.Ledger().RemoveTransaction(sender, t.ID())
+		}
+		n.pendingMu.Lock()
+		delete(n.pending, t.ID())
+		n.pendingMu.Unlock()
+		n.counters.Rejected.Inc()
+		return tangle.Info{}, fmt.Errorf("attach: %w", err)
+	}
 
 	// Sensor data quality control (§VIII extension): plaintext readings
 	// are checked for plausibility; violations are punished through the
@@ -427,19 +510,9 @@ func (n *FullNode) admit(ctx context.Context, t *txn.Transaction, local bool) (t
 
 	n.counters.Accepted.Inc()
 	n.journalAppend(t)
+	n.pipeline.AttachLatency.Observe(time.Since(attachStart))
 	n.drainDeferred()
 	return info, nil
-}
-
-// broadcast gossips an accepted transaction to peer full nodes.
-func (n *FullNode) broadcast(ctx context.Context, t *txn.Transaction) {
-	if n.cfg.Network == nil {
-		return
-	}
-	msg := gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{t.Encode()}}
-	if err := n.cfg.Network.Broadcast(ctx, msg); err == nil {
-		n.counters.GossipOut.Inc()
-	}
 }
 
 // handleGossip processes inbound gossip.
@@ -451,7 +524,9 @@ func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Messag
 		for _, raw := range msg.TxData {
 			t, err := txn.Decode(raw)
 			if err != nil {
-				return nil, fmt.Errorf("decode gossiped transaction: %w", err)
+				// One undecodable entry must not poison a batch: the
+				// remaining transactions are independent admissions.
+				continue
 			}
 			if n.tangle.Contains(t.ID()) {
 				continue

@@ -188,7 +188,13 @@ func (l *LightNode) submit(ctx context.Context, kind txn.Kind, payload []byte) (
 		t.Sign(l.cfg.Key)
 
 		difficulty := l.cfg.Gateway.DifficultyFor(l.Address())
-		res, err := l.worker.Attach(ctx, t, difficulty)
+		var res pow.Result
+		if l.worker.Parallelism > 1 {
+			// Multi-core device classes opt in via Worker.Parallelism.
+			res, err = l.worker.AttachParallel(ctx, t, difficulty)
+		} else {
+			res, err = l.worker.Attach(ctx, t, difficulty)
+		}
 		if err != nil {
 			return SubmitResult{}, fmt.Errorf("proof of work: %w", err)
 		}
@@ -199,6 +205,11 @@ func (l *LightNode) submit(ctx context.Context, kind txn.Kind, payload []byte) (
 			lastErr = err
 			if errors.Is(err, ErrWrongDifficulty) || errors.Is(err, tangle.ErrUnknownParent) {
 				continue // difficulty shifted or tips re-orged: retry fresh
+			}
+			if errors.Is(err, ErrBroadcastBacklog) {
+				// The gateway's fan-out queue is saturated; re-mining the
+				// proof of work is the device's natural backoff.
+				continue
 			}
 			return SubmitResult{}, err
 		}

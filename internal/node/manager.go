@@ -117,6 +117,11 @@ func (m *Manager) PublishAuthorization(ctx context.Context) (SubmitResult, error
 	if err != nil {
 		return SubmitResult{}, fmt.Errorf("publish authorization list: %w", err)
 	}
+	// Authorization is control-plane: gateways must see the new list
+	// before the next device submission, so wait out the async fan-out.
+	if err := m.full.FlushBroadcast(ctx); err != nil {
+		return res, fmt.Errorf("publish authorization list: %w", err)
+	}
 	return res, nil
 }
 

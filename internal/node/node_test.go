@@ -136,6 +136,21 @@ func newMultiNode(t *testing.T, gateways int, clk clock.Clock) *multiNodeDeploym
 	return dep
 }
 
+// flush drains every node's asynchronous broadcast queue — the barrier
+// that restores synchronous-bus visibility for assertions.
+func (d *multiNodeDeployment) flush(t *testing.T) {
+	t.Helper()
+	ctx := context.Background()
+	if err := d.mgr.Node().FlushBroadcast(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, gw := range d.gateways {
+		if err := gw.FlushBroadcast(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestGossipPropagatesTransactions(t *testing.T) {
 	ctx := context.Background()
 	dep := newMultiNode(t, 2, nil)
@@ -149,7 +164,8 @@ func TestGossipPropagatesTransactions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Synchronous bus: the transaction is everywhere already.
+	// Broadcast is asynchronous; the flush barrier waits out the fan-out.
+	dep.flush(t)
 	for i, gw := range dep.gateways {
 		if !gw.Tangle().Contains(res.Info.ID) {
 			t.Errorf("gateway %d missing the transaction", i)
@@ -173,6 +189,7 @@ func TestGossipPropagatesCreditRecords(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	dep.flush(t)
 	// Every full node independently derives the same difficulty for the
 	// device from its replicated records — "the credit value cannot be
 	// forged or tampered".
@@ -437,6 +454,9 @@ func TestPartitionedGatewayRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Force the async fan-out to attempt (and fail) the partitioned send
+	// now, not after the partition heals.
+	dep.flush(t)
 	if dep.gateways[1].Tangle().Contains(res.Info.ID) {
 		t.Fatal("partitioned gateway received the transaction")
 	}
@@ -494,6 +514,7 @@ func TestKeyDistributionAcrossGateways(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			dep.flush(t) // the manager reads the posting below
 			key, ok := dep.mgr.IssuedKey(device.Address())
 			if !ok {
 				t.Fatal("manager has no issued key")

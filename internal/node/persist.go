@@ -21,29 +21,29 @@ var ErrNotPersistent = errors.New("node has no persistence configured")
 // replays its records into the node's ledger, and journals every
 // subsequently admitted transaction. Call once, before serving traffic.
 func (n *FullNode) EnablePersistence(path string) (replayed int, err error) {
-	n.mu.Lock()
+	n.pendingMu.Lock()
 	if n.journal != nil {
-		n.mu.Unlock()
+		n.pendingMu.Unlock()
 		return 0, fmt.Errorf("persistence already enabled at %s", n.journal.Path())
 	}
-	n.mu.Unlock()
+	n.pendingMu.Unlock()
 
 	log, err := store.Open(path, n.replayTransaction)
 	if err != nil {
 		return 0, fmt.Errorf("enable persistence: %w", err)
 	}
-	n.mu.Lock()
+	n.pendingMu.Lock()
 	n.journal = log
-	n.mu.Unlock()
+	n.pendingMu.Unlock()
 	return log.Len(), nil
 }
 
 // ClosePersistence flushes and closes the journal.
 func (n *FullNode) ClosePersistence() error {
-	n.mu.Lock()
+	n.pendingMu.Lock()
 	log := n.journal
 	n.journal = nil
-	n.mu.Unlock()
+	n.pendingMu.Unlock()
 	if log == nil {
 		return ErrNotPersistent
 	}
@@ -64,15 +64,15 @@ func (n *FullNode) replayTransaction(t *txn.Transaction) error {
 		return fmt.Errorf("journaled transaction invalid: %w", err)
 	}
 	if t.Kind == txn.KindTransfer {
-		n.mu.Lock()
+		n.pendingMu.Lock()
 		n.pending[t.ID()] = t.Clone()
-		n.mu.Unlock()
+		n.pendingMu.Unlock()
 	}
 	info, err := n.tangle.Attach(t)
 	if err != nil {
-		n.mu.Lock()
+		n.pendingMu.Lock()
 		delete(n.pending, t.ID())
-		n.mu.Unlock()
+		n.pendingMu.Unlock()
 		return err
 	}
 	n.engine.Ledger().RecordTransaction(t.Sender(), info.ID, 1, t.Timestamp)
@@ -108,9 +108,9 @@ func (n *FullNode) Compact(keep time.Duration) (tangleDropped, creditDropped int
 
 // journalAppend records an admitted transaction; called from admit.
 func (n *FullNode) journalAppend(t *txn.Transaction) {
-	n.mu.Lock()
+	n.pendingMu.Lock()
 	log := n.journal
-	n.mu.Unlock()
+	n.pendingMu.Unlock()
 	if log == nil {
 		return
 	}

@@ -1,0 +1,303 @@
+package node_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/pow"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// stubNet is a controllable gossip.Network for pipeline tests: Peers
+// and Request can be gated to stall the dispatcher or the per-peer
+// senders at precise points, and every sent batch is recorded.
+type stubNet struct {
+	peerNames []string
+	peersGate chan struct{} // when non-nil, Peers blocks until closed
+	reqGate   chan struct{} // when non-nil, Request blocks until closed
+
+	mu      sync.Mutex
+	batches []int // TxData length of each Request, in arrival order
+	total   int
+}
+
+func (s *stubNet) Self() string { return "stub" }
+
+func (s *stubNet) Peers() []string {
+	if s.peersGate != nil {
+		<-s.peersGate
+	}
+	return s.peerNames
+}
+
+func (s *stubNet) Broadcast(ctx context.Context, msg gossip.Message) error { return nil }
+
+func (s *stubNet) Request(ctx context.Context, peer string, msg gossip.Message) (gossip.Message, error) {
+	if s.reqGate != nil {
+		<-s.reqGate
+	}
+	s.mu.Lock()
+	s.batches = append(s.batches, len(msg.TxData))
+	s.total += len(msg.TxData)
+	s.mu.Unlock()
+	return gossip.Message{}, nil
+}
+
+func (s *stubNet) SetHandler(h gossip.Handler) {}
+func (s *stubNet) Close() error                { return nil }
+
+func (s *stubNet) snapshot() (batches []int, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.batches...), s.total
+}
+
+// newPipelineNode builds a manager full node over a stub network (the
+// manager address is always authorized, so tests can submit directly).
+func newPipelineNode(t *testing.T, net gossip.Network, queue, peerQueue, batch int) *node.FullNode {
+	t.Helper()
+	key, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := node.NewFull(node.FullConfig{
+		Key:                key,
+		Role:               identity.RoleManager,
+		ManagerPub:         key.Public(),
+		Credit:             testParams(),
+		Network:            net,
+		BroadcastQueue:     queue,
+		BroadcastPeerQueue: peerQueue,
+		BroadcastBatch:     batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = full.Close() })
+	return full
+}
+
+// mineOwnTx builds a valid node-signed transaction ready to Submit.
+func mineOwnTx(t *testing.T, full *node.FullNode, payload string) *txn.Transaction {
+	t.Helper()
+	trunk, branch, err := full.TipsForApproval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &txn.Transaction{
+		Trunk:     trunk,
+		Branch:    branch,
+		Timestamp: full.Clock().Now(),
+		Kind:      txn.KindData,
+		Payload:   []byte(payload),
+	}
+	tr.Sign(full.Key())
+	w := pow.Worker{}
+	if _, err := w.Attach(context.Background(), tr, full.DifficultyFor(full.Address())); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSubmitBacklogBackpressure(t *testing.T) {
+	ctx := context.Background()
+	net := &stubNet{peerNames: []string{"peer"}, peersGate: make(chan struct{})}
+	full := newPipelineNode(t, net, 1, 0, 0) // intake capacity 1
+
+	// With the dispatcher stalled in Peers, at most two submissions pass
+	// (one held by the dispatcher, one in the intake) before the typed
+	// backpressure error surfaces.
+	var backlogTx *txn.Transaction
+	var backlogErr error
+	for i := 0; i < 10; i++ {
+		tr := mineOwnTx(t, full, fmt.Sprintf("bp-%d", i))
+		if _, err := full.Submit(ctx, tr); err != nil {
+			backlogTx, backlogErr = tr, err
+			break
+		}
+	}
+	if backlogErr == nil {
+		t.Fatal("saturated pipeline accepted every submission")
+	}
+	if !errors.Is(backlogErr, node.ErrBroadcastBacklog) {
+		t.Fatalf("err = %v, want ErrBroadcastBacklog", backlogErr)
+	}
+	// Backpressure fires before admission: the ledger must not contain
+	// the rejected transaction.
+	if full.Tangle().Contains(backlogTx.ID()) {
+		t.Error("rejected submission was attached anyway")
+	}
+
+	close(net.peersGate)
+	if err := full.FlushBroadcast(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline recovers once drained.
+	if _, err := full.Submit(ctx, mineOwnTx(t, full, "bp-after")); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	if err := full.FlushBroadcast(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if d := full.Pipeline().QueueDepth.Value(); d != 0 {
+		t.Errorf("queue depth after flush = %d", d)
+	}
+}
+
+func TestBroadcastBatchesCoalesce(t *testing.T) {
+	ctx := context.Background()
+	const n, maxBatch = 20, 8
+	net := &stubNet{peerNames: []string{"peer"}, reqGate: make(chan struct{})}
+	full := newPipelineNode(t, net, 64, 64, maxBatch)
+
+	// The sender stalls on its first Request while the rest of the
+	// submissions pile up behind it, forcing coalescing.
+	for i := 0; i < n; i++ {
+		if _, err := full.Submit(ctx, mineOwnTx(t, full, fmt.Sprintf("batch-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(net.reqGate)
+	if err := full.FlushBroadcast(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	batches, total := net.snapshot()
+	if total != n {
+		t.Fatalf("delivered %d transactions, want %d", total, n)
+	}
+	if len(batches) >= n {
+		t.Errorf("no coalescing: %d batches for %d transactions", len(batches), n)
+	}
+	multi := false
+	for _, size := range batches {
+		if size > maxBatch {
+			t.Errorf("batch of %d exceeds cap %d", size, maxBatch)
+		}
+		if size > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Error("expected at least one multi-transaction batch")
+	}
+
+	p := full.Pipeline()
+	if got := p.TxBroadcast.Value(); got != int64(n) {
+		t.Errorf("TxBroadcast = %d, want %d", got, n)
+	}
+	if got := p.BatchesSent.Value(); got != int64(len(batches)) {
+		t.Errorf("BatchesSent = %d, want %d", got, len(batches))
+	}
+	if p.AdmitLatency.Count() < n || p.AttachLatency.Count() < n {
+		t.Error("per-stage latency histograms missing samples")
+	}
+}
+
+func TestSlowPeerDropsNotStalls(t *testing.T) {
+	ctx := context.Background()
+	const n = 10
+	net := &stubNet{peerNames: []string{"slow"}, reqGate: make(chan struct{})}
+	full := newPipelineNode(t, net, 64, 1, 1) // peer queue of one, no batching
+
+	// Every submission returns promptly even though the peer accepts
+	// nothing: overflow drops rather than stalling admission.
+	for i := 0; i < n; i++ {
+		if _, err := full.Submit(ctx, mineOwnTx(t, full, fmt.Sprintf("slow-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(net.reqGate)
+	if err := full.FlushBroadcast(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	p := full.Pipeline()
+	_, total := net.snapshot()
+	if p.PeerDrops.Value() == 0 {
+		t.Error("expected drops for the slow peer")
+	}
+	if got := p.PeerDrops.Value() + int64(total); got != n {
+		t.Errorf("drops+delivered = %d, want %d", got, n)
+	}
+}
+
+func TestConcurrentSubmitPipeline(t *testing.T) {
+	ctx := context.Background()
+	const workers, perWorker = 8, 5
+	net := &stubNet{peerNames: []string{"a", "b"}}
+	full := newPipelineNode(t, net, 0, 0, 0)
+
+	// Mine outside the submission window so the race is on Submit.
+	txs := make([]*txn.Transaction, workers*perWorker)
+	for i := range txs {
+		txs[i] = mineOwnTx(t, full, fmt.Sprintf("conc-%d", i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(txs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := full.Submit(ctx, txs[w*perWorker+i]); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent submit: %v", err)
+	}
+	if err := full.FlushBroadcast(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range txs {
+		if !full.Tangle().Contains(tr.ID()) {
+			t.Fatalf("transaction %s missing after concurrent submit", tr.ID().Short())
+		}
+	}
+	if got := full.CountersView().Accepted.Value(); got != int64(len(txs)) {
+		t.Errorf("accepted = %d, want %d", got, len(txs))
+	}
+	// Both peers saw every transaction (queues were unbounded enough).
+	_, total := net.snapshot()
+	if total != len(txs)*2 {
+		t.Errorf("delivered %d, want %d", total, len(txs)*2)
+	}
+}
+
+func TestCloseIsIdempotentAndLocalOnly(t *testing.T) {
+	ctx := context.Background()
+	net := &stubNet{peerNames: []string{"peer"}}
+	full := newPipelineNode(t, net, 0, 0, 0)
+
+	if _, err := full.Submit(ctx, mineOwnTx(t, full, "pre-close")); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Admission keeps working after close; only fan-out stops.
+	tr := mineOwnTx(t, full, "post-close")
+	if _, err := full.Submit(ctx, tr); err != nil {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if !full.Tangle().Contains(tr.ID()) {
+		t.Error("post-close submission not attached locally")
+	}
+	if err := full.FlushBroadcast(ctx); err != nil {
+		t.Fatalf("flush after close: %v", err)
+	}
+}

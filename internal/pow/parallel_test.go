@@ -1,0 +1,188 @@
+package pow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// TestSearchParallelEquivalence: the parallel search must return exactly
+// the nonce the serial search finds — the globally minimal valid one —
+// for any worker count, so verification and credit accounting cannot
+// tell the two paths apart.
+func TestSearchParallelEquivalence(t *testing.T) {
+	cases := []struct {
+		name        string
+		difficulty  int
+		parallelism int
+	}{
+		{"d8/2lanes", 8, 2},
+		{"d8/4lanes", 8, 4},
+		{"d10/4lanes", 10, 4},
+		{"d10/8lanes", 10, 8},
+		{"d12/3lanes", 12, 3},
+		{"d8/gomaxprocs", 8, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				trunk := hashutil.Sum(fmt.Appendf(nil, "trunk-%s-%d", tc.name, i))
+				branch := hashutil.Sum(fmt.Appendf(nil, "branch-%s-%d", tc.name, i))
+
+				serial := &Worker{}
+				want, err := serial.Search(context.Background(), trunk, branch, tc.difficulty)
+				if err != nil {
+					t.Fatalf("serial search: %v", err)
+				}
+				par := &Worker{Parallelism: tc.parallelism}
+				got, err := par.SearchParallel(context.Background(), trunk, branch, tc.difficulty)
+				if err != nil {
+					t.Fatalf("parallel search: %v", err)
+				}
+				if got.Nonce != want.Nonce {
+					t.Errorf("nonce = %d, serial found %d", got.Nonce, want.Nonce)
+				}
+				if got.Digest != want.Digest {
+					t.Errorf("digest mismatch: %s vs %s", got.Digest.Short(), want.Digest.Short())
+				}
+				if err := Verify(trunk, branch, got.Nonce, tc.difficulty); err != nil {
+					t.Errorf("winning nonce fails verification: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestSearchParallelDeterministic: repeated runs under different lane
+// counts must agree with each other — scheduling cannot change the
+// winner.
+func TestSearchParallelDeterministic(t *testing.T) {
+	trunk := hashutil.Sum([]byte("det-trunk"))
+	branch := hashutil.Sum([]byte("det-branch"))
+	var first Result
+	for run := 0; run < 5; run++ {
+		w := &Worker{Parallelism: 1 + run}
+		res, err := w.SearchParallel(context.Background(), trunk, branch, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = res
+			continue
+		}
+		if res.Nonce != first.Nonce {
+			t.Fatalf("run %d found nonce %d, first run found %d", run, res.Nonce, first.Nonce)
+		}
+	}
+}
+
+// TestSearchParallelExhausted: MaxAttempts is a shared budget; when it
+// splits across workers without a hit the search reports ErrExhausted,
+// same as serial.
+func TestSearchParallelExhausted(t *testing.T) {
+	cases := []struct {
+		name        string
+		maxAttempts uint64
+		parallelism int
+	}{
+		{"budget64/2lanes", 64, 2},
+		{"budget1000/4lanes", 1000, 4},
+		{"budget4096/8lanes", 4096, 8},
+		{"budget7/8lanes", 7, 8}, // fewer attempts than lanes
+	}
+	trunk := hashutil.Sum([]byte("exhaust-trunk"))
+	branch := hashutil.Sum([]byte("exhaust-branch"))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := &Worker{MaxAttempts: tc.maxAttempts, Parallelism: tc.parallelism}
+			_, err := w.SearchParallel(context.Background(), trunk, branch, MaxDifficulty)
+			if !errors.Is(err, ErrExhausted) {
+				t.Fatalf("err = %v, want ErrExhausted", err)
+			}
+		})
+	}
+}
+
+// TestSearchParallelCancel: cancellation returns promptly even on an
+// effectively unsolvable difficulty.
+func TestSearchParallelCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Worker{Parallelism: 4}
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.SearchParallel(ctx, hashutil.Sum([]byte("c1")), hashutil.Sum([]byte("c2")), MaxDifficulty)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parallel search did not return after cancellation")
+	}
+}
+
+// TestSearchParallelCostFactorMonotonic: raising CostFactor burns more
+// hash rounds per attempt, so wall time over a fixed attempt budget must
+// grow. The 512× factor gap keeps the comparison robust on noisy hosts.
+func TestSearchParallelCostFactorMonotonic(t *testing.T) {
+	trunk := hashutil.Sum([]byte("cf-trunk"))
+	branch := hashutil.Sum([]byte("cf-branch"))
+	elapsed := func(cost int) time.Duration {
+		w := &Worker{CostFactor: cost, MaxAttempts: 2048, Parallelism: 2}
+		start := time.Now()
+		_, err := w.SearchParallel(context.Background(), trunk, branch, MaxDifficulty)
+		if !errors.Is(err, ErrExhausted) {
+			t.Fatalf("cost %d: err = %v, want ErrExhausted", cost, err)
+		}
+		return time.Since(start)
+	}
+	// Best-of-three per factor to shrug off scheduler noise.
+	best := func(cost int) time.Duration {
+		b := elapsed(cost)
+		for i := 0; i < 2; i++ {
+			if d := elapsed(cost); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	cheap, dear := best(1), best(512)
+	if dear <= cheap {
+		t.Errorf("cost factor 512 ran in %v, not slower than factor 1's %v", dear, cheap)
+	}
+}
+
+// TestSearchParallelBadDifficulty mirrors the serial input validation.
+func TestSearchParallelBadDifficulty(t *testing.T) {
+	w := &Worker{Parallelism: 2}
+	for _, d := range []int{0, -1, MaxDifficulty + 1} {
+		if _, err := w.SearchParallel(context.Background(), hashutil.Hash{}, hashutil.Hash{}, d); !errors.Is(err, ErrBadDifficulty) {
+			t.Errorf("difficulty %d: err = %v, want ErrBadDifficulty", d, err)
+		}
+	}
+}
+
+// TestAttachParallel stores the winning nonce on the transaction.
+func TestAttachParallel(t *testing.T) {
+	tr := &txn.Transaction{Trunk: hashutil.Sum([]byte("pa")), Branch: hashutil.Sum([]byte("pb"))}
+	w := &Worker{Parallelism: 4}
+	res, err := w.AttachParallel(context.Background(), tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nonce != res.Nonce {
+		t.Errorf("tx nonce %d != result nonce %d", tr.Nonce, res.Nonce)
+	}
+	if err := Verify(tr.Trunk, tr.Branch, tr.Nonce, 8); err != nil {
+		t.Errorf("attached nonce fails verification: %v", err)
+	}
+}

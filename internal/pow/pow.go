@@ -44,8 +44,15 @@ type Worker struct {
 	CostFactor int
 
 	// MaxAttempts bounds the search; 0 means unbounded. When the bound
-	// is hit, Search returns ErrExhausted.
+	// is hit, Search returns ErrExhausted. For SearchParallel the bound
+	// is a shared budget across all lanes.
 	MaxAttempts uint64
+
+	// Parallelism is the number of goroutines SearchParallel fans the
+	// nonce space across; 0 selects GOMAXPROCS, 1 degenerates to the
+	// serial Search. Plain Search ignores it (IoT devices are modelled
+	// single-core; gateways and benches opt in).
+	Parallelism int
 }
 
 // Result describes a successful PoW search.

@@ -27,10 +27,18 @@ func FuzzDecode(f *testing.F) {
 		Nonce:     12345,
 	}
 	seed.Sign(key)
-	f.Add(seed.Encode())
+	enc := seed.Encode()
+	f.Add(enc)
 	f.Add([]byte{})
 	f.Add([]byte{0xB1, 0x07})
 	f.Add(bytes.Repeat([]byte{0xFF}, 200))
+	// Shapes a batched gossip datagram can hand the decoder: an entry
+	// truncated mid-field and one with a whole second encoding appended
+	// (a framing bug duplicating a payload must not decode as valid).
+	f.Add(enc[:len(enc)/2])
+	f.Add(enc[:len(enc)-1])
+	f.Add(append(append([]byte(nil), enc...), enc...))
+	f.Add(append(append([]byte(nil), enc...), 0x00))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decoded, err := Decode(data)

@@ -296,15 +296,34 @@ func (s *System) Stats() tangle.Stats {
 	return s.manager.Node().Tangle().StatsNow()
 }
 
+// Flush blocks until every node's asynchronous broadcast queue has
+// drained — the barrier to call before reading one device's submission
+// through a *different* gateway. Single-gateway flows never need it.
+func (s *System) Flush(ctx context.Context) error {
+	if err := s.manager.Node().FlushBroadcast(ctx); err != nil {
+		return err
+	}
+	for _, gw := range s.gateways {
+		if err := gw.full.FlushBroadcast(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Events returns the recorded malicious events for addr.
 func (s *System) Events(addr Address) []core.EventRecord {
 	return s.manager.Node().Engine().Ledger().Events(addr)
 }
 
-// Close shuts the deployment down, closing RPC servers and journals.
+// Close shuts the deployment down: broadcast pipelines drain and stop,
+// then RPC servers, journals and the bus close.
 func (s *System) Close() error {
 	var firstErr error
 	for _, gw := range s.gateways {
+		if err := gw.full.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		if err := gw.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -313,6 +332,9 @@ func (s *System) Close() error {
 				firstErr = err
 			}
 		}
+	}
+	if err := s.manager.Node().Close(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	if s.cfg.PersistDir != "" {
 		if err := s.manager.Node().ClosePersistence(); err != nil && firstErr == nil {
