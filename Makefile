@@ -13,9 +13,15 @@ vet:
 	$(GO) vet ./...
 
 # The default test run is race-enabled: the submission pipeline is
-# concurrent by design, so a non-race pass proves little.
-test:
+# concurrent by design, so a non-race pass proves little. The bench
+# smoke pins a tiny -benchtime so the tangle benchmark suite itself
+# stays compiling and passing; the concurrent-reader benchmark runs
+# under the race detector to exercise SelectTips readers against a
+# live attacher.
+test: vet
 	$(GO) test -race ./...
+	$(GO) test -run XXX -bench BenchmarkTangle -benchtime 50x ./internal/tangle/
+	$(GO) test -race -run XXX -bench BenchmarkTangleConcurrentSelectDuringAttach -benchtime 100x ./internal/tangle/
 
 # Fast feedback loop: no race detector, skip the long soak/stress tests.
 test-short:
@@ -30,10 +36,14 @@ cover:
 
 # One testing.B bench per paper figure + ablations (laptop-scale).
 # Also snapshots the submission-pipeline scaling curve to
-# BENCH_pipeline.json for machine consumption.
+# BENCH_pipeline.json and the ledger depth-scaling curve to
+# BENCH_tangle.json (the latter is committed: it carries the
+# anchored-vs-genesis walk evidence).
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
+	$(GO) test -run XXX -bench BenchmarkTangle -benchmem ./internal/tangle/
 	$(GO) run ./cmd/biot-bench -fig pipeline -quick -json BENCH_pipeline.json
+	$(GO) run ./cmd/biot-bench -fig tangle -json BENCH_tangle.json
 
 # Regenerate every paper figure with full (Pi-emulated) parameters.
 figures:

@@ -15,6 +15,7 @@
 //	biot-bench -fig throughput         # DAG vs chain baseline
 //	biot-bench -fig keydist            # Fig-4 protocol experiment
 //	biot-bench -fig pipeline           # parallel-submission scaling
+//	biot-bench -fig tangle             # ledger hot-path depth scaling
 //	biot-bench -fig 9 -csv out.csv     # also write CSV
 //	biot-bench -fig pipeline -json BENCH_pipeline.json
 package main
@@ -37,7 +38,7 @@ type renderable interface {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, tangle, all")
 	quick := flag.Bool("quick", false, "CI-scale parameters (smaller sweeps, no device emulation)")
 	csvPath := flag.String("csv", "", "also write the result as CSV to this file (single figure only)")
 	jsonPath := flag.String("json", "", "also write the result as JSON to this file (single figure only; figures that support it)")
@@ -58,7 +59,7 @@ func run(fig string, quick bool, csvPath, jsonPath string) error {
 	ctx := context.Background()
 	figs := []string{fig}
 	if fig == "all" {
-		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline"}
+		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline", "tangle"}
 		if csvPath != "" {
 			return fmt.Errorf("-csv requires a single figure")
 		}
@@ -154,6 +155,12 @@ func runOne(ctx context.Context, fig string, quick bool) (renderable, error) {
 			cfg = experiments.QuickPipelineConfig()
 		}
 		return experiments.RunPipeline(ctx, cfg)
+	case "tangle":
+		cfg := experiments.DefaultTangleBenchConfig()
+		if quick {
+			cfg = experiments.QuickTangleBenchConfig()
+		}
+		return experiments.RunTangleBench(cfg)
 	case "scale":
 		cfg := experiments.DefaultScalabilityConfig()
 		if quick {

@@ -70,9 +70,14 @@ func RunLazyResist(cfg LazyResistConfig) (*LazyResistResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Production-ish confirmation: the honest chain keeps confirming,
+	// so the walk's anchor set tracks the honest frontier. The lazy
+	// attack pins an ancient pair far behind that frontier — anchored
+	// walks never even visit it, making the measured resistance
+	// structural (the walk starts past the attack) on top of the
+	// weight bias (the walk is unlikely to step into light branches).
 	vc := clock.NewVirtual(time.Unix(1_700_000_000, 0))
 	tcfg := tangle.DefaultConfig()
-	tcfg.ConfirmationWeight = 1 << 30 // keep weights flowing for the walk
 	tg, err := tangle.New(tcfg, key.Public(), vc)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// TangleBenchConfig parameterizes the ledger hot-path benchmark: at each
+// tangle size it measures attach cost and tip-selection latency for the
+// uniform strategy and for the weighted walk with both start rules — the
+// anchored walk (production path, starting at the confirmed frontier)
+// and the genesis-started baseline it replaced. The anchored/genesis
+// ratio is the headline: anchored walk latency stays flat as the tangle
+// deepens while the genesis baseline scales with DAG depth.
+type TangleBenchConfig struct {
+	// Sizes lists the tangle sizes (attached transactions) to measure.
+	Sizes []int
+	// Selections is the number of SelectTips calls sampled per strategy
+	// at each size (each call runs two walks).
+	Selections int
+}
+
+// DefaultTangleBenchConfig sweeps to 10k vertices, the scale the
+// acceptance snapshot (BENCH_tangle.json) is pinned at.
+func DefaultTangleBenchConfig() TangleBenchConfig {
+	return TangleBenchConfig{
+		Sizes:      []int{1_000, 2_500, 5_000, 10_000},
+		Selections: 300,
+	}
+}
+
+// QuickTangleBenchConfig is a CI-friendly reduction.
+func QuickTangleBenchConfig() TangleBenchConfig {
+	return TangleBenchConfig{Sizes: []int{500, 2_000}, Selections: 100}
+}
+
+// TangleBenchRow is one tangle size's measurement.
+type TangleBenchRow struct {
+	Size int `json:"size"`
+	// AttachNs is the mean wall-clock cost of one Attach while building
+	// to this size (weight propagation dominates in a deep DAG).
+	AttachNs float64 `json:"attach_ns"`
+	// UniformNs / AnchoredNs / GenesisNs are mean SelectTips latencies
+	// for uniform sampling, the anchored weighted walk, and the
+	// genesis-started weighted-walk baseline.
+	UniformNs  float64 `json:"uniform_ns"`
+	AnchoredNs float64 `json:"anchored_walk_ns"`
+	GenesisNs  float64 `json:"genesis_walk_ns"`
+	// Speedup is GenesisNs / AnchoredNs — how much the anchor set buys
+	// at this depth.
+	Speedup float64 `json:"speedup"`
+	// AnchoredMaxSteps / GenesisMaxSteps are the longest single walks
+	// observed during the sample batches (from the ledger's
+	// WalkLengthMax gauge): the structural reason for the speedup.
+	AnchoredMaxSteps int64 `json:"anchored_max_steps"`
+	GenesisMaxSteps  int64 `json:"genesis_max_steps"`
+}
+
+// TangleBenchResult is the depth-scaling curve.
+type TangleBenchResult struct {
+	Config TangleBenchConfig `json:"config"`
+	Rows   []TangleBenchRow  `json:"rows"`
+}
+
+// RunTangleBench executes the sweep. Each size gets a fresh tangle built
+// with uniform parent selection, which keeps the tip pool narrow and the
+// DAG deep — the worst case for a genesis-started walk and therefore the
+// honest setting for comparing it against the anchored walk.
+func RunTangleBench(cfg TangleBenchConfig) (*TangleBenchResult, error) {
+	if len(cfg.Sizes) == 0 || cfg.Selections < 1 {
+		return nil, fmt.Errorf("tangle bench workload too small")
+	}
+	res := &TangleBenchResult{Config: cfg}
+	for _, size := range cfg.Sizes {
+		row, err := runTangleBenchSize(size, cfg.Selections)
+		if err != nil {
+			return nil, fmt.Errorf("size=%d: %w", size, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runTangleBenchSize(size, selections int) (TangleBenchRow, error) {
+	key, err := identity.Generate()
+	if err != nil {
+		return TangleBenchRow{}, err
+	}
+	vc := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	tg, err := tangle.New(tangle.DefaultConfig(), key.Public(), vc)
+	if err != nil {
+		return TangleBenchRow{}, err
+	}
+
+	// Build with uniform parent selection. Transactions carry an issuer
+	// but no signature — Attach verifies structure only, so the numbers
+	// measure the ledger, not ECDSA.
+	var attachTotal time.Duration
+	for i := 0; i < size; i++ {
+		trunk, branch, err := tg.SelectTips(tangle.StrategyUniform)
+		if err != nil {
+			return TangleBenchRow{}, err
+		}
+		vc.Advance(time.Second)
+		tx := &txn.Transaction{
+			Trunk:     trunk,
+			Branch:    branch,
+			Timestamp: vc.Now(),
+			Kind:      txn.KindData,
+			Issuer:    key.Public(),
+			Payload:   []byte(fmt.Sprintf("bench-%d", i)),
+		}
+		start := time.Now()
+		if _, err := tg.Attach(tx); err != nil {
+			return TangleBenchRow{}, err
+		}
+		attachTotal += time.Since(start)
+	}
+
+	met := tg.Metrics()
+	sample := func(sel func(tangle.TipStrategy) (hashutil.Hash, hashutil.Hash, error)) (float64, int64, error) {
+		met.WalkLengthMax.Set(0)
+		start := time.Now()
+		for i := 0; i < selections; i++ {
+			if _, _, err := sel(tangle.StrategyWeightedWalk); err != nil {
+				return 0, 0, err
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(selections)
+		return ns, met.WalkLengthMax.Value(), nil
+	}
+
+	anchoredNs, anchoredMax, err := sample(tg.SelectTips)
+	if err != nil {
+		return TangleBenchRow{}, err
+	}
+	genesisNs, genesisMax, err := sample(tg.SelectTipsGenesisWalk)
+	if err != nil {
+		return TangleBenchRow{}, err
+	}
+
+	start := time.Now()
+	for i := 0; i < selections; i++ {
+		if _, _, err := tg.SelectTips(tangle.StrategyUniform); err != nil {
+			return TangleBenchRow{}, err
+		}
+	}
+	uniformNs := float64(time.Since(start).Nanoseconds()) / float64(selections)
+
+	speedup := 0.0
+	if anchoredNs > 0 {
+		speedup = genesisNs / anchoredNs
+	}
+	return TangleBenchRow{
+		Size:             size,
+		AttachNs:         float64(attachTotal.Nanoseconds()) / float64(size),
+		UniformNs:        uniformNs,
+		AnchoredNs:       anchoredNs,
+		GenesisNs:        genesisNs,
+		Speedup:          speedup,
+		AnchoredMaxSteps: anchoredMax,
+		GenesisMaxSteps:  genesisMax,
+	}, nil
+}
+
+// Render writes the depth-scaling curve as an aligned table.
+func (r *TangleBenchResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Tangle hot-path scaling — %d selections per strategy, uniform-built DAG\n",
+		r.Config.Selections); err != nil {
+		return err
+	}
+	t := &table{header: []string{"size", "attach_ns", "uniform_ns", "anchored_ns", "genesis_ns", "speedup", "anchored_max_steps", "genesis_max_steps"}}
+	for _, row := range r.Rows {
+		t.add(
+			fmt.Sprintf("%d", row.Size),
+			fmt.Sprintf("%.0f", row.AttachNs),
+			fmt.Sprintf("%.0f", row.UniformNs),
+			fmt.Sprintf("%.0f", row.AnchoredNs),
+			fmt.Sprintf("%.0f", row.GenesisNs),
+			fmt.Sprintf("%.1fx", row.Speedup),
+			fmt.Sprintf("%d", row.AnchoredMaxSteps),
+			fmt.Sprintf("%d", row.GenesisMaxSteps),
+		)
+	}
+	return t.render(w)
+}
+
+// CSV writes the curve as CSV.
+func (r *TangleBenchResult) CSV(w io.Writer) error {
+	t := &table{header: []string{"size", "attach_ns", "uniform_ns", "anchored_ns", "genesis_ns", "speedup", "anchored_max_steps", "genesis_max_steps"}}
+	for _, row := range r.Rows {
+		t.add(
+			fmt.Sprintf("%d", row.Size),
+			fmt.Sprintf("%.0f", row.AttachNs),
+			fmt.Sprintf("%.0f", row.UniformNs),
+			fmt.Sprintf("%.0f", row.AnchoredNs),
+			fmt.Sprintf("%.0f", row.GenesisNs),
+			fmt.Sprintf("%.2f", row.Speedup),
+			fmt.Sprintf("%d", row.AnchoredMaxSteps),
+			fmt.Sprintf("%d", row.GenesisMaxSteps))
+	}
+	return t.csv(w)
+}
+
+// JSON writes the curve as a machine-readable snapshot
+// (BENCH_tangle.json in the Makefile's bench target).
+func (r *TangleBenchResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -50,6 +50,17 @@ func (g *Gauge) Inc() { g.n.Add(1) }
 // Dec subtracts one.
 func (g *Gauge) Dec() { g.n.Add(-1) }
 
+// StoreMax raises the gauge to v if v exceeds the current value — a
+// lock-free running maximum (peak queue depth, longest observed walk).
+func (g *Gauge) StoreMax(v int64) {
+	for {
+		cur := g.n.Load()
+		if v <= cur || g.n.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.n.Load() }
 

@@ -149,7 +149,7 @@ type FullNode struct {
 
 	pendingMu sync.Mutex
 	pending   map[hashutil.Hash]*txn.Transaction // transfers awaiting confirmation
-	deferred  []tangle.Event                     // events captured under the tangle lock
+	deferred  []tangle.Event                     // settlement events awaiting drainDeferred
 	journal   *store.Log                         // nil unless EnablePersistence was called
 
 	limiterMu sync.Mutex
@@ -250,9 +250,11 @@ func (n *FullNode) CountersView() Counters { return n.counters }
 // Clock returns the node's time source.
 func (n *FullNode) Clock() clock.Clock { return n.cfg.Clock }
 
-// onTangleEvent routes ledger events. It runs under the tangle lock, so
-// it only touches FullNode-local state; heavier follow-ups (token
-// settlement) are deferred and drained after the attach completes.
+// onTangleEvent routes ledger events. Events are delivered serialized
+// in ledger order after the tangle lock is released (possibly on a
+// concurrent submitter's goroutine), so this must stay cheap and only
+// touch concurrency-safe state; heavier follow-ups (token settlement)
+// are deferred and drained after the attach completes.
 func (n *FullNode) onTangleEvent(ev tangle.Event) {
 	switch ev.Kind {
 	case tangle.EventLazyTips:
@@ -406,6 +408,10 @@ func (n *FullNode) FlushBroadcast(ctx context.Context) error {
 // Pipeline exposes the submission pipeline's metrics.
 func (n *FullNode) Pipeline() PipelineMetrics { return n.pipeline }
 
+// LedgerMetrics exposes the tangle's anchored tip-selection gauges
+// (anchor height/count, walk lengths, fallback counts).
+func (n *FullNode) LedgerMetrics() tangle.Metrics { return n.tangle.Metrics() }
+
 // Close drains and stops the broadcast pipeline. Read paths and local
 // admission keep working; subsequent Submits attach locally but are no
 // longer gossiped. Safe to call more than once.
@@ -546,10 +552,19 @@ func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Messag
 		for _, id := range msg.Have {
 			have[id] = struct{}{}
 		}
+		// Page through history instead of cloning it in one call, so
+		// serving a sync never holds the tangle read lock for a
+		// full-history copy (admissions keep flowing meanwhile).
 		var data [][]byte
-		for _, t := range n.tangle.Export() {
-			if _, known := have[t.ID()]; !known {
-				data = append(data, t.Encode())
+		for from := 0; ; from += syncPageSize {
+			page := n.tangle.ExportRange(from, syncPageSize)
+			for _, t := range page {
+				if _, known := have[t.ID()]; !known {
+					data = append(data, t.Encode())
+				}
+			}
+			if len(page) < syncPageSize {
+				break
 			}
 		}
 		return &gossip.Message{Type: gossip.MsgSyncResponse, TxData: data}, nil
@@ -558,6 +573,10 @@ func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Messag
 	}
 }
 
+// syncPageSize bounds how many transactions a single ExportRange call
+// clones under the tangle read lock while serving or preparing a sync.
+const syncPageSize = 256
+
 // syncFrom pulls missing transactions from one peer and admits them in
 // order.
 func (n *FullNode) syncFrom(ctx context.Context, peer string) {
@@ -565,8 +584,12 @@ func (n *FullNode) syncFrom(ctx context.Context, peer string) {
 		return
 	}
 	var have []hashutil.Hash
-	for _, t := range n.tangle.Export() {
-		have = append(have, t.ID())
+	for from := 0; ; from += syncPageSize {
+		page := n.tangle.OrderedIDs(from, syncPageSize)
+		have = append(have, page...)
+		if len(page) < syncPageSize {
+			break
+		}
 	}
 	reply, err := n.cfg.Network.Request(ctx, peer, gossip.Message{
 		Type: gossip.MsgSyncRequest,

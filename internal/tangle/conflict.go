@@ -23,6 +23,9 @@ func (t *Tangle) recordSpendLocked(v *vertex, tr txn.Transfer, now time.Time) []
 	if len(group) == 1 {
 		return nil
 	}
+	if len(group) == 2 {
+		t.nConflicts++ // key just became conflicting
+	}
 
 	// Conflict: attribute a double-spend event to the offender (all
 	// conflicting txs share the sender, which is the spend key account).
@@ -73,6 +76,7 @@ func (t *Tangle) resolveConflictLocked(group []hashutil.Hash, now time.Time) []E
 	// reinstated when it wins a later resolution round.
 	if winner != nil && winner.status == StatusRejected {
 		winner.status = StatusPending
+		t.nRejected--
 	}
 	for _, id := range group {
 		v := t.vertices[id]
@@ -80,8 +84,15 @@ func (t *Tangle) resolveConflictLocked(group []hashutil.Hash, now time.Time) []E
 			continue
 		}
 		if v.status != StatusRejected {
+			if v.status == StatusConfirmed {
+				// Snapshotted-winner edge case: a confirmed loser is
+				// demoted, so it no longer qualifies as a walk anchor.
+				t.nConfirmed--
+				t.dropAnchorLocked(v.id)
+			}
 			v.status = StatusRejected
-			delete(t.tips, v.id) // rejected txs must not be selected as tips
+			t.nRejected++
+			t.removeTipLocked(v.id) // rejected txs must not be selected as tips
 			t.restoreParentTipsLocked(v)
 			events = append(events, Event{
 				Kind:    EventRejected,
@@ -129,7 +140,7 @@ func (t *Tangle) restoreParentTipsLocked(v *vertex) {
 			}
 		}
 		if allRejected {
-			t.tips[pid] = struct{}{}
+			t.addTipLocked(pid)
 		}
 	}
 }

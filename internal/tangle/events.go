@@ -60,10 +60,19 @@ type Event struct {
 	Weight float64
 }
 
-// Observer receives ledger events. Events are delivered synchronously
-// while the ledger lock is held, so event order always matches ledger
-// order; implementations must therefore not call back into the Tangle
-// from OnEvent — queue work instead.
+// Observer receives ledger events. Events are collected under the
+// ledger lock but delivered after it is released, in ledger order:
+// deliveries are serialized (never two OnEvent calls at once) and every
+// observer sees every event in the order the ledger produced it.
+// Because no tangle lock is held during delivery, implementations may
+// call back into the Tangle from OnEvent.
+//
+// Delivery is synchronous with respect to the mutation that produced
+// the events for single-goroutine callers: when Attach returns, the
+// attach's events have been delivered. Under concurrent attaches an
+// event may instead be delivered by whichever goroutine currently holds
+// the delivery baton, but always before that batch of Attach calls
+// returns.
 type Observer interface {
 	OnEvent(ev Event)
 }
@@ -82,13 +91,32 @@ func (t *Tangle) Observe(o Observer) {
 	t.observers = append(t.observers, o)
 }
 
-// notifyLocked delivers events to observers. Called with t.mu held; the
-// Observer contract forbids re-entry, so holding the lock is safe and
-// keeps event order identical to ledger order.
-func (t *Tangle) notifyLocked(events []Event) {
-	for _, ev := range events {
-		for _, o := range t.observers {
-			o.OnEvent(ev)
+// deliverPending drains the event queue to observers. Called after the
+// write lock is released. deliverMu is the delivery baton: it serializes
+// observer calls across goroutines, and because events were enqueued in
+// ledger order under the write lock and the queue is drained FIFO,
+// per-observer delivery order always matches ledger order. The loop
+// re-checks the queue after each batch so events enqueued by a
+// concurrent mutation while we were delivering are never stranded.
+//
+// Lock order is deliverMu → t.mu (briefly, to swap the queue out);
+// mutations enqueue under t.mu and call deliverPending only after
+// releasing it, so the reverse order never occurs.
+func (t *Tangle) deliverPending() {
+	t.deliverMu.Lock()
+	defer t.deliverMu.Unlock()
+	for {
+		t.mu.Lock()
+		events := t.pendingEvents
+		t.pendingEvents = nil
+		t.mu.Unlock()
+		if len(events) == 0 {
+			return
+		}
+		for _, ev := range events {
+			for _, o := range t.observers {
+				o.OnEvent(ev)
+			}
 		}
 	}
 }

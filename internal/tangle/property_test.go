@@ -170,6 +170,25 @@ func checkInvariants(t *testing.T, tg *Tangle, st *propState, step int) {
 		}
 	}
 
+	// 4b. Anchored and genesis-started weighted walks agree on what a
+	// valid result is: both always land on current tips.
+	inPool := make(map[hashutil.Hash]bool, len(tips))
+	for _, id := range tips {
+		inPool[id] = true
+	}
+	for name, sel := range map[string]func(TipStrategy) (hashutil.Hash, hashutil.Hash, error){
+		"anchored": tg.SelectTips,
+		"genesis":  tg.SelectTipsGenesisWalk,
+	} {
+		trunk, branch, err := sel(StrategyWeightedWalk)
+		if err != nil {
+			t.Fatalf("step %d: %s walk: %v", step, name, err)
+		}
+		if !inPool[trunk] || !inPool[branch] {
+			t.Fatalf("step %d: %s walk returned non-tip", step, name)
+		}
+	}
+
 	// 5. Conflict groups have at most one survivor.
 	counted := make(map[txn.SpendKey]int)
 	for _, tx := range exported {

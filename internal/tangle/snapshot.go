@@ -70,10 +70,14 @@ func (t *Tangle) Snapshot(now time.Time, keep time.Duration) int {
 	for _, id := range drop {
 		delete(t.vertices, id)
 		t.snapshotted[id] = struct{}{}
+		// Every dropped vertex was confirmed; keep the incremental
+		// stats and the anchor invariant (anchors are live) intact.
+		t.nConfirmed--
+		t.dropAnchorLocked(id)
 	}
 
-	// Rebuild the attachment order and kind indexes without the
-	// dropped vertices.
+	// Rebuild the attachment order, kind indexes and first-approval
+	// queue without the dropped vertices.
 	retained := t.order[:0]
 	for _, id := range t.order {
 		if _, ok := t.vertices[id]; ok {
@@ -90,6 +94,14 @@ func (t *Tangle) Snapshot(now time.Time, keep time.Duration) int {
 		}
 		t.byKind[kind] = kept
 	}
+	approved := t.approvedOrder[:0]
+	for _, id := range t.approvedOrder[t.approvedHead:] {
+		if _, ok := t.vertices[id]; ok {
+			approved = append(approved, id)
+		}
+	}
+	t.approvedOrder = approved
+	t.approvedHead = 0
 	return len(drop)
 }
 

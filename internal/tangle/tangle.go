@@ -18,9 +18,9 @@ package tangle
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/b-iot/biot/internal/clock"
@@ -102,6 +102,13 @@ type vertex struct {
 	// firstApprovedAt is when the vertex gained its first approver
 	// (left the tip pool); zero while still a tip.
 	firstApprovedAt time.Time
+	// height is the DAG height: 0 for genesis, 1+max(parent heights)
+	// otherwise. Walk anchors report it so operators can see how far
+	// from genesis the confirmed frontier has moved.
+	height int
+	// mark is the epoch stamp used by propagateWeightLocked to detect
+	// already-visited vertices without allocating a per-attach set.
+	mark uint64
 }
 
 // Info is the public view of a vertex.
@@ -115,7 +122,10 @@ type Info struct {
 	AttachedAt       time.Time
 }
 
-// Tangle is the DAG ledger. Safe for concurrent use.
+// Tangle is the DAG ledger. Safe for concurrent use. Mutations
+// serialize on the write lock; read paths — including tip selection —
+// take only the read lock and therefore run concurrently with each
+// other.
 type Tangle struct {
 	cfg Config
 	clk clock.Clock
@@ -123,14 +133,59 @@ type Tangle struct {
 	mu       sync.RWMutex
 	vertices map[hashutil.Hash]*vertex
 	tips     map[hashutil.Hash]struct{}
-	order    []hashutil.Hash // attachment order, for sync/export
-	byKind   map[txn.Kind][]hashutil.Hash
-	spends   map[txn.SpendKey][]hashutil.Hash
+	// tipsSorted mirrors tips in sorted order, maintained incrementally
+	// on mutation so SelectTips never re-collects and re-sorts the pool.
+	tipsSorted []hashutil.Hash
+	order      []hashutil.Hash // attachment order, for sync/export
+	byKind     map[txn.Kind][]hashutil.Hash
+	spends     map[txn.SpendKey][]hashutil.Hash
 	// snapshotted holds the IDs of vertices pruned by local snapshots
 	// (see snapshot.go).
 	snapshotted map[hashutil.Hash]struct{}
 	genesis     [2]hashutil.Hash
-	rng         *rand.Rand
+
+	// anchors is the moving confirmed-frontier anchor set: recently
+	// confirmed vertices that weighted walks start from instead of
+	// genesis. Invariant: every anchor is a live (non-snapshotted),
+	// non-rejected, confirmed vertex — Snapshot and conflict
+	// resolution purge entries that stop qualifying.
+	anchors []hashutil.Hash
+
+	// epoch + wstack back the allocation-free weight propagation:
+	// vertices visited in the current propagation carry mark == epoch,
+	// and the traversal stack is reused across attaches. evscratch is
+	// the per-attach event collection buffer, likewise reused (its
+	// elements are copied into pendingEvents before the lock drops).
+	epoch     uint64
+	wstack    []*vertex
+	evscratch []Event
+
+	// Incrementally maintained statistics (StatsNow is O(1)).
+	nConfirmed int // live vertices with StatusConfirmed (incl. genesis)
+	nRejected  int // live vertices with StatusRejected
+	nConflicts int // spend keys with more than one recorded spender
+
+	// approvedOrder lists non-genesis vertices in first-approval order
+	// (clock stamps are non-decreasing, so append order is
+	// chronological); approvedHead skips entries pruned by snapshots.
+	// Together they make OldestApproved amortized O(1).
+	approvedOrder []hashutil.Hash
+	approvedHead  int
+
+	// pendingEvents collects events produced under the write lock;
+	// deliverMu serializes their delivery to observers after the lock
+	// is released, preserving ledger order (see deliverPending).
+	pendingEvents []Event
+	deliverMu     sync.Mutex
+
+	// walkers pools per-call RNG + scratch state so tip selection needs
+	// no tangle-wide RNG (and hence no write lock). seed/walkerSeq make
+	// pooled walker streams reproducible for a fixed Config.Seed.
+	walkers   sync.Pool
+	seed      int64
+	walkerSeq atomic.Uint64
+
+	met Metrics
 
 	observers []Observer
 }
@@ -185,8 +240,10 @@ func New(cfg Config, managerPub identity.PublicKey, clk clock.Clock) (*Tangle, e
 		byKind:      make(map[txn.Kind][]hashutil.Hash),
 		spends:      make(map[txn.SpendKey][]hashutil.Hash),
 		snapshotted: make(map[hashutil.Hash]struct{}),
-		rng:         rand.New(rand.NewSource(seed)),
+		seed:        seed,
+		met:         newMetrics(),
 	}
+	t.walkers.New = func() any { return t.newWalker() }
 	now := clk.Now()
 	for i, g := range GenesisTransactions(managerPub) {
 		id := g.ID()
@@ -196,12 +253,42 @@ func New(cfg Config, managerPub identity.PublicKey, clk clock.Clock) (*Tangle, e
 			status:     StatusConfirmed, // genesis is trusted by fiat
 			attachedAt: now,
 		}
-		t.tips[id] = struct{}{}
+		t.addTipLocked(id)
 		t.order = append(t.order, id)
 		t.byKind[txn.KindGenesis] = append(t.byKind[txn.KindGenesis], id)
 		t.genesis[i] = id
+		t.nConfirmed++
 	}
 	return t, nil
+}
+
+// addTipLocked inserts id into the tip pool, keeping the sorted mirror
+// in step. O(log n) search + O(n) shift on a pool that stays small.
+func (t *Tangle) addTipLocked(id hashutil.Hash) {
+	if _, ok := t.tips[id]; ok {
+		return
+	}
+	t.tips[id] = struct{}{}
+	i := sort.Search(len(t.tipsSorted), func(i int) bool {
+		return t.tipsSorted[i].Compare(id) >= 0
+	})
+	t.tipsSorted = append(t.tipsSorted, hashutil.Hash{})
+	copy(t.tipsSorted[i+1:], t.tipsSorted[i:])
+	t.tipsSorted[i] = id
+}
+
+// removeTipLocked removes id from the tip pool and its sorted mirror.
+func (t *Tangle) removeTipLocked(id hashutil.Hash) {
+	if _, ok := t.tips[id]; !ok {
+		return
+	}
+	delete(t.tips, id)
+	i := sort.Search(len(t.tipsSorted), func(i int) bool {
+		return t.tipsSorted[i].Compare(id) >= 0
+	})
+	if i < len(t.tipsSorted) && t.tipsSorted[i] == id {
+		t.tipsSorted = append(t.tipsSorted[:i], t.tipsSorted[i+1:]...)
+	}
 }
 
 // Genesis returns the two genesis transaction IDs.
@@ -284,10 +371,17 @@ func (t *Tangle) Weight(id hashutil.Hash) (float64, error) {
 // transaction is still attached (the DAG keeps both branches) but the
 // lighter branch is marked rejected.
 func (t *Tangle) Attach(tx *txn.Transaction) (Info, error) {
-	id := tx.ID()
-
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	info, err := t.attachLocked(tx)
+	t.mu.Unlock()
+	if err == nil {
+		t.deliverPending()
+	}
+	return info, err
+}
+
+func (t *Tangle) attachLocked(tx *txn.Transaction) (Info, error) {
+	id := tx.ID()
 
 	if _, dup := t.vertices[id]; dup {
 		return Info{}, fmt.Errorf("%w: %s", ErrDuplicate, id.Short())
@@ -313,24 +407,32 @@ func (t *Tangle) Attach(tx *txn.Transaction) (Info, error) {
 	now := t.clk.Now()
 	lazy := t.lazyParentsLocked(trunk, branch, now)
 
+	height := trunk.height
+	if branch.height > height {
+		height = branch.height
+	}
 	v := &vertex{
 		tx:         tx.Clone(),
 		id:         id,
 		status:     StatusPending,
 		attachedAt: now,
+		height:     height + 1,
 	}
 	t.vertices[id] = v
 	t.order = append(t.order, id)
 	t.byKind[tx.Kind] = append(t.byKind[tx.Kind], id)
 
 	// Wire approvals and retire approved tips.
-	var events []Event
+	events := t.evscratch[:0]
 	for _, p := range [...]*vertex{trunk, branch} {
 		p.approvers = append(p.approvers, id)
 		if p.firstApprovedAt.IsZero() {
 			p.firstApprovedAt = now
+			if p.tx.Kind != txn.KindGenesis {
+				t.approvedOrder = append(t.approvedOrder, p.id)
+			}
 		}
-		delete(t.tips, p.id)
+		t.removeTipLocked(p.id)
 		if p.tx.Kind != txn.KindGenesis {
 			events = append(events, Event{
 				Kind:   EventApproved,
@@ -344,11 +446,11 @@ func (t *Tangle) Attach(tx *txn.Transaction) (Info, error) {
 			break // same parent twice: count the approval once
 		}
 	}
-	t.tips[id] = struct{}{}
+	t.addTipLocked(id)
 
 	// Propagate cumulative weight to all (unfrozen) ancestors and
 	// confirm those that cross the threshold.
-	t.propagateWeightLocked(v)
+	events = t.propagateWeightLocked(v, events)
 
 	if lazy {
 		events = append(events, Event{
@@ -368,7 +470,8 @@ func (t *Tangle) Attach(tx *txn.Transaction) (Info, error) {
 	}
 
 	info := t.infoLocked(v)
-	t.notifyLocked(events)
+	t.pendingEvents = append(t.pendingEvents, events...)
+	t.evscratch = events[:0] // keep the grown capacity for the next attach
 	return info, nil
 }
 
@@ -389,65 +492,70 @@ func (t *Tangle) lazyParentsLocked(trunk, branch *vertex, now time.Time) bool {
 }
 
 // propagateWeightLocked adds 1 to the cumulative weight of every
-// ancestor of v, confirming vertices that cross the threshold. Traversal
-// stops at confirmed vertices: their inclusion is already final, so
-// their weight is frozen — this bounds attach cost to the unconfirmed
-// frontier instead of the whole history.
-func (t *Tangle) propagateWeightLocked(v *vertex) {
+// ancestor of v, confirming vertices that cross the threshold (their
+// confirmation events are appended to events, which is returned).
+// Traversal stops at confirmed vertices: their inclusion is already
+// final, so their weight is frozen — this bounds attach cost to the
+// unconfirmed frontier instead of the whole history.
+//
+// The traversal is allocation-free: visited vertices are stamped with a
+// per-propagation epoch instead of being collected into a set, and the
+// stack is reused across attaches.
+func (t *Tangle) propagateWeightLocked(v *vertex, events []Event) []Event {
 	v.cumWeight++ // own weight
 
-	stack := make([]hashutil.Hash, 0, 8)
-	visited := map[hashutil.Hash]struct{}{v.id: {}}
+	t.epoch++
+	v.mark = t.epoch
+	stack := t.wstack[:0]
 	push := func(id hashutil.Hash) {
-		if _, seen := visited[id]; !seen {
-			visited[id] = struct{}{}
-			stack = append(stack, id)
+		if a, ok := t.vertices[id]; ok && a.mark != t.epoch {
+			a.mark = t.epoch
+			stack = append(stack, a)
 		}
 	}
 	push(v.tx.Trunk)
 	push(v.tx.Branch)
 
 	for len(stack) > 0 {
-		id := stack[len(stack)-1]
+		a := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		a, ok := t.vertices[id]
-		if !ok {
-			continue
-		}
 		a.cumWeight++
 		if a.status == StatusConfirmed {
 			continue // frozen: do not descend further
 		}
 		if a.cumWeight >= t.cfg.ConfirmationWeight && a.status == StatusPending {
 			a.status = StatusConfirmed
-			t.notifyLocked([]Event{{
+			t.nConfirmed++
+			t.addAnchorLocked(a)
+			events = append(events, Event{
 				Kind: EventConfirmed,
 				Node: a.tx.Sender(),
 				Tx:   a.id,
 				At:   t.clk.Now(),
-			}})
+			})
 		}
 		if a.tx.Kind != txn.KindGenesis {
 			push(a.tx.Trunk)
 			push(a.tx.Branch)
 		}
 	}
+	t.wstack = stack // keep the grown capacity for the next attach
+	return events
 }
 
 // Tips returns the current tip IDs in deterministic (sorted) order.
 func (t *Tangle) Tips() []hashutil.Hash {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]hashutil.Hash, 0, len(t.tips))
-	for id := range t.tips {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	out := make([]hashutil.Hash, len(t.tipsSorted))
+	copy(out, t.tipsSorted)
 	return out
 }
 
 // Export returns all transactions in attachment order, for syncing a
 // freshly joined full node. The slice and transactions are copies.
+// Large tangles should prefer ExportRange, which bounds how long the
+// read lock is held per call.
 func (t *Tangle) Export() []*txn.Transaction {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -455,6 +563,53 @@ func (t *Tangle) Export() []*txn.Transaction {
 	for _, id := range t.order {
 		out = append(out, t.vertices[id].tx.Clone())
 	}
+	return out
+}
+
+// ExportRange returns up to limit transactions starting at index from
+// of the attachment order. Callers page through history with a moving
+// offset so no single call holds the read lock for a full-history copy.
+// A local snapshot between pages compacts the order (indices shift
+// backwards); paged consumers tolerate that — sync deduplicates on
+// attach and repairs gaps on the next round.
+func (t *Tangle) ExportRange(from, limit int) []*txn.Transaction {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(t.order) || limit <= 0 {
+		return nil
+	}
+	end := from + limit
+	if end > len(t.order) {
+		end = len(t.order)
+	}
+	out := make([]*txn.Transaction, 0, end-from)
+	for _, id := range t.order[from:end] {
+		out = append(out, t.vertices[id].tx.Clone())
+	}
+	return out
+}
+
+// OrderedIDs returns up to limit attached transaction IDs starting at
+// index from of the attachment order — the ID-only companion of
+// ExportRange for peers advertising what they already have.
+func (t *Tangle) OrderedIDs(from, limit int) []hashutil.Hash {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(t.order) || limit <= 0 {
+		return nil
+	}
+	end := from + limit
+	if end > len(t.order) {
+		end = len(t.order)
+	}
+	out := make([]hashutil.Hash, end-from)
+	copy(out, t.order[from:end])
 	return out
 }
 
@@ -510,27 +665,18 @@ type Stats struct {
 	Snapshotted  int
 }
 
-// StatsNow computes current ledger statistics.
+// StatsNow returns current ledger statistics. The counters are
+// maintained incrementally on mutation, so this is O(1) — no full
+// scan, safe to poll from monitoring at any frequency.
 func (t *Tangle) StatsNow() Stats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	s := Stats{
+	return Stats{
 		Transactions: len(t.vertices),
 		Tips:         len(t.tips),
+		Confirmed:    t.nConfirmed,
+		Rejected:     t.nRejected,
+		Conflicts:    t.nConflicts,
 		Snapshotted:  len(t.snapshotted),
 	}
-	for _, v := range t.vertices {
-		switch v.status {
-		case StatusConfirmed:
-			s.Confirmed++
-		case StatusRejected:
-			s.Rejected++
-		}
-	}
-	for _, ids := range t.spends {
-		if len(ids) > 1 {
-			s.Conflicts++
-		}
-	}
-	return s
 }

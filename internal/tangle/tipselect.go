@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"github.com/b-iot/biot/internal/hashutil"
 	"github.com/b-iot/biot/internal/txn"
@@ -18,8 +19,11 @@ const (
 	// gateways". Default.
 	StrategyUniform TipStrategy = iota + 1
 	// StrategyWeightedWalk runs two independent IOTA-style MCMC random
-	// walks from genesis toward the tips, biased by cumulative weight.
-	// It resists lazy-tip inflation: a walk rarely ends on an abandoned
+	// walks toward the tips, biased by cumulative weight. Walks start
+	// from the confirmed-frontier anchor set (see anchor.go) and fall
+	// back to genesis when no anchor is usable, so the per-walk cost is
+	// bounded by the unconfirmed frontier, not the DAG depth. It
+	// resists lazy-tip inflation: a walk rarely ends on an abandoned
 	// branch.
 	StrategyWeightedWalk
 )
@@ -50,67 +54,134 @@ var ErrNoTips = errors.New("tangle has no tips")
 // approver j is proportional to exp(alpha * cumWeight_j).
 const walkAlpha = 0.05
 
+// walker carries the per-call state of one tip selection: an RNG and
+// the step scratch buffers. Pooling walkers keeps SelectTips free of
+// tangle-wide mutable state — selection needs only the read lock and
+// allocates nothing on the steady path.
+type walker struct {
+	rng     *rand.Rand
+	cand    []*vertex
+	weights []float64
+}
+
+// newWalker seeds a pooled walker. Streams are derived from the
+// configured seed and a creation sequence number, so a fixed Config.Seed
+// still yields reproducible single-goroutine runs (one walker is created
+// and reused), while concurrent callers get independent streams.
+func (t *Tangle) newWalker() *walker {
+	n := t.walkerSeq.Add(1)
+	stream := uint64(t.seed) + n*0x9E3779B97F4A7C15 // golden-ratio stride
+	return &walker{rng: rand.New(rand.NewSource(int64(stream)))}
+}
+
 // SelectTips returns two parent IDs using the given strategy. The two
 // may coincide when only one tip exists.
+//
+// SelectTips takes only the read lock: any number of selections run
+// concurrently with each other (and with other read paths); only
+// mutations serialize against it.
 func (t *Tangle) SelectTips(strategy TipStrategy) (trunk, branch hashutil.Hash, err error) {
-	t.mu.Lock() // rng is not concurrency-safe: full lock
-	defer t.mu.Unlock()
+	return t.selectTips(strategy, true)
+}
 
-	if len(t.tips) == 0 {
+// SelectTipsGenesisWalk is SelectTips with anchored walk starts
+// disabled: weighted walks begin at genesis, as in the original MCMC
+// formulation. It is the baseline the benchmark suite and the anchored
+// walk property tests compare against; production callers want
+// SelectTips.
+func (t *Tangle) SelectTipsGenesisWalk(strategy TipStrategy) (trunk, branch hashutil.Hash, err error) {
+	return t.selectTips(strategy, false)
+}
+
+func (t *Tangle) selectTips(strategy TipStrategy, anchored bool) (trunk, branch hashutil.Hash, err error) {
+	w := t.walkers.Get().(*walker)
+	defer t.walkers.Put(w)
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	if len(t.tipsSorted) == 0 {
 		return hashutil.Zero, hashutil.Zero, ErrNoTips
 	}
 	switch strategy {
 	case StrategyWeightedWalk:
-		trunk = t.weightedWalkLocked()
-		branch = t.weightedWalkLocked()
+		trunk = t.weightedWalkLocked(w, anchored)
+		branch = t.weightedWalkLocked(w, anchored)
 	case StrategyUniform:
-		trunk = t.uniformTipLocked()
-		branch = t.uniformTipLocked()
+		trunk = t.uniformTipLocked(w)
+		branch = t.uniformTipLocked(w)
 	default:
 		return hashutil.Zero, hashutil.Zero, fmt.Errorf("unknown tip strategy %v", strategy)
 	}
 	return trunk, branch, nil
 }
 
-func (t *Tangle) uniformTipLocked() hashutil.Hash {
-	// Deterministic iteration: collect and sort, then sample. The tip
-	// pool is small (tips are consumed as fast as they are produced),
-	// so the sort cost is negligible next to PoW.
-	ids := make([]hashutil.Hash, 0, len(t.tips))
-	for id := range t.tips {
-		ids = append(ids, id)
-	}
-	sortHashes(ids)
-	return ids[t.rng.Intn(len(ids))]
+// uniformTipLocked samples the sorted tip cache, which is maintained
+// incrementally on mutation — no per-call collection or sorting.
+func (t *Tangle) uniformTipLocked(w *walker) hashutil.Hash {
+	return t.tipsSorted[w.rng.Intn(len(t.tipsSorted))]
 }
 
-// weightedWalkLocked performs one MCMC walk from a genesis vertex toward
-// the tips, stepping to approvers with probability ∝ exp(α·w).
-func (t *Tangle) weightedWalkLocked() hashutil.Hash {
-	cur := t.vertices[t.genesis[t.rng.Intn(2)]]
+// weightedWalkLocked performs one MCMC walk toward the tips, stepping
+// to approvers with probability ∝ exp(α·w). With anchored set, the walk
+// starts from the confirmed-frontier anchor set; a walk that ends
+// off-tip (its cone died in rejections) restarts from genesis, and a
+// genesis walk that ends off-tip falls back to uniform selection.
+func (t *Tangle) weightedWalkLocked(w *walker, anchored bool) hashutil.Hash {
+	var start *vertex
+	if anchored {
+		start = t.anchorStartLocked(w)
+	}
+	if start == nil {
+		t.met.GenesisWalks.Inc()
+		start = t.vertices[t.genesis[w.rng.Intn(2)]]
+	}
+	if id, ok := t.walkFromLocked(w, start); ok {
+		return id
+	}
+	if start.tx.Kind != txn.KindGenesis {
+		// Correctness fallback: the anchored cone has no reachable tip;
+		// retry from genesis before giving up on the walk entirely.
+		t.met.WalkFallbacks.Inc()
+		if id, ok := t.walkFromLocked(w, t.vertices[t.genesis[w.rng.Intn(2)]]); ok {
+			return id
+		}
+	}
+	// Walk ended on a vertex whose approvers are all rejected; fall
+	// back to uniform selection.
+	return t.uniformTipLocked(w)
+}
+
+// walkFromLocked walks from start to a sink and reports whether the
+// sink is a tip.
+func (t *Tangle) walkFromLocked(w *walker, start *vertex) (hashutil.Hash, bool) {
+	cur := start
+	steps := int64(0)
 	for {
-		next := t.stepLocked(cur)
+		next := t.stepLocked(w, cur)
 		if next == nil {
 			break
 		}
 		cur = next
+		steps++
 	}
+	t.met.WalkLength.Set(steps)
+	t.met.WalkLengthMax.StoreMax(steps)
 	if _, isTip := t.tips[cur.id]; !isTip {
-		// Walk ended on a vertex whose approvers are all rejected;
-		// fall back to uniform selection.
-		return t.uniformTipLocked()
+		return hashutil.Zero, false
 	}
-	return cur.id
+	return cur.id, true
 }
 
-func (t *Tangle) stepLocked(cur *vertex) *vertex {
-	candidates := make([]*vertex, 0, len(cur.approvers))
+func (t *Tangle) stepLocked(w *walker, cur *vertex) *vertex {
+	candidates := w.cand[:0]
 	for _, id := range cur.approvers {
 		a := t.vertices[id]
 		if a != nil && a.status != StatusRejected {
 			candidates = append(candidates, a)
 		}
 	}
+	w.cand = candidates[:0]
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -121,15 +192,17 @@ func (t *Tangle) stepLocked(cur *vertex) *vertex {
 			maxW = c.cumWeight
 		}
 	}
-	weights := make([]float64, len(candidates))
+	weights := w.weights[:0]
 	var total float64
-	for i, c := range candidates {
-		weights[i] = math.Exp(walkAlpha * float64(c.cumWeight-maxW))
-		total += weights[i]
+	for _, c := range candidates {
+		e := math.Exp(walkAlpha * float64(c.cumWeight-maxW))
+		weights = append(weights, e)
+		total += e
 	}
-	r := t.rng.Float64() * total
-	for i, w := range weights {
-		r -= w
+	w.weights = weights[:0]
+	r := w.rng.Float64() * total
+	for i, wt := range weights {
+		r -= wt
 		if r <= 0 {
 			return candidates[i]
 		}
@@ -141,31 +214,37 @@ func (t *Tangle) stepLocked(cur *vertex) *vertex {
 // non-genesis transaction — the favourite parent of a lazy attacker.
 // Used by the attack injectors; returns false when every non-genesis
 // vertex is still a tip.
+//
+// The candidates live in approvedOrder, appended in first-approval
+// order (ledger clock stamps are non-decreasing), so the answer is at
+// the queue head; the head index advances past entries pruned by
+// snapshots, making the call amortized O(1) instead of a full scan.
 func (t *Tangle) OldestApproved() (hashutil.Hash, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var best *vertex
-	for _, v := range t.vertices {
-		if v.firstApprovedAt.IsZero() || v.tx.Kind == txn.KindGenesis {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.approvedHead < len(t.approvedOrder) {
+		if _, live := t.vertices[t.approvedOrder[t.approvedHead]]; live {
+			break
+		}
+		t.approvedHead++
+	}
+	if t.approvedHead >= len(t.approvedOrder) {
+		return hashutil.Zero, false
+	}
+	// Entries sharing the head's approval time are contiguous; break
+	// the tie on the smaller ID, matching the original scan's order.
+	best := t.vertices[t.approvedOrder[t.approvedHead]]
+	for _, id := range t.approvedOrder[t.approvedHead+1:] {
+		v, live := t.vertices[id]
+		if !live {
 			continue
 		}
-		if best == nil ||
-			v.firstApprovedAt.Before(best.firstApprovedAt) ||
-			(v.firstApprovedAt.Equal(best.firstApprovedAt) && v.id.Compare(best.id) < 0) {
+		if !v.firstApprovedAt.Equal(best.firstApprovedAt) {
+			break
+		}
+		if v.id.Compare(best.id) < 0 {
 			best = v
 		}
 	}
-	if best == nil {
-		return hashutil.Zero, false
-	}
 	return best.id, true
-}
-
-func sortHashes(ids []hashutil.Hash) {
-	// Insertion sort: tip pools are small and usually nearly sorted.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j].Compare(ids[j-1]) < 0; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
 }
