@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench figures examples fuzz clean
+.PHONY: all build vet test test-short race cover bench bench-gossip figures examples fuzz clean
 
 all: build vet test
 
@@ -22,6 +22,7 @@ test: vet
 	$(GO) test -race ./...
 	$(GO) test -run XXX -bench BenchmarkTangle -benchtime 50x ./internal/tangle/
 	$(GO) test -race -run XXX -bench BenchmarkTangleConcurrentSelectDuringAttach -benchtime 100x ./internal/tangle/
+	$(GO) test -run XXX -bench BenchmarkGossip -benchtime 20x ./internal/gossip/
 
 # Fast feedback loop: no race detector, skip the long soak/stress tests.
 test-short:
@@ -36,14 +37,22 @@ cover:
 
 # One testing.B bench per paper figure + ablations (laptop-scale).
 # Also snapshots the submission-pipeline scaling curve to
-# BENCH_pipeline.json and the ledger depth-scaling curve to
-# BENCH_tangle.json (the latter is committed: it carries the
-# anchored-vs-genesis walk evidence).
+# BENCH_pipeline.json, the ledger depth-scaling curve to
+# BENCH_tangle.json and the transport fan-out curve to BENCH_gossip.json
+# (the latter two are committed: they carry the anchored-vs-genesis walk
+# and pooled-vs-one-shot transport evidence).
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
 	$(GO) test -run XXX -bench BenchmarkTangle -benchmem ./internal/tangle/
+	$(GO) test -run XXX -bench BenchmarkGossip -benchmem ./internal/gossip/
 	$(GO) run ./cmd/biot-bench -fig pipeline -quick -json BENCH_pipeline.json
 	$(GO) run ./cmd/biot-bench -fig tangle -json BENCH_tangle.json
+	$(GO) run ./cmd/biot-bench -fig gossip -json BENCH_gossip.json
+
+# The transport fan-out figure alone (regenerates BENCH_gossip.json).
+bench-gossip:
+	$(GO) test -run XXX -bench BenchmarkGossip -benchmem ./internal/gossip/
+	$(GO) run ./cmd/biot-bench -fig gossip -json BENCH_gossip.json
 
 # Regenerate every paper figure with full (Pi-emulated) parameters.
 figures:
@@ -64,6 +73,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzDecrypt$$' -fuzztime=30s ./internal/dataauth/
 	$(GO) test -fuzz='^FuzzOpenEnvelope$$' -fuzztime=15s ./internal/dataauth/
 	$(GO) test -fuzz='^FuzzDecodeMessage$$' -fuzztime=30s ./internal/gossip/
+	$(GO) test -fuzz='^FuzzDecodeFrame$$' -fuzztime=15s ./internal/gossip/
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt BENCH_pipeline.json

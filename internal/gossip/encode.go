@@ -16,7 +16,7 @@ import (
 //
 // Layout (all integers are minimally encoded uvarints):
 //
-//	magic 0xB1 0x07 | version 0x01 | type | txCount | {len | bytes}* | haveCount | {32-byte hash}*
+//	magic 0xB1 0x07 | version 0x02 | type | txCount | {len | bytes}* | haveCount | {32-byte hash}* | offset | total | more
 //
 // The codec is bijective on its accepted set: any input DecodeMessage
 // accepts re-encodes to the identical byte string. That property is
@@ -26,7 +26,7 @@ import (
 const (
 	encMagic0  = 0xB1
 	encMagic1  = 0x07
-	encVersion = 0x01
+	encVersion = 0x02
 
 	// MaxMessageBytes bounds one datagram: framing rejects anything
 	// larger before buffering it (flood defense on the TCP transport).
@@ -41,7 +41,7 @@ var (
 
 // EncodeMessage renders msg in the canonical binary form.
 func EncodeMessage(msg Message) []byte {
-	size := 3 + binary.MaxVarintLen64*2
+	size := 3 + binary.MaxVarintLen64*5
 	for _, tx := range msg.TxData {
 		size += binary.MaxVarintLen64 + len(tx)
 	}
@@ -59,6 +59,13 @@ func EncodeMessage(msg Message) []byte {
 	for _, h := range msg.Have {
 		out = append(out, h[:]...)
 	}
+	out = binary.AppendUvarint(out, msg.Offset)
+	out = binary.AppendUvarint(out, msg.Total)
+	more := uint64(0)
+	if msg.More {
+		more = 1
+	}
+	out = binary.AppendUvarint(out, more)
 	return out
 }
 
@@ -127,8 +134,8 @@ func DecodeMessage(data []byte) (Message, error) {
 		return Message{}, err
 	}
 	rest = rest[n:]
-	if haveCount > uint64(len(rest)/hashutil.Size) || haveCount*hashutil.Size != uint64(len(rest)) {
-		return Message{}, fmt.Errorf("%w: have section length mismatch", ErrBadMessage)
+	if haveCount > uint64(len(rest)/hashutil.Size) {
+		return Message{}, fmt.Errorf("%w: have section truncated", ErrBadMessage)
 	}
 	var have []hashutil.Hash
 	if haveCount > 0 {
@@ -138,5 +145,29 @@ func DecodeMessage(data []byte) (Message, error) {
 			rest = rest[hashutil.Size:]
 		}
 	}
-	return Message{Type: MsgType(typ), TxData: txData, Have: have}, nil
+
+	offset, n, err := uvarint(rest)
+	if err != nil {
+		return Message{}, err
+	}
+	rest = rest[n:]
+	total, n, err := uvarint(rest)
+	if err != nil {
+		return Message{}, err
+	}
+	rest = rest[n:]
+	more, n, err := uvarint(rest)
+	if err != nil {
+		return Message{}, err
+	}
+	rest = rest[n:]
+	// more is a canonical boolean and the message ends here; anything
+	// else breaks the one-input-one-encoding bijection.
+	if more > 1 {
+		return Message{}, fmt.Errorf("%w: non-boolean more flag", ErrBadMessage)
+	}
+	if len(rest) != 0 {
+		return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(rest))
+	}
+	return Message{Type: MsgType(typ), TxData: txData, Have: have, Offset: offset, Total: total, More: more == 1}, nil
 }

@@ -15,6 +15,9 @@ func sampleMessages() []Message {
 		{Type: MsgTransaction, TxData: [][]byte{{1}, {2, 2}, {}, bytes.Repeat([]byte{0xAB}, 300)}},
 		{Type: MsgSyncRequest, Have: []hashutil.Hash{hashutil.Sum([]byte("a")), hashutil.Sum([]byte("b"))}},
 		{Type: MsgSyncResponse, TxData: [][]byte{bytes.Repeat([]byte{7}, 1000)}, Have: []hashutil.Hash{{}}},
+		{Type: MsgSyncRequest, Have: []hashutil.Hash{hashutil.Sum([]byte("c"))}, Offset: 4096},
+		{Type: MsgSyncResponse, TxData: [][]byte{{9}}, Offset: 4352, Total: 1 << 33, More: true},
+		{Type: MsgSyncResponse, Offset: 1, Total: 1},
 	}
 }
 
@@ -27,6 +30,9 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 		}
 		if got.Type != msg.Type || len(got.TxData) != len(msg.TxData) || len(got.Have) != len(msg.Have) {
 			t.Fatalf("case %d: round trip mismatch: %+v vs %+v", i, got, msg)
+		}
+		if got.Offset != msg.Offset || got.Total != msg.Total || got.More != msg.More {
+			t.Fatalf("case %d: paging fields mismatch: %+v vs %+v", i, got, msg)
 		}
 		for j := range msg.TxData {
 			if !bytes.Equal(got.TxData[j], msg.TxData[j]) {
@@ -59,6 +65,8 @@ func TestMessageDecodeRejects(t *testing.T) {
 		{"trailing byte", append(append([]byte(nil), valid...), 0x00)},
 		{"tx count exceeds payload", []byte{encMagic0, encMagic1, encVersion, 0x01, 0xFF, 0x01, 0x00}},
 		{"non-minimal varint", []byte{encMagic0, encMagic1, encVersion, 0x81, 0x00, 0x00, 0x00}},
+		{"missing paging fields", EncodeMessage(Message{Type: MsgSyncResponse})[:5]},
+		{"non-boolean more flag", append(EncodeMessage(Message{Type: MsgSyncRequest})[:8], 0x02)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,115 @@
+package gossip
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Mux frame layer: the unit of the persistent transport. One TCP
+// connection carries any number of frames in each direction; a request
+// ID ties a response frame back to the request it answers, so multiple
+// exchanges are in flight over one socket at once.
+//
+// Layout:
+//
+//	4-byte big-endian body length | 1-byte kind | 8-byte big-endian request id | message bytes
+//
+// The body length counts everything after the length word (kind + id +
+// message). Bodies above MaxMessageBytes+frameOverhead are rejected
+// before buffering, exactly like the one-shot framing this replaces.
+// Ping frames carry an empty message: they only refresh the receiver's
+// idle deadline and prove the socket is still writable.
+
+const (
+	// frameOverhead is the kind byte plus the request-id word.
+	frameOverhead = 1 + 8
+
+	// FrameRequest carries an encoded Message expecting a response with
+	// the same request id.
+	FrameRequest byte = 1
+	// FrameResponse carries the encoded reply Message for the request id.
+	FrameResponse byte = 2
+	// FramePing is an empty keepalive; it is never answered.
+	FramePing byte = 3
+)
+
+// ErrBadFrame reports a malformed mux frame.
+var ErrBadFrame = errors.New("malformed gossip frame")
+
+// EncodeFrame renders one mux frame (length word included).
+func EncodeFrame(kind byte, id uint64, payload []byte) []byte {
+	out := make([]byte, 4+frameOverhead+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(frameOverhead+len(payload)))
+	out[4] = kind
+	binary.BigEndian.PutUint64(out[5:], id)
+	copy(out[4+frameOverhead:], payload)
+	return out
+}
+
+// DecodeFrame parses exactly one complete frame. Trailing bytes, unknown
+// kinds, oversized bodies, ping frames with payloads and truncated
+// inputs are rejected; on success the frame re-encodes to the identical
+// byte string (fuzz-enforced).
+func DecodeFrame(data []byte) (kind byte, id uint64, payload []byte, err error) {
+	if len(data) < 4+frameOverhead {
+		return 0, 0, nil, fmt.Errorf("%w: truncated header", ErrBadFrame)
+	}
+	body := binary.BigEndian.Uint32(data)
+	if body > MaxMessageBytes+frameOverhead {
+		return 0, 0, nil, fmt.Errorf("%w: frame body of %d bytes", ErrMessageSize, body)
+	}
+	if body < frameOverhead || uint64(len(data)) != 4+uint64(body) {
+		return 0, 0, nil, fmt.Errorf("%w: length mismatch", ErrBadFrame)
+	}
+	kind = data[4]
+	if kind != FrameRequest && kind != FrameResponse && kind != FramePing {
+		return 0, 0, nil, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, kind)
+	}
+	id = binary.BigEndian.Uint64(data[5:])
+	payload = append([]byte(nil), data[4+frameOverhead:]...)
+	if kind == FramePing && len(payload) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: ping with payload", ErrBadFrame)
+	}
+	return kind, id, payload, nil
+}
+
+// writeFrame sends one mux frame over conn, serialization left to the
+// caller. Returns the number of wire bytes written.
+func writeFrame(conn net.Conn, kind byte, id uint64, payload []byte) (int, error) {
+	frame := EncodeFrame(kind, id, payload)
+	nw, err := conn.Write(frame)
+	return nw, err
+}
+
+// readFrame receives one mux frame, rejecting oversized bodies before
+// buffering them. Returns the wire size consumed alongside the frame.
+func readFrame(reader *bufio.Reader) (kind byte, id uint64, payload []byte, wire int, err error) {
+	var hdr [4 + frameOverhead]byte
+	if _, err := io.ReadFull(reader, hdr[:]); err != nil {
+		return 0, 0, nil, 0, err
+	}
+	body := binary.BigEndian.Uint32(hdr[:4])
+	if body > MaxMessageBytes+frameOverhead {
+		return 0, 0, nil, 0, fmt.Errorf("%w: frame body of %d bytes", ErrMessageSize, body)
+	}
+	if body < frameOverhead {
+		return 0, 0, nil, 0, fmt.Errorf("%w: length mismatch", ErrBadFrame)
+	}
+	kind = hdr[4]
+	if kind != FrameRequest && kind != FrameResponse && kind != FramePing {
+		return 0, 0, nil, 0, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, kind)
+	}
+	id = binary.BigEndian.Uint64(hdr[5:])
+	payload = make([]byte, body-frameOverhead)
+	if _, err := io.ReadFull(reader, payload); err != nil {
+		return 0, 0, nil, 0, err
+	}
+	if kind == FramePing && len(payload) != 0 {
+		return 0, 0, nil, 0, fmt.Errorf("%w: ping with payload", ErrBadFrame)
+	}
+	return kind, id, payload, int(4 + body), nil
+}

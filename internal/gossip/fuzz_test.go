@@ -44,6 +44,8 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{one[:len(one)/2], two}}))
 	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{append(append([]byte(nil), one...), one...)}}))
 	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgSyncRequest, Have: []hashutil.Hash{hashutil.Sum([]byte("h"))}}))
+	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgSyncRequest, Have: []hashutil.Hash{hashutil.Sum([]byte("h"))}, Offset: 512}))
+	f.Add(gossip.EncodeMessage(gossip.Message{Type: gossip.MsgSyncResponse, TxData: [][]byte{one}, Offset: 768, Total: 70_000, More: true}))
 	f.Add(gossip.EncodeMessage(gossip.Message{}))
 	f.Add([]byte{})
 	f.Add([]byte{0xB1, 0x07, 0x01})

@@ -52,8 +52,20 @@ type Message struct {
 	// TxData carries canonical transaction encodings (MsgTransaction,
 	// MsgSyncResponse).
 	TxData [][]byte `json:"tx_data,omitempty"`
-	// Have carries known transaction IDs (MsgSyncRequest).
+	// Have carries known transaction IDs. Sync requests bound it to a
+	// recent window (node.SyncHaveWindow) rather than the full ledger,
+	// so sync message size stays constant as the DAG grows.
 	Have []hashutil.Hash `json:"have,omitempty"`
+	// Offset pages the sync exchange: on MsgSyncRequest it is the
+	// requester's cursor into the responder's attachment order; on
+	// MsgSyncResponse it is the next cursor to request.
+	Offset uint64 `json:"offset,omitempty"`
+	// Total is the responder's ledger size at response time; a total
+	// below the requester's cursor signals the responder reset (restart,
+	// snapshot) and the cursor rewinds.
+	Total uint64 `json:"total,omitempty"`
+	// More reports that the responder has pages beyond Offset.
+	More bool `json:"more,omitempty"`
 }
 
 // Handler is implemented by the full-node layer to consume gossip.
@@ -99,4 +111,8 @@ var (
 	ErrClosed      = errors.New("gossip network closed")
 	ErrPartitioned = errors.New("peers are partitioned")
 	ErrNoReply     = errors.New("peer returned no reply")
+	// ErrBackoff reports an exchange refused because the peer's
+	// reconnect backoff window has not elapsed yet (fail fast instead of
+	// re-dialing a known-dead peer on every exchange).
+	ErrBackoff = errors.New("peer dial backing off")
 )

@@ -1,0 +1,283 @@
+package gossip
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// peerConn is one peer's slot in the connection pool: at most one live
+// dialed TCP connection, multiplexing any number of concurrent
+// exchanges over it by request ID. The connection is established
+// lazily on first use and re-established lazily after failure, with
+// exponential backoff + jitter gating consecutive failed dials so a
+// dead peer costs one fast error instead of a dial timeout per
+// exchange.
+type peerConn struct {
+	net  *TCPNetwork
+	addr string
+
+	// mu guards connection lifecycle. Dialing happens under it: every
+	// exchange racing for a down connection waits for the one dial
+	// instead of stampeding the peer.
+	mu       sync.Mutex
+	conn     net.Conn
+	gen      int           // increments per established connection
+	backoff  time.Duration // current consecutive-failure delay
+	nextDial time.Time     // earliest next dial attempt
+	stop     chan struct{} // closed to end the current keepalive loop
+	closed   bool
+
+	// writeMu serializes frame writes; lastSend feeds the keepalive.
+	writeMu  sync.Mutex
+	lastSend time.Time
+
+	pendingMu sync.Mutex
+	pending   map[uint64]*pendingCall
+}
+
+type pendingCall struct {
+	gen int
+	ch  chan exchangeResult
+}
+
+type exchangeResult struct {
+	msg Message
+	err error
+}
+
+func newPeerConn(n *TCPNetwork, addr string) *peerConn {
+	return &peerConn{net: n, addr: addr, pending: make(map[uint64]*pendingCall)}
+}
+
+// ensure returns the live connection, dialing if necessary. A dial
+// inside the backoff window fails fast with ErrBackoff.
+func (p *peerConn) ensure(ctx context.Context) (net.Conn, int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, 0, ErrClosed
+	}
+	if p.conn != nil {
+		p.net.metrics.Reuses.Inc()
+		return p.conn, p.gen, nil
+	}
+	if wait := time.Until(p.nextDial); wait > 0 {
+		return nil, 0, fmt.Errorf("%w: %s retries in %v", ErrBackoff, p.addr, wait.Round(time.Millisecond))
+	}
+	dialer := net.Dialer{Timeout: p.net.dialTO}
+	conn, err := dialer.DialContext(ctx, "tcp", p.addr)
+	if err != nil {
+		p.net.metrics.DialFailures.Inc()
+		p.scheduleBackoffLocked()
+		return nil, 0, fmt.Errorf("dial %s: %w", p.addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+		_ = tc.SetKeepAlive(true)
+	}
+	p.backoff = 0
+	p.nextDial = time.Time{}
+	p.conn = conn
+	p.gen++
+	p.stop = make(chan struct{})
+	p.net.metrics.Dials.Inc()
+	p.net.wg.Add(2)
+	go p.readLoop(conn, p.gen)
+	go p.keepaliveLoop(conn, p.gen, p.stop)
+	return p.conn, p.gen, nil
+}
+
+// scheduleBackoffLocked doubles the consecutive-failure delay (capped)
+// and jitters the next attempt into [backoff/2, backoff] so restarting
+// peers are not hit by synchronized redial waves.
+func (p *peerConn) scheduleBackoffLocked() {
+	if p.backoff <= 0 {
+		p.backoff = p.net.backoffMin
+	} else if p.backoff < p.net.backoffMax {
+		p.backoff *= 2
+		if p.backoff > p.net.backoffMax {
+			p.backoff = p.net.backoffMax
+		}
+	}
+	delay := p.backoff/2 + time.Duration(rand.Int63n(int64(p.backoff/2)+1))
+	p.nextDial = time.Now().Add(delay)
+}
+
+// exchange runs one request→response round trip over the pooled
+// connection. Multiple exchanges are safely in flight at once.
+func (p *peerConn) exchange(ctx context.Context, payload []byte) (Message, error) {
+	conn, gen, err := p.ensure(ctx)
+	if err != nil {
+		return Message{}, err
+	}
+	id := p.net.nextReq.Add(1)
+	ch := make(chan exchangeResult, 1)
+	p.pendingMu.Lock()
+	p.pending[id] = &pendingCall{gen: gen, ch: ch}
+	p.pendingMu.Unlock()
+	p.net.metrics.InFlight.Inc()
+	defer p.net.metrics.InFlight.Dec()
+
+	start := time.Now()
+	p.writeMu.Lock()
+	_ = conn.SetWriteDeadline(time.Now().Add(p.net.ioTO))
+	nw, werr := writeFrame(conn, FrameRequest, id, payload)
+	p.lastSend = time.Now()
+	p.writeMu.Unlock()
+	p.net.metrics.BytesOut.Add(int64(nw))
+	if werr != nil {
+		p.drop(id)
+		p.teardown(gen, werr)
+		return Message{}, fmt.Errorf("write to %s: %w", p.addr, werr)
+	}
+
+	deadline := ctx.Done()
+	timer := time.NewTimer(p.net.ioTO)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return Message{}, fmt.Errorf("exchange with %s: %w", p.addr, res.err)
+		}
+		p.net.metrics.ExchangeRTT.Observe(time.Since(start))
+		return res.msg, nil
+	case <-deadline:
+		p.drop(id)
+		return Message{}, ctx.Err()
+	case <-timer.C:
+		p.drop(id)
+		return Message{}, fmt.Errorf("exchange with %s: reply timeout", p.addr)
+	}
+}
+
+// readLoop routes inbound frames on one dialed connection: responses
+// complete their pending exchange; anything else is a keepalive echo or
+// protocol noise and is dropped. A read error tears the connection down
+// and fails every exchange still pending on it.
+func (p *peerConn) readLoop(conn net.Conn, gen int) {
+	defer p.net.wg.Done()
+	reader := bufio.NewReader(conn)
+	for {
+		kind, id, payload, wire, err := readFrame(reader)
+		if err != nil {
+			p.teardown(gen, err)
+			return
+		}
+		p.net.metrics.BytesIn.Add(int64(wire))
+		if kind != FrameResponse {
+			continue
+		}
+		msg, derr := DecodeMessage(payload)
+		p.complete(id, exchangeResult{msg: msg, err: derr})
+	}
+}
+
+// keepaliveLoop pings an idle connection so the peer's idle deadline
+// stays fresh and silent peer death is detected by a failed write.
+func (p *peerConn) keepaliveLoop(conn net.Conn, gen int, stop chan struct{}) {
+	defer p.net.wg.Done()
+	ticker := time.NewTicker(p.net.keepalive)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			p.writeMu.Lock()
+			var err error
+			if time.Since(p.lastSend) >= p.net.keepalive {
+				_ = conn.SetWriteDeadline(time.Now().Add(p.net.ioTO))
+				var nw int
+				nw, err = writeFrame(conn, FramePing, 0, nil)
+				p.net.metrics.BytesOut.Add(int64(nw))
+				if err == nil {
+					p.net.metrics.Pings.Inc()
+					p.lastSend = time.Now()
+				}
+			}
+			p.writeMu.Unlock()
+			if err != nil {
+				p.teardown(gen, err)
+				return
+			}
+		}
+	}
+}
+
+// teardown retires one connection generation: later exchanges redial
+// lazily. Pending calls on newer generations are untouched.
+func (p *peerConn) teardown(gen int, cause error) {
+	p.mu.Lock()
+	if p.gen != gen || p.conn == nil {
+		p.mu.Unlock()
+		return
+	}
+	conn := p.conn
+	p.conn = nil
+	close(p.stop)
+	p.stop = nil
+	p.mu.Unlock()
+	_ = conn.Close()
+	p.net.metrics.Reconnects.Inc()
+	p.failPending(gen, cause)
+}
+
+// close permanently retires the slot (peer removed or network closing).
+func (p *peerConn) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conn := p.conn
+	gen := p.gen
+	p.conn = nil
+	if p.stop != nil {
+		close(p.stop)
+		p.stop = nil
+	}
+	p.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	p.failPending(gen, ErrClosed)
+}
+
+func (p *peerConn) complete(id uint64, res exchangeResult) {
+	p.pendingMu.Lock()
+	call, ok := p.pending[id]
+	if ok {
+		delete(p.pending, id)
+	}
+	p.pendingMu.Unlock()
+	if ok {
+		call.ch <- res
+	}
+}
+
+func (p *peerConn) drop(id uint64) {
+	p.pendingMu.Lock()
+	delete(p.pending, id)
+	p.pendingMu.Unlock()
+}
+
+func (p *peerConn) failPending(gen int, cause error) {
+	p.pendingMu.Lock()
+	var failed []chan exchangeResult
+	for id, call := range p.pending {
+		if call.gen == gen {
+			delete(p.pending, id)
+			failed = append(failed, call.ch)
+		}
+	}
+	p.pendingMu.Unlock()
+	for _, ch := range failed {
+		ch <- exchangeResult{err: cause}
+	}
+}

@@ -3,40 +3,60 @@ package gossip
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"fmt"
-	"io"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// TCPNetwork implements Network over real sockets. Each exchange is one
-// length-prefixed datagram per direction: a 4-byte big-endian length
-// followed by one canonically encoded Message (see encode.go), which
-// batches any number of transaction payloads; the peer answers with one
-// datagram in the same framing (possibly an empty message for
-// fire-and-forget traffic). Frames above MaxMessageBytes are rejected
-// before buffering.
+// TCPNetwork implements Network over real sockets with a persistent
+// multiplexed transport. Each exchange is one request frame and one
+// response frame (see frame.go): a 4-byte length word, a kind byte, an
+// 8-byte request ID and one canonically encoded Message, which batches
+// any number of transaction payloads. Because responses carry the
+// request ID they answer, any number of exchanges multiplex over one
+// socket concurrently.
 //
-// Connections are one-shot (dial, exchange, close): simple, stateless,
-// and robust against peer restarts — appropriate for the
-// gateway-population sizes of a smart factory.
+// The pool keeps one dialed connection per peer, established lazily on
+// first use and re-established lazily after failure with exponential
+// backoff + jitter; idle connections stay warm via keepalive pings.
+// Broadcast fans out to every peer concurrently, so one slow or dead
+// peer costs max(peer latency), not the sum. WithoutPooling restores
+// the previous one-shot behaviour (dial, exchange, close; serial
+// broadcast) — kept as the measured baseline for BenchmarkGossip* and
+// `biot-bench -fig gossip`.
 type TCPNetwork struct {
-	listener net.Listener
-	dialTO   time.Duration
-	ioTO     time.Duration
+	listener  net.Listener
+	dialTO    time.Duration
+	ioTO      time.Duration
+	keepalive time.Duration
+	// serverIdle is the per-frame read deadline on accepted
+	// connections; client keepalives refresh it, so only a genuinely
+	// dead or silent peer hits it.
+	serverIdle time.Duration
+	backoffMin time.Duration
+	backoffMax time.Duration
+	pooled     bool
+	metrics    TransportMetrics
+	nextReq    atomic.Uint64
 
-	mu      sync.RWMutex
-	peers   map[string]struct{}
-	handler Handler
-	closed  bool
+	mu       sync.RWMutex
+	peers    map[string]struct{}
+	conns    map[string]*peerConn
+	accepted map[net.Conn]struct{}
+	handler  Handler
+	closed   bool
 
 	wg sync.WaitGroup
 }
 
 var _ Network = (*TCPNetwork)(nil)
+
+// maxInboundPerConn bounds concurrent handler invocations per accepted
+// connection, so one chatty peer cannot spawn unbounded goroutines.
+const maxInboundPerConn = 32
 
 // TCPOption customizes a TCPNetwork.
 type TCPOption func(*TCPNetwork)
@@ -46,9 +66,31 @@ func WithDialTimeout(d time.Duration) TCPOption {
 	return func(n *TCPNetwork) { n.dialTO = d }
 }
 
-// WithIOTimeout sets the per-exchange read/write deadline (default 10 s).
+// WithIOTimeout sets the per-exchange write deadline and reply timeout
+// (default 10 s).
 func WithIOTimeout(d time.Duration) TCPOption {
 	return func(n *TCPNetwork) { n.ioTO = d }
+}
+
+// WithKeepalive sets the idle-ping interval on pooled connections
+// (default 15 s). Accepted connections tolerate 4x this interval of
+// silence before being dropped.
+func WithKeepalive(d time.Duration) TCPOption {
+	return func(n *TCPNetwork) { n.keepalive = d }
+}
+
+// WithBackoff sets the reconnect backoff range: the delay after the
+// first failed dial and the cap it exponentially grows to (defaults
+// 50 ms and 5 s).
+func WithBackoff(min, max time.Duration) TCPOption {
+	return func(n *TCPNetwork) { n.backoffMin, n.backoffMax = min, max }
+}
+
+// WithoutPooling selects the one-shot transport: every exchange dials a
+// fresh connection and Broadcast walks peers serially. Kept as the
+// benchmark baseline the pooled transport is measured against.
+func WithoutPooling() TCPOption {
+	return func(n *TCPNetwork) { n.pooled = false }
 }
 
 // ListenTCP starts a gossip endpoint on addr (e.g. "127.0.0.1:0").
@@ -58,18 +100,34 @@ func ListenTCP(addr string, opts ...TCPOption) (*TCPNetwork, error) {
 		return nil, fmt.Errorf("gossip listen %s: %w", addr, err)
 	}
 	n := &TCPNetwork{
-		listener: ln,
-		dialTO:   3 * time.Second,
-		ioTO:     10 * time.Second,
-		peers:    make(map[string]struct{}),
+		listener:   ln,
+		dialTO:     3 * time.Second,
+		ioTO:       10 * time.Second,
+		keepalive:  15 * time.Second,
+		backoffMin: 50 * time.Millisecond,
+		backoffMax: 5 * time.Second,
+		pooled:     true,
+		metrics:    newTransportMetrics(),
+		peers:      make(map[string]struct{}),
+		conns:      make(map[string]*peerConn),
+		accepted:   make(map[net.Conn]struct{}),
 	}
 	for _, opt := range opts {
 		opt(n)
+	}
+	if n.serverIdle <= 0 {
+		n.serverIdle = 4 * n.keepalive
+		if n.serverIdle < n.ioTO {
+			n.serverIdle = n.ioTO
+		}
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
 }
+
+// Metrics exposes the transport's counters and latency surfaces.
+func (n *TCPNetwork) Metrics() TransportMetrics { return n.metrics }
 
 // AddPeer registers a peer's gossip address.
 func (n *TCPNetwork) AddPeer(addr string) {
@@ -80,11 +138,17 @@ func (n *TCPNetwork) AddPeer(addr string) {
 	}
 }
 
-// RemovePeer forgets a peer.
+// RemovePeer forgets a peer and retires its pooled connection;
+// exchanges in flight on it fail over to the sync path.
 func (n *TCPNetwork) RemovePeer(addr string) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	delete(n.peers, addr)
+	pc := n.conns[addr]
+	delete(n.conns, addr)
+	n.mu.Unlock()
+	if pc != nil {
+		pc.close()
+	}
 }
 
 // Self implements Network.
@@ -116,6 +180,14 @@ func (n *TCPNetwork) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.accepted[conn] = struct{}{}
+		n.mu.Unlock()
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
@@ -124,123 +196,208 @@ func (n *TCPNetwork) acceptLoop() {
 	}
 }
 
-// writeFrame sends one length-prefixed datagram.
-func writeFrame(conn net.Conn, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(payload)
-	return err
-}
-
-// readFrame receives one length-prefixed datagram, rejecting oversized
-// frames before buffering them.
-func readFrame(reader *bufio.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(reader, hdr[:]); err != nil {
-		return nil, err
-	}
-	size := binary.BigEndian.Uint32(hdr[:])
-	if size > MaxMessageBytes {
-		return nil, fmt.Errorf("%w: frame of %d bytes", ErrMessageSize, size)
-	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(reader, payload); err != nil {
-		return nil, err
-	}
-	return payload, nil
-}
-
+// serveConn is the accept-side frame loop: it reads request frames for
+// the connection's lifetime and dispatches each to its own bounded
+// handler goroutine, so a slow sync response does not block the next
+// inbound transaction batch on the same socket. Response writes are
+// serialized; responses may therefore interleave out of request order,
+// which the request ID makes safe.
 func (n *TCPNetwork) serveConn(conn net.Conn) {
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(n.ioTO))
-
-	payload, err := readFrame(bufio.NewReader(conn))
-	if err != nil {
-		return
+	var wg sync.WaitGroup
+	defer func() {
+		wg.Wait()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+		_ = conn.Close()
+	}()
+	var writeMu sync.Mutex
+	sem := make(chan struct{}, maxInboundPerConn)
+	reader := bufio.NewReader(conn)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(n.serverIdle))
+		kind, id, payload, wire, err := readFrame(reader)
+		if err != nil {
+			return // framing violation, idle timeout or peer gone
+		}
+		n.metrics.BytesIn.Add(int64(wire))
+		if kind != FrameRequest {
+			continue // pings refresh the deadline; stray responses are noise
+		}
+		msg, err := DecodeMessage(payload)
+		if err != nil {
+			return // valid frame, invalid message: drop the confused peer
+		}
+		n.mu.RLock()
+		h := n.handler
+		n.mu.RUnlock()
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(id uint64, msg Message) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			reply := &Message{} // empty ack
+			if h != nil {
+				if r, herr := h.HandleGossip(conn.RemoteAddr().String(), msg); herr == nil && r != nil {
+					reply = r
+				}
+			}
+			writeMu.Lock()
+			_ = conn.SetWriteDeadline(time.Now().Add(n.ioTO))
+			nw, _ := writeFrame(conn, FrameResponse, id, EncodeMessage(*reply))
+			writeMu.Unlock()
+			n.metrics.BytesOut.Add(int64(nw))
+		}(id, msg)
 	}
-	msg, err := DecodeMessage(payload)
-	if err != nil {
-		return
-	}
-	n.mu.RLock()
-	h := n.handler
-	n.mu.RUnlock()
-	if h == nil {
-		return
-	}
-	reply, err := h.HandleGossip(conn.RemoteAddr().String(), msg)
-	if err != nil || reply == nil {
-		reply = &Message{} // empty ack
-	}
-	_ = writeFrame(conn, EncodeMessage(*reply))
 }
 
-func (n *TCPNetwork) exchange(ctx context.Context, addr string, msg Message) (Message, error) {
+// conn returns (creating if needed) the pool slot for addr.
+func (n *TCPNetwork) conn(addr string) *peerConn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	pc, ok := n.conns[addr]
+	if !ok {
+		pc = newPeerConn(n, addr)
+		n.conns[addr] = pc
+	}
+	return pc
+}
+
+func (n *TCPNetwork) exchangePayload(ctx context.Context, addr string, payload []byte) (Message, error) {
 	n.mu.RLock()
 	closed := n.closed
 	n.mu.RUnlock()
 	if closed {
 		return Message{}, ErrClosed
 	}
+	if err := ctx.Err(); err != nil {
+		return Message{}, err
+	}
+	if !n.pooled {
+		return n.oneShotExchange(ctx, addr, payload)
+	}
+	pc := n.conn(addr)
+	if pc == nil {
+		return Message{}, ErrClosed
+	}
+	return pc.exchange(ctx, payload)
+}
+
+// oneShotExchange is the pre-pool transport: dial, one exchange, close.
+func (n *TCPNetwork) oneShotExchange(ctx context.Context, addr string, payload []byte) (Message, error) {
 	dialer := net.Dialer{Timeout: n.dialTO}
 	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		n.metrics.DialFailures.Inc()
 		return Message{}, fmt.Errorf("dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	n.metrics.Dials.Inc()
 	deadline := time.Now().Add(n.ioTO)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
 	_ = conn.SetDeadline(deadline)
 
-	if err := writeFrame(conn, EncodeMessage(msg)); err != nil {
+	start := time.Now()
+	nw, err := writeFrame(conn, FrameRequest, 1, payload)
+	n.metrics.BytesOut.Add(int64(nw))
+	if err != nil {
 		return Message{}, fmt.Errorf("write to %s: %w", addr, err)
 	}
-	payload, err := readFrame(bufio.NewReader(conn))
-	if err != nil {
-		return Message{}, fmt.Errorf("read reply from %s: %w", addr, err)
+	reader := bufio.NewReader(conn)
+	for {
+		kind, _, body, wire, err := readFrame(reader)
+		if err != nil {
+			return Message{}, fmt.Errorf("read reply from %s: %w", addr, err)
+		}
+		n.metrics.BytesIn.Add(int64(wire))
+		if kind != FrameResponse {
+			continue
+		}
+		reply, err := DecodeMessage(body)
+		if err != nil {
+			return Message{}, fmt.Errorf("decode reply from %s: %w", addr, err)
+		}
+		n.metrics.ExchangeRTT.Observe(time.Since(start))
+		return reply, nil
 	}
-	reply, err := DecodeMessage(payload)
-	if err != nil {
-		return Message{}, fmt.Errorf("decode reply from %s: %w", addr, err)
-	}
-	return reply, nil
 }
 
-// Broadcast implements Network.
+// Broadcast implements Network. On the pooled transport the fan-out is
+// concurrent — one goroutine per peer over that peer's persistent
+// connection — so broadcast latency tracks the slowest single peer
+// rather than the sum of all of them.
 func (n *TCPNetwork) Broadcast(ctx context.Context, msg Message) error {
 	peers := n.Peers()
 	if len(peers) == 0 {
 		return nil
 	}
-	var lastErr error
-	delivered := 0
+	payload := EncodeMessage(msg)
+	if !n.pooled {
+		var lastErr error
+		delivered := 0
+		for _, addr := range peers {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if _, err := n.exchangePayload(ctx, addr, payload); err != nil {
+				lastErr = err
+				continue
+			}
+			delivered++
+		}
+		if delivered == 0 && lastErr != nil {
+			return fmt.Errorf("broadcast reached no peers: %w", lastErr)
+		}
+		return nil
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		lastErr   error
+		delivered int
+	)
 	for _, addr := range peers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			if _, err := n.exchangePayload(ctx, addr, payload); err != nil {
+				mu.Lock()
+				lastErr = err
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+	if delivered == 0 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if _, err := n.exchange(ctx, addr, msg); err != nil {
-			lastErr = err
-			continue
+		if lastErr != nil {
+			return fmt.Errorf("broadcast reached no peers: %w", lastErr)
 		}
-		delivered++
-	}
-	if delivered == 0 && lastErr != nil {
-		return fmt.Errorf("broadcast reached no peers: %w", lastErr)
 	}
 	return nil
 }
 
 // Request implements Network.
 func (n *TCPNetwork) Request(ctx context.Context, peer string, msg Message) (Message, error) {
-	return n.exchange(ctx, peer, msg)
+	return n.exchangePayload(ctx, peer, EncodeMessage(msg))
 }
 
-// Close implements Network.
+// Close implements Network: it stops accepting, retires every pooled
+// connection (failing exchanges still pending on them), closes accepted
+// connections and waits for every transport goroutine — including
+// in-flight inbound handlers — to drain.
 func (n *TCPNetwork) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -248,9 +405,24 @@ func (n *TCPNetwork) Close() error {
 		return nil
 	}
 	n.closed = true
+	conns := make([]*peerConn, 0, len(n.conns))
+	for _, pc := range n.conns {
+		conns = append(conns, pc)
+	}
+	n.conns = make(map[string]*peerConn)
+	accepted := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		accepted = append(accepted, c)
+	}
 	n.mu.Unlock()
 
 	err := n.listener.Close()
+	for _, pc := range conns {
+		pc.close()
+	}
+	for _, c := range accepted {
+		_ = c.Close()
+	}
 	n.wg.Wait()
 	return err
 }

@@ -48,6 +48,21 @@ type PipelineMetrics struct {
 	PeerDrops *metrics.Counter
 	// SendFailures counts failed peer sends (partition, dead peer).
 	SendFailures *metrics.Counter
+	// VerifyLatency samples one inbound verification (structure +
+	// signature + authorization + credit-difficulty PoW check).
+	VerifyLatency *metrics.Histogram
+	// VerifyBusy / VerifyPeak are the inbound verification pool's
+	// current and peak occupancy (bounded by GOMAXPROCS).
+	VerifyBusy *metrics.Gauge
+	VerifyPeak *metrics.Gauge
+	// VerifyCacheHits counts gossip echoes whose repeated signature
+	// work was skipped via the verified-ID LRU.
+	VerifyCacheHits *metrics.Counter
+	// OrphanSyncs counts inbound batches that triggered the (single)
+	// per-batch sync round-trip for missing parents.
+	OrphanSyncs *metrics.Counter
+	// SyncPages counts sync pages this node pulled as a requester.
+	SyncPages *metrics.Counter
 }
 
 func newPipelineMetrics() PipelineMetrics {
@@ -60,6 +75,12 @@ func newPipelineMetrics() PipelineMetrics {
 		TxBroadcast:      &metrics.Counter{},
 		PeerDrops:        &metrics.Counter{},
 		SendFailures:     &metrics.Counter{},
+		VerifyLatency:    &metrics.Histogram{},
+		VerifyBusy:       &metrics.Gauge{},
+		VerifyPeak:       &metrics.Gauge{},
+		VerifyCacheHits:  &metrics.Counter{},
+		OrphanSyncs:      &metrics.Counter{},
+		SyncPages:        &metrics.Counter{},
 	}
 }
 

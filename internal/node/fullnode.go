@@ -147,6 +147,13 @@ type FullNode struct {
 	pipeline PipelineMetrics
 	bcast    *broadcaster // nil when Network is nil
 
+	// verified + verifySem are the inbound verification stage: a
+	// bounded CPU pool checking gossiped transactions concurrently, and
+	// the LRU of IDs whose verification already passed (gossip echoes
+	// skip the repeated signature work).
+	verified  *verifiedCache
+	verifySem chan struct{}
+
 	pendingMu sync.Mutex
 	pending   map[hashutil.Hash]*txn.Transaction // transfers awaiting confirmation
 	deferred  []tangle.Event                     // settlement events awaiting drainDeferred
@@ -154,6 +161,11 @@ type FullNode struct {
 
 	limiterMu sync.Mutex
 	limiter   map[identity.Address]*rateWindow
+
+	// syncMu guards the per-peer sync cursors: how far into each peer's
+	// attachment order this node has already paged.
+	syncMu     sync.Mutex
+	syncCursor map[string]uint64
 }
 
 type rateWindow struct {
@@ -208,9 +220,12 @@ func NewFull(cfg FullConfig) (*FullNode, error) {
 			JournalErrors:     &metrics.Counter{},
 			QualityViolations: &metrics.Counter{},
 		},
-		pipeline: newPipelineMetrics(),
-		pending:  make(map[hashutil.Hash]*txn.Transaction),
-		limiter:  make(map[identity.Address]*rateWindow),
+		pipeline:   newPipelineMetrics(),
+		verified:   newVerifiedCache(verifiedCacheSize),
+		verifySem:  newVerifySem(),
+		pending:    make(map[hashutil.Hash]*txn.Transaction),
+		limiter:    make(map[identity.Address]*rateWindow),
+		syncCursor: make(map[string]uint64),
 	}
 	tg.Observe(tangle.ObserverFunc(n.onTangleEvent))
 	if conf.Network != nil {
@@ -422,11 +437,47 @@ func (n *FullNode) Close() error {
 	return nil
 }
 
-// admit is the first two pipeline stages. Everything up to the PoW
-// check is lock-free with respect to node-local mutexes (signature and
-// difficulty verification dominate and run fully concurrently); the
-// attach + credit update that follows is the short critical section,
-// serialized inside the tangle and credit ledger's own locks.
+// verifyIdentity checks structure, signature and authorization — the
+// Sybil/DDoS gate. Lock-free with respect to node-local mutexes.
+func (n *FullNode) verifyIdentity(t *txn.Transaction) error {
+	if err := t.VerifyBasic(); err != nil {
+		n.counters.Rejected.Inc()
+		return fmt.Errorf("verify transaction: %w", err)
+	}
+	sender := t.Sender()
+	// Authorization lists themselves must come from the manager.
+	if t.Kind == txn.KindAuthorization {
+		if sender != n.registry.Manager() {
+			n.counters.Unauthorized.Inc()
+			return fmt.Errorf("%w: authorization list from %s",
+				authz.ErrNotManager, sender.Short())
+		}
+	} else if !n.registry.IsAuthorizedDevice(sender) && !n.registry.IsGateway(sender) {
+		n.counters.Unauthorized.Inc()
+		return fmt.Errorf("%w: %s", ErrUnauthorizedDevice, sender.Short())
+	}
+	return nil
+}
+
+// verifyDifficulty runs the credit-based PoW check: the difficulty
+// demanded of this sender is derived from the shared behaviour records,
+// so the gateway and an honest device agree on it.
+func (n *FullNode) verifyDifficulty(t *txn.Transaction, now time.Time) error {
+	required := n.engine.DifficultyFor(t.Sender(), now)
+	if err := t.VerifyPoW(required); err != nil {
+		n.counters.Rejected.Inc()
+		return fmt.Errorf("%w: %v", ErrWrongDifficulty, err)
+	}
+	return nil
+}
+
+// admit is the full serial pipeline for one transaction. Everything up
+// to the PoW check is lock-free with respect to node-local mutexes
+// (signature and difficulty verification dominate and run fully
+// concurrently); the attach + credit update that follows is the short
+// critical section, serialized inside the tangle and credit ledger's
+// own locks. Inbound gossip batches bypass this in favour of
+// admitGossipBatch, which runs the verification stage in parallel.
 func (n *FullNode) admit(ctx context.Context, t *txn.Transaction, local bool) (tangle.Info, error) {
 	if err := ctx.Err(); err != nil {
 		return tangle.Info{}, err
@@ -434,39 +485,26 @@ func (n *FullNode) admit(ctx context.Context, t *txn.Transaction, local bool) (t
 	now := n.cfg.Clock.Now()
 	admitStart := time.Now()
 
-	if err := t.VerifyBasic(); err != nil {
-		n.counters.Rejected.Inc()
-		return tangle.Info{}, fmt.Errorf("verify transaction: %w", err)
+	if err := n.verifyIdentity(t); err != nil {
+		return tangle.Info{}, err
 	}
-	sender := t.Sender()
-
-	// Authorization: the Sybil/DDoS gate. Authorization lists
-	// themselves must come from the manager.
-	if t.Kind == txn.KindAuthorization {
-		if sender != n.registry.Manager() {
-			n.counters.Unauthorized.Inc()
-			return tangle.Info{}, fmt.Errorf("%w: authorization list from %s",
-				authz.ErrNotManager, sender.Short())
-		}
-	} else if !n.registry.IsAuthorizedDevice(sender) && !n.registry.IsGateway(sender) {
-		n.counters.Unauthorized.Inc()
-		return tangle.Info{}, fmt.Errorf("%w: %s", ErrUnauthorizedDevice, sender.Short())
-	}
-
-	if local && !n.allowRate(sender, now) {
+	if local && !n.allowRate(t.Sender(), now) {
 		n.counters.RateLimited.Inc()
-		return tangle.Info{}, fmt.Errorf("%w: %s", ErrRateLimited, sender.Short())
+		return tangle.Info{}, fmt.Errorf("%w: %s", ErrRateLimited, t.Sender().Short())
 	}
-
-	// Credit-based PoW verification: the difficulty demanded of this
-	// sender is derived from the shared behaviour records, so the
-	// gateway and an honest device agree on it.
-	required := n.engine.DifficultyFor(sender, now)
-	if err := t.VerifyPoW(required); err != nil {
-		n.counters.Rejected.Inc()
-		return tangle.Info{}, fmt.Errorf("%w: %v", ErrWrongDifficulty, err)
+	if err := n.verifyDifficulty(t, now); err != nil {
+		return tangle.Info{}, err
 	}
 	n.pipeline.AdmitLatency.Observe(time.Since(admitStart))
+	return n.attachVerified(t, now)
+}
+
+// attachVerified is the pipeline's serialized tail: it assumes the
+// transaction already passed identity + difficulty verification and
+// performs attachment, credit accounting, authorization application,
+// quality control and settlement draining.
+func (n *FullNode) attachVerified(t *txn.Transaction, now time.Time) (tangle.Info, error) {
+	sender := t.Sender()
 	attachStart := time.Now()
 
 	// Track transfers for settlement before attaching, so the
@@ -521,92 +559,225 @@ func (n *FullNode) admit(ctx context.Context, t *txn.Transaction, local bool) (t
 	return info, nil
 }
 
-// handleGossip processes inbound gossip.
+// handleGossip processes inbound gossip. Transaction batches run
+// through the parallel verification stage; sync requests are answered
+// one bounded page at a time.
 func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Message, error) {
 	n.counters.GossipIn.Inc()
 	switch msg.Type {
 	case gossip.MsgTransaction:
-		ctx := context.Background()
-		for _, raw := range msg.TxData {
-			t, err := txn.Decode(raw)
-			if err != nil {
-				// One undecodable entry must not poison a batch: the
-				// remaining transactions are independent admissions.
-				continue
-			}
-			if n.tangle.Contains(t.ID()) {
-				continue
-			}
-			if _, err := n.admit(ctx, t, false); err != nil {
-				// Missing parents: pull what we lack from the sender.
-				if errors.Is(err, tangle.ErrUnknownParent) {
-					n.syncFrom(ctx, from)
-					_, _ = n.admit(ctx, t, false) // retry once after sync
-				}
-				continue
-			}
-		}
+		n.admitGossipBatch(context.Background(), from, msg.TxData, true)
 		return &gossip.Message{}, nil
 	case gossip.MsgSyncRequest:
 		have := make(map[hashutil.Hash]struct{}, len(msg.Have))
 		for _, id := range msg.Have {
 			have[id] = struct{}{}
 		}
-		// Page through history instead of cloning it in one call, so
-		// serving a sync never holds the tangle read lock for a
-		// full-history copy (admissions keep flowing meanwhile).
-		var data [][]byte
-		for from := 0; ; from += syncPageSize {
-			page := n.tangle.ExportRange(from, syncPageSize)
-			for _, t := range page {
-				if _, known := have[t.ID()]; !known {
-					data = append(data, t.Encode())
-				}
-			}
-			if len(page) < syncPageSize {
-				break
+		// One page per request: the requester's cursor (msg.Offset)
+		// walks our attachment order, so response size — like request
+		// size — stays constant no matter how large the ledger grows,
+		// and serving a sync holds the tangle read lock for one page.
+		total := n.tangle.Size()
+		off := total
+		if msg.Offset < uint64(total) {
+			off = int(msg.Offset)
+		}
+		page := n.tangle.ExportRange(off, syncPageSize)
+		data := make([][]byte, 0, len(page))
+		for _, t := range page {
+			if _, known := have[t.ID()]; !known {
+				data = append(data, t.Encode())
 			}
 		}
-		return &gossip.Message{Type: gossip.MsgSyncResponse, TxData: data}, nil
+		return &gossip.Message{
+			Type:   gossip.MsgSyncResponse,
+			TxData: data,
+			Offset: uint64(off + len(page)),
+			Total:  uint64(total),
+			More:   len(page) == syncPageSize,
+		}, nil
 	default:
 		return nil, fmt.Errorf("unhandled gossip message type %v", msg.Type)
 	}
 }
 
-// syncPageSize bounds how many transactions a single ExportRange call
-// clones under the tangle read lock while serving or preparing a sync.
-const syncPageSize = 256
+// admitGossipBatch admits one inbound batch: decode + dedupe, parallel
+// verification, serialized attach, and at most ONE sync round-trip for
+// the whole batch — a batch with N orphans previously triggered up to N
+// full syncFrom exchanges; now the deferred remainder retries once
+// after the single sync.
+//
+// Authorization lists change who verifies as authorized, so they are
+// segment boundaries: the batch is verified and attached in runs, with
+// each authorization list admitted serially in between, preserving the
+// old one-at-a-time semantics for control-plane traffic.
+//
+// The returned count is the number of novel, decodable transactions
+// that did NOT end up attached (verification rejects, unresolved
+// orphans, attach failures other than duplicates). syncFrom uses it to
+// decide whether a sync page may be marked consumed: a transaction
+// rejected today — typically because this node's credit view lags and
+// the difficulty check disagrees — may verify cleanly once more of the
+// ledger has arrived, so its page must be re-offered by a later sync.
+func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]byte, allowSync bool) (failed int) {
+	now := n.cfg.Clock.Now()
+	seen := make(map[hashutil.Hash]struct{}, len(raw))
+	txs := make([]*txn.Transaction, 0, len(raw))
+	for _, r := range raw {
+		t, err := txn.Decode(r)
+		if err != nil {
+			// One undecodable entry must not poison a batch: the
+			// remaining transactions are independent admissions.
+			continue
+		}
+		id := t.ID()
+		if _, dup := seen[id]; dup || n.tangle.Contains(id) {
+			continue
+		}
+		seen[id] = struct{}{}
+		txs = append(txs, t)
+	}
+
+	var orphans []*txn.Transaction
+	attach := func(t *txn.Transaction) {
+		if _, err := n.attachVerified(t, now); err != nil {
+			if errors.Is(err, tangle.ErrUnknownParent) {
+				orphans = append(orphans, t)
+			} else if !errors.Is(err, tangle.ErrDuplicate) {
+				failed++
+			}
+		}
+	}
+	for start := 0; start < len(txs); {
+		if txs[start].Kind == txn.KindAuthorization {
+			if err := n.verifyIdentity(txs[start]); err != nil {
+				failed++
+			} else if err := n.verifyDifficulty(txs[start], now); err != nil {
+				failed++
+			} else {
+				attach(txs[start])
+			}
+			start++
+			continue
+		}
+		end := start
+		for end < len(txs) && txs[end].Kind != txn.KindAuthorization {
+			end++
+		}
+		survivors := n.verifyInboundBatch(txs[start:end], now)
+		failed += end - start - len(survivors)
+		for _, t := range survivors {
+			attach(t)
+		}
+		start = end
+	}
+
+	if len(orphans) == 0 || !allowSync {
+		return failed + len(orphans)
+	}
+	// Missing parents: pull what we lack from the sender — once for the
+	// whole batch — then retry the deferred remainder.
+	n.pipeline.OrphanSyncs.Inc()
+	n.syncFrom(ctx, from)
+	for _, t := range orphans {
+		if n.tangle.Contains(t.ID()) {
+			continue
+		}
+		if _, err := n.attachVerified(t, now); err != nil && !errors.Is(err, tangle.ErrDuplicate) {
+			failed++
+		}
+	}
+	return failed
+}
+
+const (
+	// syncPageSize bounds how many transactions a single ExportRange
+	// call clones under the tangle read lock while serving a sync page.
+	syncPageSize = 256
+	// syncHaveWindow bounds the recent-ID advertisement in a sync
+	// request: instead of shipping the entire known-ID set (O(ledger)
+	// per sync), the requester advertises only its newest window, which
+	// prunes the common recently-gossiped overlap from responses.
+	syncHaveWindow = 512
+	// maxSyncPages bounds one syncFrom call (~1M transactions).
+	maxSyncPages = 4096
+)
+
+// recentHave returns the newest syncHaveWindow attached IDs.
+func (n *FullNode) recentHave() []hashutil.Hash {
+	from := n.tangle.Size() - syncHaveWindow
+	if from < 0 {
+		from = 0
+	}
+	return n.tangle.OrderedIDs(from, syncHaveWindow)
+}
+
+func (n *FullNode) cursorFor(peer string) uint64 {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	return n.syncCursor[peer]
+}
+
+func (n *FullNode) setCursor(peer string, cursor uint64) {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	n.syncCursor[peer] = cursor
+}
 
 // syncFrom pulls missing transactions from one peer and admits them in
-// order.
+// order. The exchange is paged: each request carries this node's cursor
+// into the peer's attachment order plus a bounded recent-ID window, and
+// each response returns one page — both directions stay constant-size
+// as the DAG grows. The cursor persists across calls, so a steady-state
+// sync only ever pages the peer's new tail.
 func (n *FullNode) syncFrom(ctx context.Context, peer string) {
 	if n.cfg.Network == nil {
 		return
 	}
-	var have []hashutil.Hash
-	for from := 0; ; from += syncPageSize {
-		page := n.tangle.OrderedIDs(from, syncPageSize)
-		have = append(have, page...)
-		if len(page) < syncPageSize {
-			break
+	cursor := n.cursorFor(peer)
+	clean := true
+	for page := 0; page < maxSyncPages; page++ {
+		if ctx.Err() != nil {
+			return
 		}
-	}
-	reply, err := n.cfg.Network.Request(ctx, peer, gossip.Message{
-		Type: gossip.MsgSyncRequest,
-		Have: have,
-	})
-	if err != nil || reply.Type != gossip.MsgSyncResponse {
-		return
-	}
-	for _, raw := range reply.TxData {
-		t, err := txn.Decode(raw)
-		if err != nil {
+		reply, err := n.cfg.Network.Request(ctx, peer, gossip.Message{
+			Type:   gossip.MsgSyncRequest,
+			Have:   n.recentHave(),
+			Offset: cursor,
+		})
+		if err != nil || reply.Type != gossip.MsgSyncResponse {
+			return
+		}
+		if reply.Total < cursor {
+			// The peer's ledger shrank past our cursor (restart or
+			// snapshot compaction): rewind and re-page.
+			cursor = 0
+			clean = true
+			n.setCursor(peer, 0)
 			continue
 		}
-		if n.tangle.Contains(t.ID()) {
-			continue
+		n.pipeline.SyncPages.Inc()
+		if n.admitGossipBatch(ctx, peer, reply.TxData, false) > 0 {
+			// The page had admissions we could not complete — usually a
+			// difficulty check against a still-stale credit view, or an
+			// orphan whose parent lives on another peer. The in-call
+			// cursor keeps walking so the rest of this sync proceeds,
+			// but the persisted cursor stays at the first dirty page:
+			// the next syncFrom re-offers it, restoring the self-healing
+			// property of the old full-diff exchange at paged cost.
+			clean = false
 		}
-		_, _ = n.admit(ctx, t, false)
+		if reply.Offset <= cursor {
+			// No forward progress: a confused peer must not spin us.
+			return
+		}
+		cursor = reply.Offset
+		if clean {
+			n.setCursor(peer, cursor)
+		}
+		if !reply.More {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,131 @@
+package node
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// verifiedCacheSize bounds the LRU of recently verified transaction
+// IDs. Gossip is redundant by design — the same transaction arrives
+// from several peers and again in sync pages — and signature + PoW
+// verification is the admitted hot cost of the inbound path, so a hit
+// here skips the entire ECDSA check for an echo.
+const verifiedCacheSize = 8192
+
+// verifiedCache is a small mutex-guarded LRU set of transaction IDs
+// whose structural, signature, authorization and PoW checks already
+// passed on this node.
+type verifiedCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently touched; values are hashutil.Hash
+	index map[hashutil.Hash]*list.Element
+}
+
+func newVerifiedCache(capacity int) *verifiedCache {
+	return &verifiedCache{
+		cap:   capacity,
+		order: list.New(),
+		index: make(map[hashutil.Hash]*list.Element, capacity),
+	}
+}
+
+// Contains reports (and refreshes) membership.
+func (c *verifiedCache) Contains(id hashutil.Hash) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[id]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	return ok
+}
+
+// Add inserts id, evicting the least recently touched entry at capacity.
+func (c *verifiedCache) Add(id hashutil.Hash) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[id]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.index[id] = c.order.PushFront(id)
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.index, last.Value.(hashutil.Hash))
+	}
+}
+
+// newVerifySem sizes the inbound verification pool: verification is
+// CPU-bound (ECDSA + hashing), so the bound is the core count, shared
+// across every concurrently arriving gossip batch.
+func newVerifySem() chan struct{} {
+	return make(chan struct{}, runtime.GOMAXPROCS(0))
+}
+
+// verifyCached runs the full inbound verification for one transaction,
+// short-circuiting through the verified-ID LRU on gossip echoes.
+func (n *FullNode) verifyCached(t *txn.Transaction, now time.Time) error {
+	id := t.ID()
+	if n.verified.Contains(id) {
+		n.pipeline.VerifyCacheHits.Inc()
+		return nil
+	}
+	start := time.Now()
+	err := n.verifyIdentity(t)
+	if err == nil {
+		err = n.verifyDifficulty(t, now)
+	}
+	n.pipeline.VerifyLatency.Observe(time.Since(start))
+	if err == nil {
+		n.verified.Add(id)
+	}
+	return err
+}
+
+// verifyInboundBatch verifies a run of transactions concurrently on the
+// node's verification pool and returns the survivors in input order.
+// The serialized attach that follows stays out of this stage, so the
+// expensive checks of independent transactions overlap across cores —
+// and across concurrently arriving batches from different peers.
+func (n *FullNode) verifyInboundBatch(txs []*txn.Transaction, now time.Time) []*txn.Transaction {
+	switch len(txs) {
+	case 0:
+		return nil
+	case 1:
+		if n.verifyCached(txs[0], now) != nil {
+			return nil
+		}
+		return txs
+	}
+	ok := make([]bool, len(txs))
+	var wg sync.WaitGroup
+	for i := range txs {
+		n.verifySem <- struct{}{} // global CPU bound across batches
+		n.pipeline.VerifyBusy.Inc()
+		n.pipeline.VerifyPeak.StoreMax(n.pipeline.VerifyBusy.Value())
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				n.pipeline.VerifyBusy.Dec()
+				<-n.verifySem
+			}()
+			ok[i] = n.verifyCached(txs[i], now) == nil
+		}(i)
+	}
+	wg.Wait()
+	out := txs[:0]
+	for i, t := range txs {
+		if ok[i] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
