@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench bench-gossip figures examples fuzz clean
+.PHONY: all build vet test test-short test-chaos race cover bench bench-gossip figures examples fuzz clean
 
 all: build vet test
 
@@ -23,6 +23,18 @@ test: vet
 	$(GO) test -run XXX -bench BenchmarkTangle -benchtime 50x ./internal/tangle/
 	$(GO) test -race -run XXX -bench BenchmarkTangleConcurrentSelectDuringAttach -benchtime 100x ./internal/tangle/
 	$(GO) test -run XXX -bench BenchmarkGossip -benchtime 20x ./internal/gossip/
+	$(GO) run ./cmd/biot-bench -fig chaos -quick
+
+# The fault-injection suite in one sweep: crash-point torture over the
+# journal, the supervised multi-node chaos soak (kills, disk faults,
+# network faults, partitions — zero admitted-transaction loss), and the
+# supervisor lifecycle tests. A failing soak prints its seed; replay it
+# with BIOT_CHAOS_SEED=<seed> make test-chaos.
+test-chaos:
+	$(GO) test -race -run 'TestCrashPointTorture|TestCrashDuringRecoveryTruncation' -count=1 ./internal/store/
+	$(GO) test -race -run 'TestChaosSoak|TestSupervisor' -count=1 -v ./internal/node/
+	$(GO) test -race -count=1 ./internal/chaos/
+	$(GO) test -fuzz='^FuzzReplay$$' -fuzztime=15s ./internal/store/
 
 # Fast feedback loop: no race detector, skip the long soak/stress tests.
 test-short:
@@ -48,6 +60,7 @@ bench:
 	$(GO) run ./cmd/biot-bench -fig pipeline -quick -json BENCH_pipeline.json
 	$(GO) run ./cmd/biot-bench -fig tangle -json BENCH_tangle.json
 	$(GO) run ./cmd/biot-bench -fig gossip -json BENCH_gossip.json
+	$(GO) run ./cmd/biot-bench -fig chaos -json BENCH_chaos.json
 
 # The transport fan-out figure alone (regenerates BENCH_gossip.json).
 bench-gossip:

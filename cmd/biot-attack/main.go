@@ -114,12 +114,12 @@ func run() error {
 			return fmt.Errorf("double spend: %w", err)
 		}
 		fmt.Printf("double-spend submitted: %s and %s\n", first.ID.Short(), second.ID.Short())
-		cr, err := client.Credit(key.Address())
+		cr, err := client.Credit(ctx, key.Address())
 		if err == nil {
 			fmt.Printf("attacker credit now: CrP=%.3f CrN=%.3f Cr=%.3f\n", cr.CrP, cr.CrN, cr.Cr)
 		}
 		fmt.Printf("attacker difficulty now: %d\n", client.DifficultyFor(key.Address()))
-		printEvents(client, key.Address())
+		printEvents(ctx, client, key.Address())
 	case "lazy":
 		trunk, branch, err := client.TipsForApproval()
 		if err != nil {
@@ -136,7 +136,7 @@ func run() error {
 		}
 		fmt.Printf("lazy: %d accepted, %d failed/punished, difficulty now %d\n",
 			accepted, punished, client.DifficultyFor(key.Address()))
-		printEvents(client, key.Address())
+		printEvents(ctx, client, key.Address())
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -144,8 +144,8 @@ func run() error {
 }
 
 // printEvents lists the node's recorded punishments for addr.
-func printEvents(client *rpc.Client, addr identity.Address) {
-	evs, err := client.Events(addr)
+func printEvents(ctx context.Context, client *rpc.Client, addr identity.Address) {
+	evs, err := client.Events(ctx, addr)
 	if err != nil {
 		return
 	}

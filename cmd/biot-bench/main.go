@@ -17,6 +17,7 @@
 //	biot-bench -fig pipeline           # parallel-submission scaling
 //	biot-bench -fig tangle             # ledger hot-path depth scaling
 //	biot-bench -fig gossip             # transport fan-out: pooled vs one-shot
+//	biot-bench -fig chaos              # crash recovery + replay throughput
 //	biot-bench -fig 9 -csv out.csv     # also write CSV
 //	biot-bench -fig pipeline -json BENCH_pipeline.json
 package main
@@ -39,7 +40,7 @@ type renderable interface {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, tangle, gossip, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, tangle, gossip, chaos, all")
 	quick := flag.Bool("quick", false, "CI-scale parameters (smaller sweeps, no device emulation)")
 	csvPath := flag.String("csv", "", "also write the result as CSV to this file (single figure only)")
 	jsonPath := flag.String("json", "", "also write the result as JSON to this file (single figure only; figures that support it)")
@@ -60,7 +61,7 @@ func run(fig string, quick bool, csvPath, jsonPath string) error {
 	ctx := context.Background()
 	figs := []string{fig}
 	if fig == "all" {
-		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline", "tangle", "gossip"}
+		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline", "tangle", "gossip", "chaos"}
 		if csvPath != "" {
 			return fmt.Errorf("-csv requires a single figure")
 		}
@@ -168,6 +169,12 @@ func runOne(ctx context.Context, fig string, quick bool) (renderable, error) {
 			cfg = experiments.QuickGossipBenchConfig()
 		}
 		return experiments.RunGossipBench(ctx, cfg)
+	case "chaos":
+		cfg := experiments.DefaultChaosBenchConfig()
+		if quick {
+			cfg = experiments.QuickChaosBenchConfig()
+		}
+		return experiments.RunChaosBench(ctx, cfg)
 	case "scale":
 		cfg := experiments.DefaultScalabilityConfig()
 		if quick {

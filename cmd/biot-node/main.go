@@ -87,47 +87,68 @@ func run() error {
 		return fmt.Errorf("unknown role %q", *role)
 	}
 
-	net, err := gossip.ListenTCP(*gossipAddr)
-	if err != nil {
-		return err
-	}
-	defer net.Close()
-	for _, p := range splitList(*peers) {
-		net.AddPeer(p)
+	// The supervised unit: network attachment + node. Build runs on
+	// every (re)start — a watchdog restart after a poisoned journal or a
+	// dead transport rebinds the gossip listener and replays the journal
+	// into a fresh node.
+	params := defaultParamsWithDifficulty(*difficulty)
+	build := func() (*node.FullNode, error) {
+		net, err := gossip.ListenTCP(*gossipAddr)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range splitList(*peers) {
+			net.AddPeer(p)
+		}
+		var validator *quality.Validator
+		if *withQuality {
+			validator = quality.NewValidator(nil)
+		}
+		full, err := node.NewFull(node.FullConfig{
+			Key:        key,
+			Role:       nodeRole,
+			ManagerPub: mgrPub,
+			Credit:     params,
+			Network:    net,
+			RateLimit:  *rateLimit,
+			RateWindow: time.Second,
+			Quality:    validator,
+		})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		return full, nil
 	}
 
-	params := defaultParamsWithDifficulty(*difficulty)
-	var validator *quality.Validator
-	if *withQuality {
-		validator = quality.NewValidator(nil)
+	compactEvery := time.Duration(0)
+	if *snapshotKeep > 0 {
+		compactEvery = *snapshotKeep / 2
 	}
-	full, err := node.NewFull(node.FullConfig{
-		Key:        key,
-		Role:       nodeRole,
-		ManagerPub: mgrPub,
-		Credit:     params,
-		Network:    net,
-		RateLimit:  *rateLimit,
-		RateWindow: time.Second,
-		Quality:    validator,
+	sup, err := node.NewSupervisor(node.SupervisorConfig{
+		Build:         build,
+		PersistPath:   *persistPath,
+		WatchInterval: 2 * time.Second,
+		CompactEvery:  compactEvery,
+		CompactKeep:   *snapshotKeep,
 	})
 	if err != nil {
 		return err
 	}
-	if *persistPath != "" {
-		replayed, err := full.EnablePersistence(*persistPath)
-		if err != nil {
-			return err
-		}
-		defer func() { _ = full.ClosePersistence() }()
-		fmt.Printf("  persisted:   %s (%d records replayed)\n", *persistPath, replayed)
+	if err := sup.Start(); err != nil {
+		return err
 	}
 
+	full := sup.Node()
 	fmt.Printf("b-iot %s node\n", nodeRole)
 	fmt.Printf("  address:     %s\n", full.Address().Hex())
 	fmt.Printf("  public key:  %s\n", hex.EncodeToString(key.Public()))
 	fmt.Printf("  rpc:         http://%s\n", *rpcAddr)
-	fmt.Printf("  gossip:      %s (peers: %s)\n", net.Self(), *peers)
+	fmt.Printf("  gossip:      %s (peers: %s)\n", full.Network().Self(), *peers)
+	if *persistPath != "" {
+		fmt.Printf("  persisted:   %s (%d records replayed)\n",
+			*persistPath, sup.Health().Replayed)
+	}
 
 	if nodeRole == identity.RoleManager {
 		mgr, err := node.NewManager(full)
@@ -153,45 +174,27 @@ func run() error {
 		fmt.Printf("  synced:      %d transactions\n", full.Tangle().Size())
 	}
 
-	srv := rpc.NewServer(full)
+	// The RPC server re-resolves the node per request, so a watchdog
+	// restart swaps the instance under it without dropping the listener;
+	// /healthz and /readyz expose the supervisor's verdict to
+	// orchestrators.
+	srv := rpc.NewServer(nil, rpc.WithNodeSource(sup.Node), rpc.WithHealth(sup))
 	if err := srv.Start(*rpcAddr); err != nil {
+		sup.Stop(context.Background())
 		return err
 	}
 	defer srv.Close()
 
-	// Periodic compaction: bound memory on long-lived nodes by
-	// snapshotting old confirmed history (see FullNode.Compact).
-	maintDone := make(chan struct{})
-	maintStop := make(chan struct{})
-	if *snapshotKeep > 0 {
-		go func() {
-			defer close(maintDone)
-			ticker := time.NewTicker(*snapshotKeep / 2)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ticker.C:
-					dropped, pruned := full.Compact(*snapshotKeep)
-					if dropped > 0 || pruned > 0 {
-						fmt.Printf("compacted: %d tangle vertices, %d credit records\n",
-							dropped, pruned)
-					}
-				case <-maintStop:
-					return
-				}
-			}
-		}()
-	} else {
-		close(maintDone)
-	}
-
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	close(maintStop)
-	<-maintDone
+	// Graceful drain: readiness flips off, buffered broadcasts flush to
+	// peers, the journal syncs and closes — bounded so a wedged peer
+	// cannot hold shutdown hostage.
 	fmt.Println("shutting down")
-	return nil
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return sup.Stop(ctx)
 }
 
 func splitList(s string) []string {

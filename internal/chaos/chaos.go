@@ -1,0 +1,40 @@
+// Package chaos is the fault-injection layer behind the repo's
+// robustness suite. The paper's §VIII open problems name storage
+// limitations and resource-constrained gateways; related DAG-ledger
+// work (DLedger; Dorri et al.) treats intermittent connectivity and
+// node failure as the normal case. This package turns those failure
+// modes into *scriptable, deterministic* test inputs so "restart loses
+// nothing" is a tested invariant rather than a claim:
+//
+//   - FS / File — the filesystem seam internal/store writes through.
+//     OS() is the real disk; MemFS is an in-memory disk with explicit
+//     durable-vs-volatile state, scripted write/sync faults, and
+//     crash points enumerable per I/O operation (torn writes fall out
+//     of the model instead of being hand-crafted).
+//   - FaultyNetwork — a gossip.Network decorator injecting drops,
+//     duplicates, delays, reordering and per-peer partitions, all
+//     derived from one seed so a failing schedule replays exactly.
+//   - SkewClock — a clock.Clock decorator with scriptable jumps and
+//     bounded monotonic jitter, for time-skew scenarios.
+//
+// Everything is deterministic given a seed: torture tests print the
+// seed on failure and re-run byte-for-byte identically.
+package chaos
+
+import "errors"
+
+// Injection errors. They deliberately do not wrap I/O sentinels the
+// production code retries on: an injected fault must surface as a
+// failure, not be silently healed by a retry loop under test.
+var (
+	// ErrCrashed reports an operation against a crashed MemFS: the
+	// simulated machine is down until Reboot.
+	ErrCrashed = errors.New("chaos: filesystem crashed")
+	// ErrStaleHandle reports an operation through a file handle that
+	// predates the last Reboot — the "process" holding it died.
+	ErrStaleHandle = errors.New("chaos: stale file handle from before reboot")
+	// ErrInjectedDrop reports an exchange dropped by FaultyNetwork.
+	ErrInjectedDrop = errors.New("chaos: injected network drop")
+	// ErrInjectedFault is the default error for scripted disk faults.
+	ErrInjectedFault = errors.New("chaos: injected disk fault")
+)

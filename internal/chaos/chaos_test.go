@@ -1,0 +1,321 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/gossip"
+)
+
+func openRW(t *testing.T, fs FS, name string) File {
+	t.Helper()
+	f, err := fs.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	return f
+}
+
+func TestMemFSDurableVsVolatile(t *testing.T) {
+	fs := NewMemFS(1)
+	f := openRW(t, fs, "wal")
+	if _, err := f.Write([]byte("synced")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if _, err := f.Write([]byte("+volatile")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	// Process view sees everything.
+	got, err := fs.ReadFile("wal")
+	if err != nil || string(got) != "synced+volatile" {
+		t.Fatalf("process view = %q, %v", got, err)
+	}
+
+	// A clean power-cycle may keep or lose the unsynced suffix, but the
+	// synced prefix always survives intact.
+	fs.Reboot()
+	got, err = fs.ReadFile("wal")
+	if err != nil {
+		t.Fatalf("read after reboot: %v", err)
+	}
+	if !bytes.HasPrefix(got, []byte("synced")) {
+		t.Fatalf("synced prefix lost: %q", got)
+	}
+	if !bytes.HasPrefix([]byte("synced+volatile"), got) {
+		t.Fatalf("recovered %q is not a prefix of the written stream", got)
+	}
+
+	// Old handle is dead after reboot.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("stale handle write err = %v", err)
+	}
+}
+
+func TestMemFSCrashPointEnumeration(t *testing.T) {
+	// Fault-free dry run to learn the op count.
+	workload := func(fs *MemFS) error {
+		f, err := fs.OpenFile("wal", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := f.Write([]byte{byte('a' + i), byte('a' + i)}); err != nil {
+				return err
+			}
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+		return f.Close()
+	}
+	dry := NewMemFS(7)
+	if err := workload(dry); err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	total := dry.Ops()
+	if total == 0 {
+		t.Fatal("workload performed no durable ops")
+	}
+
+	full := []byte("aabbccdd")
+	for crash := 1; crash <= total; crash++ {
+		fs := NewMemFS(int64(100 + crash))
+		fs.CrashAfter(crash)
+		err := workload(fs)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash=%d: workload err = %v, want ErrCrashed", crash, err)
+		}
+		if !fs.Crashed() {
+			t.Fatalf("crash=%d: fs not crashed", crash)
+		}
+		// Down until reboot.
+		if _, err := fs.OpenFile("wal", os.O_RDWR, 0o644); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash=%d: open while down err = %v", crash, err)
+		}
+		fs.Reboot()
+		got, err := fs.ReadFile("wal")
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("crash=%d: read after reboot: %v", crash, err)
+		}
+		// Whatever survived must be a prefix of the written stream: no
+		// reordering, no invention, no holes.
+		if !bytes.HasPrefix(full, got) {
+			t.Fatalf("crash=%d: recovered %q not a prefix of %q", crash, got, full)
+		}
+		// Completed sync pairs must have survived. Each write+sync pair is
+		// 2 ops; by crash point c, floor((c-1)/2) pairs completed (op 1 is
+		// the create).
+		if pairs := (crash - 1) / 2; len(got) < 2*pairs-2 {
+			// -2 slack: the crashing op itself may be the sync.
+			t.Fatalf("crash=%d: only %d bytes survived", crash, len(got))
+		}
+	}
+}
+
+func TestMemFSInjectedFaults(t *testing.T) {
+	fs := NewMemFS(3)
+	f := openRW(t, fs, "wal")
+
+	fs.InjectWriteError(nil)
+	n, err := f.Write([]byte("hello"))
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("write err = %v", err)
+	}
+	if n >= 5 {
+		t.Fatalf("short write wrote %d of 5", n)
+	}
+	// One-shot: next write succeeds.
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatalf("write after fault: %v", err)
+	}
+
+	fs.InjectSyncError(nil)
+	if err := f.Sync(); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("sync err = %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after fault: %v", err)
+	}
+}
+
+func TestMemFSRenameAtomicDurable(t *testing.T) {
+	fs := NewMemFS(5)
+	f := openRW(t, fs, "seg.tmp")
+	if _, err := f.Write([]byte("compacted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("seg.tmp", "seg"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	fs.Reboot()
+	if _, err := fs.ReadFile("seg.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old path survived rename: %v", err)
+	}
+	got, err := fs.ReadFile("seg")
+	if err != nil || string(got) != "compacted" {
+		t.Fatalf("new path = %q, %v", got, err)
+	}
+}
+
+func TestMemFSCloneIndependence(t *testing.T) {
+	fs := NewMemFS(9)
+	fs.WriteFile("wal", []byte("base"))
+	cl := fs.Clone()
+	f := openRW(t, fs, "wal")
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+more")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cl.ReadFile("wal")
+	if string(got) != "base" {
+		t.Fatalf("clone mutated: %q", got)
+	}
+}
+
+func TestMemFSSeekReadBack(t *testing.T) {
+	fs := NewMemFS(2)
+	f := openRW(t, fs, "wal")
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(4, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(f, buf); err != nil || string(buf) != "456" {
+		t.Fatalf("read = %q, %v", buf, err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("wal")
+	if string(got) != "01234" {
+		t.Fatalf("after truncate: %q", got)
+	}
+}
+
+func TestFaultyNetworkDeterministicDrops(t *testing.T) {
+	run := func(seed int64) (int64, []string) {
+		bus := gossip.NewBus()
+		a, _ := bus.Join("a")
+		b, _ := bus.Join("b")
+		var got []string
+		b.SetHandler(gossip.HandlerFunc(func(from string, m gossip.Message) (*gossip.Message, error) {
+			got = append(got, string(m.TxData[0]))
+			return &gossip.Message{}, nil
+		}))
+		fn := NewFaultyNetwork(a, NetFaults{DropProb: 0.5}, seed)
+		for i := 0; i < 40; i++ {
+			_ = fn.Broadcast(context.Background(), gossip.Message{
+				Type: gossip.MsgTransaction, TxData: [][]byte{{byte(i)}},
+			})
+		}
+		return fn.Dropped, got
+	}
+	d1, g1 := run(42)
+	d2, g2 := run(42)
+	if d1 == 0 || d1 == 40 {
+		t.Fatalf("drop mix degenerate: %d/40", d1)
+	}
+	if d1 != d2 || len(g1) != len(g2) {
+		t.Fatalf("not deterministic: %d/%d drops, %d/%d delivered", d1, d2, len(g1), len(g2))
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("delivery schedule diverged at %d", i)
+		}
+	}
+}
+
+func TestFaultyNetworkBlockHeal(t *testing.T) {
+	bus := gossip.NewBus()
+	a, _ := bus.Join("a")
+	b, _ := bus.Join("b")
+	b.SetHandler(gossip.HandlerFunc(func(string, gossip.Message) (*gossip.Message, error) {
+		return &gossip.Message{}, nil
+	}))
+	fn := NewFaultyNetwork(a, NetFaults{}, 1)
+
+	if _, err := fn.Request(context.Background(), "b", gossip.Message{Type: gossip.MsgSyncRequest}); err != nil {
+		t.Fatalf("request before block: %v", err)
+	}
+	fn.Block("b")
+	if _, err := fn.Request(context.Background(), "b", gossip.Message{Type: gossip.MsgSyncRequest}); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("request while blocked err = %v", err)
+	}
+	fn.Heal()
+	if _, err := fn.Request(context.Background(), "b", gossip.Message{Type: gossip.MsgSyncRequest}); err != nil {
+		t.Fatalf("request after heal: %v", err)
+	}
+}
+
+func TestFaultyNetworkDuplicates(t *testing.T) {
+	bus := gossip.NewBus()
+	a, _ := bus.Join("a")
+	b, _ := bus.Join("b")
+	var delivered int
+	b.SetHandler(gossip.HandlerFunc(func(string, gossip.Message) (*gossip.Message, error) {
+		delivered++
+		return &gossip.Message{}, nil
+	}))
+	fn := NewFaultyNetwork(a, NetFaults{DupProb: 1}, 1)
+	for i := 0; i < 5; i++ {
+		if err := fn.Broadcast(context.Background(), gossip.Message{Type: gossip.MsgTransaction, TxData: [][]byte{{1}}}); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	if delivered != 10 {
+		t.Fatalf("delivered %d, want 10 (every message duplicated)", delivered)
+	}
+	if fn.Duplicated != 5 {
+		t.Fatalf("Duplicated = %d", fn.Duplicated)
+	}
+}
+
+func TestSkewClockMonotonicUnderBackwardJump(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(1000, 0))
+	sc := NewSkewClock(v, 0, 1)
+	t1 := sc.Now()
+	sc.Jump(-10 * time.Second)
+	t2 := sc.Now()
+	if t2.Before(t1) {
+		t.Fatalf("clock ran backwards: %v then %v", t1, t2)
+	}
+	// Once inner time passes the clamp, readings advance again.
+	v.Advance(30 * time.Second)
+	t3 := sc.Now()
+	if !t3.After(t2) {
+		t.Fatalf("clock stuck after clamp: %v then %v", t2, t3)
+	}
+}
+
+func TestSkewClockJitterBounded(t *testing.T) {
+	v := clock.NewVirtual(time.Unix(1000, 0))
+	jit := 50 * time.Millisecond
+	sc := NewSkewClock(v, jit, 7)
+	for i := 0; i < 200; i++ {
+		v.Advance(time.Second)
+		d := sc.Now().Sub(v.Now())
+		if d < -jit || d > jit {
+			t.Fatalf("jitter %v out of bounds ±%v", d, jit)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/b-iot/biot/internal/clock"
+)
+
+// SkewClock decorates a clock.Clock with scriptable skew: a settable
+// offset (Jump) plus bounded seeded jitter per reading. Readings are
+// clamped monotonic — a jitter draw or backwards Jump never makes Now
+// return an instant before one it already returned, because the
+// components consuming the clock (credit decay, replay windows) assume
+// time does not run backwards within a process.
+type SkewClock struct {
+	inner clock.Clock
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	offset time.Duration
+	jitter time.Duration // max absolute jitter per reading
+	last   time.Time     // monotonic floor
+}
+
+var _ clock.Clock = (*SkewClock)(nil)
+
+// NewSkewClock wraps inner. jitter bounds the per-reading noise
+// (uniform in [-jitter, +jitter]); zero disables it.
+func NewSkewClock(inner clock.Clock, jitter time.Duration, seed int64) *SkewClock {
+	return &SkewClock{
+		inner:  inner,
+		rng:    rand.New(rand.NewSource(seed)),
+		jitter: jitter,
+	}
+}
+
+// Jump shifts the clock by d (negative allowed — the monotonic clamp
+// absorbs it until real time catches up, which is exactly how a node
+// with a stepped-back NTP source behaves).
+func (c *SkewClock) Jump(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.offset += d
+}
+
+// Offset returns the current accumulated jump offset.
+func (c *SkewClock) Offset() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.offset
+}
+
+// Now implements clock.Clock.
+func (c *SkewClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.inner.Now().Add(c.offset)
+	if c.jitter > 0 {
+		t = t.Add(time.Duration(c.rng.Int63n(int64(2*c.jitter))) - c.jitter)
+	}
+	if !c.last.IsZero() && t.Before(c.last) {
+		t = c.last
+	}
+	c.last = t
+	return t
+}
+
+// Sleep implements clock.Clock, delegating to the inner clock.
+func (c *SkewClock) Sleep(d time.Duration) { c.inner.Sleep(d) }

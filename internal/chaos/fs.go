@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the storage layer needs. Both the real
+// OS filesystem and the in-memory fault-injecting one return it, so
+// internal/store runs unchanged against either.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes written data to stable storage. Data not yet synced
+	// may be lost — wholly or partially — on crash.
+	Sync() error
+	// Truncate resizes the file. Like a write, the resize is not
+	// crash-durable until the next Sync.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem seam: the operations internal/store performs,
+// abstracted so scripted faults can be injected under them.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the flags the
+	// store uses (O_RDWR, O_CREATE, O_TRUNC).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath — the commit
+	// point of write-temp/fsync/rename compaction.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (best-effort cleanup of temp segments).
+	Remove(name string) error
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+var _ FS = osFS{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

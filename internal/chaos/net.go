@@ -1,0 +1,240 @@
+package chaos
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/b-iot/biot/internal/gossip"
+)
+
+// NetFaults configures the fault mix a FaultyNetwork injects into
+// outbound traffic. All probabilities are in [0,1]; the zero value
+// injects nothing.
+type NetFaults struct {
+	// DropProb drops an outbound exchange entirely: a Broadcast to a
+	// peer silently fails, a Request returns ErrInjectedDrop.
+	DropProb float64
+	// DupProb delivers an outbound broadcast message to a peer twice.
+	// Duplicate delivery is the normal case for gossip retry paths, so
+	// nodes must be idempotent.
+	DupProb float64
+	// DelayMax, when positive, delays each outbound exchange by a
+	// uniform duration in [0, DelayMax) before sending.
+	DelayMax time.Duration
+	// ReorderProb swaps an outbound broadcast with the next one to the
+	// same peer by holding it back briefly, so peers observe
+	// attachments out of issue order.
+	ReorderProb float64
+}
+
+// FaultyNetwork decorates a gossip.Network with seeded, scriptable
+// faults on the *outbound* path (inbound traffic already went through
+// the remote sender's own faults; injecting on one side keeps a
+// two-node exchange from being faulted twice). Per-peer Block models a
+// directed partition; Heal clears all faults and blocks.
+//
+// All randomness comes from the seed, so a failing schedule replays
+// exactly. Safe for concurrent use.
+type FaultyNetwork struct {
+	inner gossip.Network
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	faults  NetFaults
+	blocked map[string]bool
+	held    map[string]gossip.Message // reorder buffer, one slot per peer
+
+	// Injected/Dropped/Duplicated/Delayed count injected events for
+	// test assertions.
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	Reordered  int64
+}
+
+var _ gossip.Network = (*FaultyNetwork)(nil)
+
+// NewFaultyNetwork wraps inner with the given fault mix and seed.
+func NewFaultyNetwork(inner gossip.Network, faults NetFaults, seed int64) *FaultyNetwork {
+	return &FaultyNetwork{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(seed)),
+		faults:  faults,
+		blocked: make(map[string]bool),
+		held:    make(map[string]gossip.Message),
+	}
+}
+
+// SetFaults replaces the fault mix.
+func (n *FaultyNetwork) SetFaults(f NetFaults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
+// Block starts dropping every outbound exchange to peer — a directed
+// partition.
+func (n *FaultyNetwork) Block(peer string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[peer] = true
+}
+
+// Unblock lifts a Block.
+func (n *FaultyNetwork) Unblock(peer string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, peer)
+}
+
+// Heal clears every fault: probabilities to zero, all peers unblocked,
+// reorder buffers flushed (held messages are dropped — they were
+// stale). The network behaves as the undecorated inner network
+// afterwards.
+func (n *FaultyNetwork) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = NetFaults{}
+	n.blocked = make(map[string]bool)
+	n.held = make(map[string]gossip.Message)
+}
+
+// Self implements gossip.Network.
+func (n *FaultyNetwork) Self() string { return n.inner.Self() }
+
+// Peers implements gossip.Network.
+func (n *FaultyNetwork) Peers() []string { return n.inner.Peers() }
+
+// SetHandler implements gossip.Network.
+func (n *FaultyNetwork) SetHandler(h gossip.Handler) { n.inner.SetHandler(h) }
+
+// Close implements gossip.Network.
+func (n *FaultyNetwork) Close() error { return n.inner.Close() }
+
+// plan decides, under the lock, what happens to one outbound message
+// for one peer. It returns the messages to actually send (0, 1 or 2 of
+// them) and the delay to apply first.
+func (n *FaultyNetwork) plan(peer string, msg gossip.Message, reorderable bool) (send []gossip.Message, delay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.blocked[peer] {
+		n.Dropped++
+		return nil, 0
+	}
+	f := n.faults
+	if f.DropProb > 0 && n.rng.Float64() < f.DropProb {
+		n.Dropped++
+		return nil, 0
+	}
+	if f.DelayMax > 0 {
+		delay = time.Duration(n.rng.Int63n(int64(f.DelayMax)))
+		n.Delayed++
+	}
+	send = []gossip.Message{msg}
+	if reorderable && f.ReorderProb > 0 {
+		if held, ok := n.held[peer]; ok {
+			// Release the held message after the current one: the swap.
+			delete(n.held, peer)
+			send = append(send, held)
+			n.Reordered++
+		} else if n.rng.Float64() < f.ReorderProb {
+			// Hold this one back for the next broadcast to this peer.
+			n.held[peer] = msg
+			return nil, delay
+		}
+	}
+	if f.DupProb > 0 && n.rng.Float64() < f.DupProb {
+		send = append(send, msg)
+		n.Duplicated++
+	}
+	return send, delay
+}
+
+// Broadcast implements gossip.Network: per-peer fault decisions, then
+// per-peer Requests against the inner network so one peer's injected
+// drop doesn't mask delivery to the others. Mirroring the inner
+// Broadcast contract, it succeeds if any peer was reached or no peer
+// was eligible.
+func (n *FaultyNetwork) Broadcast(ctx context.Context, msg gossip.Message) error {
+	peers := n.inner.Peers()
+	if len(peers) == 0 {
+		return n.inner.Broadcast(ctx, msg)
+	}
+	var (
+		wg        sync.WaitGroup
+		successMu sync.Mutex
+		delivered int
+		attempted int
+		firstErr  error
+	)
+	for _, peer := range peers {
+		send, delay := n.plan(peer, msg, true)
+		if len(send) == 0 {
+			continue
+		}
+		attempted++
+		wg.Add(1)
+		go func(peer string, send []gossip.Message, delay time.Duration) {
+			defer wg.Done()
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return
+				}
+			}
+			ok := false
+			var err error
+			for _, m := range send {
+				if _, rerr := n.inner.Request(ctx, peer, m); rerr == nil {
+					ok = true
+				} else if err == nil {
+					err = rerr
+				}
+			}
+			successMu.Lock()
+			if ok {
+				delivered++
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			successMu.Unlock()
+		}(peer, send, delay)
+	}
+	wg.Wait()
+	if attempted == 0 {
+		// Every peer was dropped or held: the broadcast vanished, which
+		// is exactly the fault being modelled. Report success — the
+		// sender can't tell.
+		return nil
+	}
+	if delivered == 0 && firstErr != nil {
+		return firstErr
+	}
+	return nil
+}
+
+// Request implements gossip.Network. Requests (sync exchanges) are
+// droppable and delayable but never duplicated or reordered — the
+// caller owns the reply.
+func (n *FaultyNetwork) Request(ctx context.Context, peer string, msg gossip.Message) (gossip.Message, error) {
+	send, delay := n.plan(peer, msg, false)
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return gossip.Message{}, ctx.Err()
+		}
+	}
+	if len(send) == 0 {
+		return gossip.Message{}, ErrInjectedDrop
+	}
+	var reply gossip.Message
+	var err error
+	for _, m := range send {
+		reply, err = n.inner.Request(ctx, peer, m)
+	}
+	return reply, err
+}

@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/b-iot/biot/internal/chaos"
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+)
+
+// ChaosBenchConfig parameterizes the crash-recovery benchmark: for each
+// journal size it builds a gateway on a fault-injectable in-memory
+// disk, admits that many readings, crashes the machine (reboot drops
+// the page cache and plants a torn tail), and measures how long the
+// restarted node takes to recover — torn-tail detection plus full
+// replay through the admission pipeline — and how much faster recovery
+// gets once snapshot compaction has rewritten the journal down to the
+// live working set.
+type ChaosBenchConfig struct {
+	// RecordCounts lists the journal sizes (admitted transactions) to
+	// measure recovery at.
+	RecordCounts []int
+	// PayloadBytes is the reading payload size.
+	PayloadBytes int
+	// CompactAfter is how far the virtual clock jumps before the
+	// snapshot+compact pass; history older than CompactKeep is folded.
+	CompactAfter time.Duration
+	// CompactKeep is the retention horizon handed to node.Compact.
+	CompactKeep time.Duration
+	// Seed drives the fault-injected disk.
+	Seed int64
+}
+
+// DefaultChaosBenchConfig is the acceptance-snapshot scale
+// (BENCH_chaos.json).
+func DefaultChaosBenchConfig() ChaosBenchConfig {
+	return ChaosBenchConfig{
+		RecordCounts: []int{250, 1000, 4000},
+		PayloadBytes: 96,
+		CompactAfter: 10 * time.Minute,
+		CompactKeep:  30 * time.Second,
+		Seed:         0xC4A05,
+	}
+}
+
+// QuickChaosBenchConfig is a CI-friendly reduction.
+func QuickChaosBenchConfig() ChaosBenchConfig {
+	return ChaosBenchConfig{
+		RecordCounts: []int{50, 200},
+		PayloadBytes: 64,
+		CompactAfter: 10 * time.Minute,
+		CompactKeep:  30 * time.Second,
+		Seed:         0xC4A05,
+	}
+}
+
+// ChaosBenchRow is one journal size's measurement.
+type ChaosBenchRow struct {
+	Records      int   `json:"records"`
+	JournalBytes int   `json:"journal_bytes"`
+	TornBytes    int64 `json:"torn_bytes"`
+	// RecoverNs is wall-clock open-to-serving time after the crash:
+	// segment-header validation, torn-tail truncation and full replay
+	// through the admission pipeline.
+	RecoverNs float64 `json:"recover_ns"`
+	// ReplayPerSec is Records / recovery time.
+	ReplayPerSec float64 `json:"replay_per_sec"`
+	// CompactedRecords / CompactedBytes describe the journal after the
+	// snapshot+compact pass rewrote it to the live working set.
+	CompactedRecords int `json:"compacted_records"`
+	CompactedBytes   int `json:"compacted_bytes"`
+	// RecoverCompactNs is crash recovery time against the compacted
+	// journal — the payoff of running compaction on a cadence.
+	RecoverCompactNs float64 `json:"recover_compact_ns"`
+}
+
+// ChaosBenchResult is the recovery scaling curve.
+type ChaosBenchResult struct {
+	Config ChaosBenchConfig `json:"config"`
+	Rows   []ChaosBenchRow  `json:"rows"`
+}
+
+// RunChaosBench executes the crash-recovery sweep.
+func RunChaosBench(ctx context.Context, cfg ChaosBenchConfig) (*ChaosBenchResult, error) {
+	if len(cfg.RecordCounts) == 0 || cfg.PayloadBytes < 1 {
+		return nil, fmt.Errorf("chaos bench workload too small")
+	}
+	res := &ChaosBenchResult{Config: cfg}
+	for _, records := range cfg.RecordCounts {
+		row, err := runChaosBenchSize(ctx, cfg, records)
+		if err != nil {
+			return nil, fmt.Errorf("records=%d: %w", records, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// chaosBenchParams keeps PoW negligible so the measurement isolates
+// journal replay, not mining.
+func chaosBenchParams() core.Params {
+	p := core.DefaultParams()
+	p.InitialDifficulty = 1
+	p.MinDifficulty = 1
+	p.MaxDifficulty = 20
+	return p
+}
+
+// chaosBenchNode builds a standalone gateway journaling to fs and
+// returns it with its recovery duration and replayed-record count.
+func chaosBenchNode(fs chaos.FS, key *identity.KeyPair, clk *clock.Virtual) (*node.FullNode, time.Duration, int, error) {
+	full, err := node.NewFull(node.FullConfig{
+		Key:        key,
+		Role:       identity.RoleManager,
+		ManagerPub: key.Public(),
+		Credit:     chaosBenchParams(),
+		Clock:      clk,
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	start := time.Now()
+	replayed, err := full.EnablePersistenceFS(fs, "bench.journal")
+	if err != nil {
+		full.Close()
+		return nil, 0, 0, err
+	}
+	return full, time.Since(start), replayed, nil
+}
+
+func runChaosBenchSize(ctx context.Context, cfg ChaosBenchConfig, records int) (ChaosBenchRow, error) {
+	fs := chaos.NewMemFS(cfg.Seed + int64(records))
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	key, err := identity.Generate()
+	if err != nil {
+		return ChaosBenchRow{}, err
+	}
+
+	// Build the journal: one standalone gateway, one device, `records`
+	// readings at trivial difficulty.
+	full, _, _, err := chaosBenchNode(fs, key, clk)
+	if err != nil {
+		return ChaosBenchRow{}, err
+	}
+	mgr, err := node.NewManager(full)
+	if err != nil {
+		full.Close()
+		return ChaosBenchRow{}, err
+	}
+	devKey, err := identity.Generate()
+	if err != nil {
+		full.Close()
+		return ChaosBenchRow{}, err
+	}
+	mgr.AuthorizeDevice(devKey.Public(), devKey.BoxPublic())
+	if _, err := mgr.PublishAuthorization(ctx); err != nil {
+		full.Close()
+		return ChaosBenchRow{}, err
+	}
+	dev, err := node.NewLight(node.LightConfig{Key: devKey, Gateway: full})
+	if err != nil {
+		full.Close()
+		return ChaosBenchRow{}, err
+	}
+	payload := make([]byte, cfg.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < records; i++ {
+		if _, err := dev.PostReading(ctx, payload); err != nil {
+			full.Close()
+			return ChaosBenchRow{}, fmt.Errorf("reading %d: %w", i, err)
+		}
+		if i%32 == 0 {
+			clk.Advance(time.Second) // age spread for the compaction pass
+		}
+	}
+	full.ClosePersistence()
+	full.Close()
+
+	journalData, err := fs.ReadFile("bench.journal")
+	if err != nil {
+		return ChaosBenchRow{}, err
+	}
+	journalBytes := len(journalData)
+
+	// Crash the machine and plant a torn tail: recovery must detect and
+	// truncate it before replaying.
+	fs.Reboot()
+	torn := []byte{0xde, 0xad, 0xbe, 0xef, 0x01}
+	durable, err := fs.ReadFile("bench.journal")
+	if err != nil {
+		return ChaosBenchRow{}, err
+	}
+	fs.WriteFile("bench.journal", append(durable, torn...))
+
+	recovered, recoverTime, replayed, err := chaosBenchNode(fs, key, clk)
+	if err != nil {
+		return ChaosBenchRow{}, fmt.Errorf("recover: %w", err)
+	}
+	stats, _, _ := recovered.JournalStats()
+	if replayed < records {
+		recovered.Close()
+		return ChaosBenchRow{}, fmt.Errorf("replayed %d of %d synced records", replayed, records)
+	}
+
+	// Snapshot + compact, then measure recovery against the rewritten
+	// journal.
+	clk.Advance(cfg.CompactAfter)
+	recovered.Compact(cfg.CompactKeep)
+	compactedRecords, err := recovered.CompactJournal()
+	if err != nil {
+		recovered.Close()
+		return ChaosBenchRow{}, fmt.Errorf("compact journal: %w", err)
+	}
+	recovered.ClosePersistence()
+	recovered.Close()
+	compactedData, err := fs.ReadFile("bench.journal")
+	if err != nil {
+		return ChaosBenchRow{}, err
+	}
+	compactedBytes := len(compactedData)
+
+	fs.Reboot()
+	final, recoverCompact, _, err := chaosBenchNode(fs, key, clk)
+	if err != nil {
+		return ChaosBenchRow{}, fmt.Errorf("recover compacted: %w", err)
+	}
+	final.Close()
+
+	replayPerSec := 0.0
+	if recoverTime > 0 {
+		replayPerSec = float64(replayed) / recoverTime.Seconds()
+	}
+	return ChaosBenchRow{
+		Records:          records,
+		JournalBytes:     journalBytes,
+		TornBytes:        stats.TornBytes,
+		RecoverNs:        float64(recoverTime.Nanoseconds()),
+		ReplayPerSec:     replayPerSec,
+		CompactedRecords: compactedRecords,
+		CompactedBytes:   compactedBytes,
+		RecoverCompactNs: float64(recoverCompact.Nanoseconds()),
+	}, nil
+}
+
+// Render writes the recovery curve as an aligned table.
+func (r *ChaosBenchResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Crash recovery — reboot with torn tail, full pipeline replay, then snapshot+compact (keep %v)\n",
+		r.Config.CompactKeep); err != nil {
+		return err
+	}
+	t := &table{header: []string{"records", "journal_kb", "torn_b", "recover_ms", "replay_tx_s", "compact_records", "compact_kb", "recover_compact_ms"}}
+	for _, row := range r.Rows {
+		t.add(
+			fmt.Sprintf("%d", row.Records),
+			fmt.Sprintf("%.1f", float64(row.JournalBytes)/1024),
+			fmt.Sprintf("%d", row.TornBytes),
+			fmt.Sprintf("%.2f", row.RecoverNs/1e6),
+			fmt.Sprintf("%.0f", row.ReplayPerSec),
+			fmt.Sprintf("%d", row.CompactedRecords),
+			fmt.Sprintf("%.1f", float64(row.CompactedBytes)/1024),
+			fmt.Sprintf("%.2f", row.RecoverCompactNs/1e6),
+		)
+	}
+	return t.render(w)
+}
+
+// CSV writes the curve as CSV.
+func (r *ChaosBenchResult) CSV(w io.Writer) error {
+	t := &table{header: []string{"records", "journal_bytes", "torn_bytes", "recover_ns", "replay_per_sec", "compacted_records", "compacted_bytes", "recover_compact_ns"}}
+	for _, row := range r.Rows {
+		t.add(
+			fmt.Sprintf("%d", row.Records),
+			fmt.Sprintf("%d", row.JournalBytes),
+			fmt.Sprintf("%d", row.TornBytes),
+			fmt.Sprintf("%.0f", row.RecoverNs),
+			fmt.Sprintf("%.2f", row.ReplayPerSec),
+			fmt.Sprintf("%d", row.CompactedRecords),
+			fmt.Sprintf("%d", row.CompactedBytes),
+			fmt.Sprintf("%.0f", row.RecoverCompactNs))
+	}
+	return t.csv(w)
+}
+
+// JSON writes the curve as a machine-readable snapshot
+// (BENCH_chaos.json in the Makefile's bench target).
+func (r *ChaosBenchResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -210,6 +210,20 @@ func (b *broadcaster) flush(ctx context.Context) error {
 	}
 }
 
+// isClosed reports whether close has run — the transport-health probe.
+func (b *broadcaster) isClosed() bool {
+	b.sendMu.RLock()
+	defer b.sendMu.RUnlock()
+	return b.closed
+}
+
+// saturated reports a full intake queue: admissions are about to hit
+// ErrBroadcastBacklog. A readiness probe that sheds load here lets the
+// queue drain instead of bouncing submissions off the hard limit.
+func (b *broadcaster) saturated() bool {
+	return b.reserved.Load() >= int64(cap(b.intake))
+}
+
 // close stops the pipeline: the dispatcher drains the intake, sender
 // queues are closed and drained, and all goroutines join.
 func (b *broadcaster) close() {

@@ -423,6 +423,28 @@ func (n *FullNode) FlushBroadcast(ctx context.Context) error {
 // Pipeline exposes the submission pipeline's metrics.
 func (n *FullNode) Pipeline() PipelineMetrics { return n.pipeline }
 
+// Network returns the node's gossip attachment (nil when the node runs
+// standalone). The Supervisor closes it after the node during a
+// graceful stop, and before the node when simulating a crash.
+func (n *FullNode) Network() gossip.Network { return n.cfg.Network }
+
+// TransportHealthy reports the broadcast pipeline can still fan out:
+// true for standalone nodes (nothing to fail) and for networked nodes
+// whose pipeline has not been closed.
+func (n *FullNode) TransportHealthy() bool {
+	if n.cfg.Network == nil {
+		return true
+	}
+	return n.bcast != nil && !n.bcast.isClosed()
+}
+
+// PipelineSaturated reports the broadcast intake queue is at capacity,
+// i.e. the next Submit would be rejected with ErrBroadcastBacklog. The
+// readiness probe uses it to shed load before the hard limit bites.
+func (n *FullNode) PipelineSaturated() bool {
+	return n.bcast != nil && n.bcast.saturated()
+}
+
 // LedgerMetrics exposes the tangle's anchored tip-selection gauges
 // (anchor height/count, walk lengths, fallback counts).
 func (n *FullNode) LedgerMetrics() tangle.Metrics { return n.tangle.Metrics() }
@@ -465,6 +487,25 @@ func (n *FullNode) verifyIdentity(t *txn.Transaction) error {
 func (n *FullNode) verifyDifficulty(t *txn.Transaction, now time.Time) error {
 	required := n.engine.DifficultyFor(t.Sender(), now)
 	if err := t.VerifyPoW(required); err != nil {
+		n.counters.Rejected.Inc()
+		return fmt.Errorf("%w: %v", ErrWrongDifficulty, err)
+	}
+	return nil
+}
+
+// verifyRelayDifficulty gates RELAYED admissions — gossip broadcasts
+// and sync pages — on the structural PoW floor instead of this node's
+// momentary credit-derived demand. The full demand is enforced exactly
+// once, at the submission edge (admit), by the gateway whose credit
+// view priced the work. Re-checking it on relay cannot converge in
+// general: the miner's view may legitimately include approval weight
+// contributed by the relayed transaction's own descendants, which no
+// receiver can assemble as a prefix — a node catching up after a crash
+// would demand one band more work than the transaction carries and
+// wedge its sync (and every descendant) forever. The chaos soak found
+// exactly that deadlock.
+func (n *FullNode) verifyRelayDifficulty(t *txn.Transaction) error {
+	if err := t.VerifyPoW(n.engine.Ledger().Params().MinDifficulty); err != nil {
 		n.counters.Rejected.Inc()
 		return fmt.Errorf("%w: %v", ErrWrongDifficulty, err)
 	}
@@ -521,7 +562,22 @@ func (n *FullNode) attachVerified(t *txn.Transaction, now time.Time) (tangle.Inf
 	// concurrent admission can approve it the instant Attach returns,
 	// and UpdateWeight against a not-yet-recorded transaction would be
 	// silently dropped.
-	n.engine.Ledger().RecordTransaction(sender, t.ID(), 1, now)
+	//
+	// The record is stamped with the TRANSACTION's timestamp, not the
+	// arrival time: with hyperbolic decay over ΔT, arrival stamping made
+	// a node's credit view depend on when each transaction happened to
+	// arrive, so a node catching up after a crash reconstructed a
+	// different view than its peers built live — and a diverged view
+	// means a diverged difficulty demand, which rejects peers' perfectly
+	// mined transactions forever. Stamping with the embedded timestamp
+	// (clamped to now so post-dating buys nothing) makes the view a
+	// function of WHAT was admitted, not WHEN, so journal replay and
+	// catch-up sync converge to the live nodes' view.
+	recordAt := t.Timestamp
+	if recordAt.After(now) {
+		recordAt = now
+	}
+	n.engine.Ledger().RecordTransaction(sender, t.ID(), 1, recordAt)
 
 	info, err := n.tangle.Attach(t)
 	if err != nil {
@@ -652,7 +708,7 @@ func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]by
 		if txs[start].Kind == txn.KindAuthorization {
 			if err := n.verifyIdentity(txs[start]); err != nil {
 				failed++
-			} else if err := n.verifyDifficulty(txs[start], now); err != nil {
+			} else if err := n.verifyRelayDifficulty(txs[start]); err != nil {
 				failed++
 			} else {
 				attach(txs[start])

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/b-iot/biot/internal/chaos"
 	"github.com/b-iot/biot/internal/store"
+	"github.com/b-iot/biot/internal/tangle"
 	"github.com/b-iot/biot/internal/txn"
 )
 
@@ -17,10 +19,18 @@ import (
 // ErrNotPersistent reports persistence operations on a memory-only node.
 var ErrNotPersistent = errors.New("node has no persistence configured")
 
-// EnablePersistence opens (or creates) the transaction log at path,
-// replays its records into the node's ledger, and journals every
-// subsequently admitted transaction. Call once, before serving traffic.
+// EnablePersistence opens (or creates) the transaction log at path on
+// the real filesystem, replays its records into the node's ledger, and
+// journals every subsequently admitted transaction. Call once, before
+// serving traffic.
 func (n *FullNode) EnablePersistence(path string) (replayed int, err error) {
+	return n.EnablePersistenceFS(chaos.OS(), path)
+}
+
+// EnablePersistenceFS is EnablePersistence against an arbitrary
+// filesystem — the seam the chaos torture and soak suites inject disk
+// faults through.
+func (n *FullNode) EnablePersistenceFS(fs chaos.FS, path string) (replayed int, err error) {
 	n.pendingMu.Lock()
 	if n.journal != nil {
 		n.pendingMu.Unlock()
@@ -28,7 +38,7 @@ func (n *FullNode) EnablePersistence(path string) (replayed int, err error) {
 	}
 	n.pendingMu.Unlock()
 
-	log, err := store.Open(path, n.replayTransaction)
+	log, err := store.OpenFSGen(fs, path, n.replayTransaction)
 	if err != nil {
 		return 0, fmt.Errorf("enable persistence: %w", err)
 	}
@@ -36,6 +46,42 @@ func (n *FullNode) EnablePersistence(path string) (replayed int, err error) {
 	n.journal = log
 	n.pendingMu.Unlock()
 	return log.Len(), nil
+}
+
+// JournalHealthy reports the journal's state: true when persistence is
+// enabled, the log is open, and no write or sync has failed. A node
+// with a poisoned journal keeps serving reads but must be restarted
+// (re-replaying the durable prefix) before its journal can be trusted
+// again — the Supervisor's watchdog does exactly that.
+func (n *FullNode) JournalHealthy() bool {
+	n.pendingMu.Lock()
+	log := n.journal
+	n.pendingMu.Unlock()
+	return log != nil && log.Healthy()
+}
+
+// JournalError returns the sticky I/O error that poisoned the journal
+// (nil while healthy or memory-only).
+func (n *FullNode) JournalError() error {
+	n.pendingMu.Lock()
+	log := n.journal
+	n.pendingMu.Unlock()
+	if log == nil {
+		return nil
+	}
+	return log.Err()
+}
+
+// JournalStats returns the journal's recovery stats and current
+// generation; ok is false on a memory-only node.
+func (n *FullNode) JournalStats() (stats store.RecoveryStats, generation uint64, ok bool) {
+	n.pendingMu.Lock()
+	log := n.journal
+	n.pendingMu.Unlock()
+	if log == nil {
+		return store.RecoveryStats{}, 0, false
+	}
+	return log.Stats(), log.Generation(), true
 }
 
 // ClosePersistence flushes and closes the journal.
@@ -56,7 +102,7 @@ func (n *FullNode) ClosePersistence() error {
 // demanded *at its original admission*, which the credit state seen
 // during replay cannot reconstruct exactly — and the log is local,
 // already-trusted state, not an untrusted submission.
-func (n *FullNode) replayTransaction(t *txn.Transaction) error {
+func (n *FullNode) replayTransaction(t *txn.Transaction, generation uint64) error {
 	if n.tangle.Contains(t.ID()) {
 		return nil // duplicate record (e.g. log shared with a sync)
 	}
@@ -69,6 +115,19 @@ func (n *FullNode) replayTransaction(t *txn.Transaction) error {
 		n.pendingMu.Unlock()
 	}
 	info, err := n.tangle.Attach(t)
+	if generation > 0 &&
+		(errors.Is(err, tangle.ErrUnknownParent) || errors.Is(err, tangle.ErrSnapshottedParent)) {
+		// The journal is written in attachment order and recovery only
+		// truncates its tail, so in a compacted segment (generation > 0)
+		// a replayed record with an absent parent can only be sitting on
+		// a snapshot boundary: compaction rewrote the log down to the
+		// live working set and the parent was folded away before the
+		// crash. Restore re-creates the boundary shape. A generation-0
+		// segment was never compacted, so there an absent parent keeps
+		// meaning what it always did — a foreign or corrupt log — and
+		// aborts the open.
+		info, err = n.tangle.Restore(t)
+	}
 	if err != nil {
 		n.pendingMu.Lock()
 		delete(n.pending, t.ID())
@@ -104,6 +163,33 @@ func (n *FullNode) Compact(keep time.Duration) (tangleDropped, creditDropped int
 	tangleDropped = n.tangle.Snapshot(now, keep)
 	creditDropped = n.engine.Ledger().Prune(now, keep)
 	return tangleDropped, creditDropped
+}
+
+// CompactJournal rewrites the journal to exactly the tangle's current
+// contents (write-temp/fsync/atomic-rename; see store.Compact). Run it
+// after Compact so the on-disk log shrinks with the in-memory state —
+// otherwise the journal grows forever and replay re-admits vertices the
+// snapshot already folded away. Genesis is skipped: every node derives
+// it from configuration, and replay would reject it as a duplicate
+// root. Returns the record count of the new segment.
+func (n *FullNode) CompactJournal() (records int, err error) {
+	n.pendingMu.Lock()
+	log := n.journal
+	n.pendingMu.Unlock()
+	if log == nil {
+		return 0, ErrNotPersistent
+	}
+	all := n.tangle.Export()
+	txs := all[:0]
+	for _, t := range all {
+		if t.Kind != txn.KindGenesis {
+			txs = append(txs, t)
+		}
+	}
+	if err := log.Compact(txs); err != nil {
+		return 0, fmt.Errorf("compact journal: %w", err)
+	}
+	return len(txs), nil
 }
 
 // journalAppend records an admitted transaction; called from admit.

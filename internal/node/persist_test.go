@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/b-iot/biot/internal/chaos"
 	"github.com/b-iot/biot/internal/clock"
 
 	"github.com/b-iot/biot/internal/core"
@@ -268,5 +269,101 @@ func TestCompactBoundsMemory(t *testing.T) {
 	// The node keeps serving after compaction.
 	if _, err := device.PostReading(ctx, []byte("after compaction")); err != nil {
 		t.Fatalf("post after compact: %v", err)
+	}
+}
+
+// TestCompactedJournalRecovers pins the crash-recovery path the
+// supervisor's compaction loop depends on: after Compact+CompactJournal,
+// the rewritten journal's earliest records reference parents that the
+// snapshot folded away, and a restarted node must replay them as
+// pruned-boundary roots rather than abort on unknown parents.
+func TestCompactedJournalRecovers(t *testing.T) {
+	ctx := context.Background()
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	fs := chaos.NewMemFS(42)
+	managerKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := func() (*node.FullNode, *node.Manager, int) {
+		full, err := node.NewFull(node.FullConfig{
+			Key:        managerKey,
+			Role:       identity.RoleManager,
+			ManagerPub: managerKey.Public(),
+			Credit:     testParams(),
+			Clock:      clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := full.EnablePersistenceFS(fs, "compact.journal")
+		if err != nil {
+			t.Fatalf("enable persistence: %v", err)
+		}
+		mgr, err := node.NewManager(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return full, mgr, replayed
+	}
+
+	full, mgr, _ := boot()
+	device := newTestDevice(t, full)
+	mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var lastID [32]byte
+	for i := 0; i < 40; i++ {
+		clk.Advance(time.Minute)
+		res, err := device.PostReading(ctx, []byte("aged"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastID = res.Info.ID
+	}
+	tangleDropped, _ := full.Compact(10 * time.Minute)
+	if tangleDropped == 0 {
+		t.Fatal("compact dropped nothing")
+	}
+	compacted, err := full.CompactJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveSize := full.Tangle().Size()
+	if err := full.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+	full.Close()
+
+	// Crash: reboot the disk (the compacted segment was synced by the
+	// atomic rename, so it survives) and replay it into a fresh node.
+	fs.Reboot()
+	full2, _, replayed := boot()
+	defer full2.Close()
+	if replayed != compacted {
+		t.Errorf("replayed %d of %d compacted records", replayed, compacted)
+	}
+	if got := full2.Tangle().Size(); got != liveSize {
+		t.Errorf("recovered size = %d, want %d", got, liveSize)
+	}
+	if !full2.Tangle().Contains(lastID) {
+		t.Error("newest reading lost across compacted recovery")
+	}
+	if full2.Tangle().SnapshottedCount() == 0 {
+		t.Error("recovery recorded no snapshot boundary")
+	}
+	// The recovered node keeps serving and journaling.
+	device2 := newTestDevice(t, full2)
+	mgr2, err := node.NewManager(full2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2.AuthorizeDevice(device2.Key().Public(), device2.Key().BoxPublic())
+	if _, err := mgr2.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := device2.PostReading(ctx, []byte("after recovery")); err != nil {
+		t.Fatalf("post after compacted recovery: %v", err)
 	}
 }

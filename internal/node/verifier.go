@@ -80,7 +80,9 @@ func (n *FullNode) verifyCached(t *txn.Transaction, now time.Time) error {
 	start := time.Now()
 	err := n.verifyIdentity(t)
 	if err == nil {
-		err = n.verifyDifficulty(t, now)
+		// Relayed work is checked against the floor, not this node's
+		// credit view — see verifyRelayDifficulty.
+		err = n.verifyRelayDifficulty(t)
 	}
 	n.pipeline.VerifyLatency.Observe(time.Since(start))
 	if err == nil {

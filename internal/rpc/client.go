@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -24,8 +25,12 @@ import (
 // a LightNode runs against a remote gateway exactly as it does against
 // an in-process one.
 type Client struct {
-	base string
-	http *http.Client
+	base        string
+	http        *http.Client
+	callTimeout time.Duration
+	maxAttempts int
+	baseBackoff time.Duration
+	jitter      func(time.Duration) time.Duration
 }
 
 var _ node.Gateway = (*Client)(nil)
@@ -38,12 +43,39 @@ func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.http = h }
 }
 
+// WithCallTimeout bounds each call that arrives without its own
+// deadline. Callers passing a context that already has one keep it.
+func WithCallTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.callTimeout = d }
+}
+
+// WithRetry enables retries for idempotent GETs: up to maxAttempts
+// total tries separated by jittered exponential backoff starting at
+// baseBackoff, retrying only transient failures — network errors and
+// 502/503/504 (a supervised gateway answers 503 mid-restart; retrying
+// rides out the watchdog). Submissions (POST) are NEVER auto-retried:
+// a submit whose response was lost may have been admitted, and a
+// re-submission would either burn a duplicate-admission error or, for
+// re-mined payloads, double-spend the reading.
+func WithRetry(maxAttempts int, baseBackoff time.Duration) ClientOption {
+	return func(c *Client) {
+		c.maxAttempts = maxAttempts
+		c.baseBackoff = baseBackoff
+	}
+}
+
 // NewClient creates a client for the node at baseURL
 // (e.g. "http://127.0.0.1:14265").
 func NewClient(baseURL string, opts ...ClientOption) *Client {
 	c := &Client{
 		base: baseURL,
 		http: &http.Client{Timeout: 30 * time.Second},
+		jitter: func(d time.Duration) time.Duration {
+			if d <= 0 {
+				return 0
+			}
+			return time.Duration(rand.Int63n(int64(d)))
+		},
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -62,13 +94,76 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("rpc status %d: %s", e.Status, e.Message)
 }
 
-func (c *Client) get(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
-	if err != nil {
-		return fmt.Errorf("rpc GET %s: %w", path, err)
+// callCtx applies the configured default timeout to a context that has
+// no deadline of its own.
+func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.callTimeout <= 0 {
+		return ctx, func() {}
 	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.callTimeout)
+}
+
+// transient reports whether a GET failure is worth retrying: a network
+// error (no response at all) or a gateway-down status. Application
+// errors — 4xx, 500 — are deterministic and retried never.
+func transient(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	// No structured status: the request never completed (dial refused,
+	// connection reset, EOF mid-body).
+	return true
+}
+
+// get runs one idempotent GET with the client's retry policy.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	attempts := c.maxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			backoff := c.baseBackoff << (attempt - 1)
+			backoff += c.jitter(backoff / 2)
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("rpc GET %s: %w (last error: %w)", path, ctx.Err(), lastErr)
+			case <-time.After(backoff):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return fmt.Errorf("build rpc GET %s: %w", path, err)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("rpc GET %s: %w", path, err)
+			if ctx.Err() != nil {
+				return lastErr // deadline consumed: retrying cannot help
+			}
+			continue
+		}
+		err = func() error {
+			defer resp.Body.Close()
+			return decodeResponse(resp, out)
+		}()
+		if err == nil || !transient(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
 }
 
 func decodeResponse(resp *http.Response, out any) error {
@@ -113,30 +208,59 @@ func mapAPIError(apiErr *APIError) error {
 }
 
 // Info fetches node information.
-func (c *Client) Info() (InfoResponse, error) {
+func (c *Client) Info(ctx context.Context) (InfoResponse, error) {
 	var out InfoResponse
-	err := c.get("/api/v1/info", &out)
+	err := c.get(ctx, "/api/v1/info", &out)
 	return out, err
 }
 
+// Health fetches the /healthz document. The call succeeds (with the
+// decoded body) for both 200 and 503 — a health prober wants the
+// degraded document, not an error.
+func (c *Client) Health(ctx context.Context) (node.Health, error) {
+	var out node.Health
+	err := c.get(ctx, "/healthz", &out)
+	if err == nil {
+		return out, nil
+	}
+	// A 503 healthz still carries the full Health document as its body,
+	// which decodeResponse preserved as the error message.
+	var apiErr *APIError
+	if errors.As(err, &apiErr) &&
+		json.Unmarshal([]byte(apiErr.Message), &out) == nil && out.State != "" {
+		return out, nil
+	}
+	return node.Health{}, err
+}
+
+// Ready fetches /readyz and reports whether the node accepts traffic.
+func (c *Client) Ready(ctx context.Context) bool {
+	return c.get(ctx, "/readyz", nil) == nil
+}
+
 // Credit fetches the credit breakdown for an address.
-func (c *Client) Credit(addr identity.Address) (CreditResponse, error) {
+func (c *Client) Credit(ctx context.Context, addr identity.Address) (CreditResponse, error) {
 	var out CreditResponse
-	err := c.get("/api/v1/credit?address="+addr.Hex(), &out)
+	err := c.get(ctx, "/api/v1/credit?address="+addr.Hex(), &out)
 	return out, err
 }
 
 // Events fetches the recorded malicious events for an address.
-func (c *Client) Events(addr identity.Address) (EventsResponse, error) {
+func (c *Client) Events(ctx context.Context, addr identity.Address) (EventsResponse, error) {
 	var out EventsResponse
-	err := c.get("/api/v1/events?address="+addr.Hex(), &out)
+	err := c.get(ctx, "/api/v1/events?address="+addr.Hex(), &out)
 	return out, err
 }
 
 // TipsForApproval implements node.Gateway.
 func (c *Client) TipsForApproval() (hashutil.Hash, hashutil.Hash, error) {
+	return c.TipsForApprovalCtx(context.Background())
+}
+
+// TipsForApprovalCtx is TipsForApproval with a caller deadline.
+func (c *Client) TipsForApprovalCtx(ctx context.Context) (hashutil.Hash, hashutil.Hash, error) {
 	var out TipsResponse
-	if err := c.get("/api/v1/tips", &out); err != nil {
+	if err := c.get(ctx, "/api/v1/tips", &out); err != nil {
 		return hashutil.Zero, hashutil.Zero, err
 	}
 	trunk, err := hashutil.FromHex(out.Trunk)
@@ -154,17 +278,32 @@ func (c *Client) TipsForApproval() (hashutil.Hash, hashutil.Hash, error) {
 // an out-of-range difficulty that makes the subsequent PoW call fail
 // fast instead of mining against a guessed target.
 func (c *Client) DifficultyFor(addr identity.Address) int {
-	var out DifficultyResponse
-	if err := c.get("/api/v1/difficulty?address="+addr.Hex(), &out); err != nil {
+	d, err := c.DifficultyForCtx(context.Background(), addr)
+	if err != nil {
 		return 0
 	}
-	return out.Difficulty
+	return d
+}
+
+// DifficultyForCtx is DifficultyFor with a caller deadline and an
+// explicit error instead of the Gateway interface's 0 sentinel.
+func (c *Client) DifficultyForCtx(ctx context.Context, addr identity.Address) (int, error) {
+	var out DifficultyResponse
+	if err := c.get(ctx, "/api/v1/difficulty?address="+addr.Hex(), &out); err != nil {
+		return 0, err
+	}
+	return out.Difficulty, nil
 }
 
 // GetTransaction implements node.Gateway.
 func (c *Client) GetTransaction(id hashutil.Hash) (*txn.Transaction, error) {
+	return c.GetTransactionCtx(context.Background(), id)
+}
+
+// GetTransactionCtx is GetTransaction with a caller deadline.
+func (c *Client) GetTransactionCtx(ctx context.Context, id hashutil.Hash) (*txn.Transaction, error) {
 	var out TxResponse
-	if err := c.get("/api/v1/transactions/"+id.Hex(), &out); err != nil {
+	if err := c.get(ctx, "/api/v1/transactions/"+id.Hex(), &out); err != nil {
 		return nil, err
 	}
 	raw, err := base64.StdEncoding.DecodeString(out.Raw)
@@ -176,11 +315,16 @@ func (c *Client) GetTransaction(id hashutil.Hash) (*txn.Transaction, error) {
 
 // TransactionsByKind implements node.Gateway.
 func (c *Client) TransactionsByKind(kind txn.Kind, offset int) ([]*txn.Transaction, error) {
+	return c.TransactionsByKindCtx(context.Background(), kind, offset)
+}
+
+// TransactionsByKindCtx is TransactionsByKind with a caller deadline.
+func (c *Client) TransactionsByKindCtx(ctx context.Context, kind txn.Kind, offset int) ([]*txn.Transaction, error) {
 	q := url.Values{}
 	q.Set("kind", strconv.Itoa(int(kind)))
 	q.Set("offset", strconv.Itoa(offset))
 	var out TxPageResponse
-	if err := c.get("/api/v1/transactions?"+q.Encode(), &out); err != nil {
+	if err := c.get(ctx, "/api/v1/transactions?"+q.Encode(), &out); err != nil {
 		return nil, err
 	}
 	txs := make([]*txn.Transaction, 0, len(out.Raw))
@@ -198,8 +342,12 @@ func (c *Client) TransactionsByKind(kind txn.Kind, offset int) ([]*txn.Transacti
 	return txs, nil
 }
 
-// Submit implements node.Gateway.
+// Submit implements node.Gateway. Submissions are sent exactly once —
+// WithRetry never applies here (see its doc) — but they do honour the
+// call timeout and the caller's context.
 func (c *Client) Submit(ctx context.Context, t *txn.Transaction) (tangle.Info, error) {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	body, err := json.Marshal(SubmitRequest{
 		Raw: base64.StdEncoding.EncodeToString(t.Encode()),
 	})

@@ -79,7 +79,7 @@ func (f *fixture) authorizedDevice(t *testing.T) *node.LightNode {
 
 func TestInfoEndpoint(t *testing.T) {
 	f := newFixture(t)
-	info, err := f.client.Info()
+	info, err := f.client.Info(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestDifficultyAndCreditEndpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cr, err := f.client.Credit(dev.Address())
+	cr, err := f.client.Credit(context.Background(), dev.Address())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,13 +310,13 @@ func TestServerStartAndClose(t *testing.T) {
 		t.Fatal("no bound address")
 	}
 	c := NewClient("http://" + addr)
-	if _, err := c.Info(); err != nil {
+	if _, err := c.Info(context.Background()); err != nil {
 		t.Fatalf("info over real listener: %v", err)
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Info(); err == nil {
+	if _, err := c.Info(context.Background()); err == nil {
 		t.Error("info succeeded after close")
 	}
 }
@@ -326,7 +326,7 @@ func TestEventsEndpoint(t *testing.T) {
 	dev := f.authorizedDevice(t)
 
 	// No events yet.
-	evs, err := f.client.Events(dev.Address())
+	evs, err := f.client.Events(context.Background(), dev.Address())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestEventsEndpoint(t *testing.T) {
 		At:        time.Now(),
 		Detail:    "test event",
 	})
-	evs, err = f.client.Events(dev.Address())
+	evs, err = f.client.Events(context.Background(), dev.Address())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -112,26 +112,119 @@ type ErrorResponse struct {
 	Code int `json:"code"`
 }
 
-// Server serves the API for one full node.
-type Server struct {
-	node *node.FullNode
-	mux  *http.ServeMux
-	http *http.Server
-	ln   net.Listener
+// HealthSource reports a supervised node's liveness and readiness —
+// implemented by node.Supervisor. Wired with WithHealth, it backs the
+// /healthz and /readyz probe endpoints.
+type HealthSource interface {
+	Health() node.Health
 }
 
-// NewServer builds (but does not start) a server for n.
-func NewServer(n *node.FullNode) *Server {
-	s := &Server{node: n, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /api/v1/info", s.handleInfo)
-	s.mux.HandleFunc("GET /api/v1/tips", s.handleTips)
-	s.mux.HandleFunc("GET /api/v1/difficulty", s.handleDifficulty)
-	s.mux.HandleFunc("GET /api/v1/credit", s.handleCredit)
-	s.mux.HandleFunc("GET /api/v1/events", s.handleEvents)
-	s.mux.HandleFunc("GET /api/v1/transactions/{id}", s.handleGetTx)
-	s.mux.HandleFunc("GET /api/v1/transactions", s.handleListTx)
-	s.mux.HandleFunc("POST /api/v1/transactions", s.handleSubmit)
+// Server serves the API for one full node.
+type Server struct {
+	source func() *node.FullNode
+	health HealthSource
+	mux    *http.ServeMux
+	http   *http.Server
+	ln     net.Listener
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithHealth wires a health source (typically the node's Supervisor)
+// into /healthz and /readyz. Without it, /healthz reports a static
+// "running" and /readyz tracks only whether a node is resolvable.
+func WithHealth(hs HealthSource) ServerOption {
+	return func(s *Server) { s.health = hs }
+}
+
+// WithNodeSource makes the server re-resolve its backing node on every
+// request instead of pinning the instance passed to NewServer. A
+// supervised deployment needs this: the watchdog replaces the FullNode
+// on restart, and a pinned pointer would serve a closed node forever.
+// The source may return nil while the node is down (requests get 503).
+func WithNodeSource(src func() *node.FullNode) ServerOption {
+	return func(s *Server) { s.source = src }
+}
+
+// NewServer builds (but does not start) a server for n. n may be nil
+// when WithNodeSource provides the node dynamically.
+func NewServer(n *node.FullNode, opts ...ServerOption) *Server {
+	s := &Server{source: func() *node.FullNode { return n }, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /api/v1/info", s.withNode(s.handleInfo))
+	s.mux.HandleFunc("GET /api/v1/tips", s.withNode(s.handleTips))
+	s.mux.HandleFunc("GET /api/v1/difficulty", s.withNode(s.handleDifficulty))
+	s.mux.HandleFunc("GET /api/v1/credit", s.withNode(s.handleCredit))
+	s.mux.HandleFunc("GET /api/v1/events", s.withNode(s.handleEvents))
+	s.mux.HandleFunc("GET /api/v1/transactions/{id}", s.withNode(s.handleGetTx))
+	s.mux.HandleFunc("GET /api/v1/transactions", s.withNode(s.handleListTx))
+	s.mux.HandleFunc("POST /api/v1/transactions", s.withNode(s.handleSubmit))
 	return s
+}
+
+// ErrNodeUnavailable is served (as 503) while the backing node is down,
+// e.g. mid-restart under a Supervisor.
+var ErrNodeUnavailable = errors.New("node unavailable")
+
+// withNode resolves the backing node once per request and rejects with
+// 503 while it is down, so every data handler can assume a live node.
+func (s *Server) withNode(h func(http.ResponseWriter, *http.Request, *node.FullNode)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := s.source()
+		if n == nil {
+			writeError(w, http.StatusServiceUnavailable, ErrNodeUnavailable)
+			return
+		}
+		h(w, r, n)
+	}
+}
+
+// handleHealthz reports supervised health: 200 while the node is
+// running (or restarting — the watchdog still owns it), 503 once the
+// supervisor has given up (state "failed"). The body is the full
+// node.Health document, so operators see journal/transport/pipeline
+// detail in one probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.health == nil {
+		status := http.StatusOK
+		if s.source() == nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]string{"state": "running"})
+		return
+	}
+	h := s.health.Health()
+	status := http.StatusOK
+	if h.State == node.StateFailed.String() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// handleReadyz is the load-balancer probe: 200 only while the node is
+// accepting work. It flips to 503 the moment a graceful drain begins,
+// while /healthz stays green — the standard "stop sending traffic, I'm
+// not dead" split.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.health == nil {
+		status := http.StatusOK
+		if s.source() == nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]bool{"ready": status == http.StatusOK})
+		return
+	}
+	h := s.health.Health()
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 // Handler returns the HTTP handler (for tests with httptest).
@@ -181,22 +274,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: status})
 }
 
-func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
-	stats := s.node.Tangle().StatsNow()
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request, n *node.FullNode) {
+	stats := n.Tangle().StatsNow()
 	writeJSON(w, http.StatusOK, InfoResponse{
-		Address:      s.node.Address().Hex(),
-		Role:         s.node.Role().String(),
+		Address:      n.Address().Hex(),
+		Role:         n.Role().String(),
 		Transactions: stats.Transactions,
 		Tips:         stats.Tips,
 		Confirmed:    stats.Confirmed,
 		Rejected:     stats.Rejected,
 		Conflicts:    stats.Conflicts,
-		AuthzSeq:     s.node.Registry().Seq(),
+		AuthzSeq:     n.Registry().Seq(),
 	})
 }
 
-func (s *Server) handleTips(w http.ResponseWriter, _ *http.Request) {
-	trunk, branch, err := s.node.TipsForApproval()
+func (s *Server) handleTips(w http.ResponseWriter, _ *http.Request, n *node.FullNode) {
+	trunk, branch, err := n.TipsForApproval()
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -212,7 +305,7 @@ func parseAddress(r *http.Request) (identity.Address, error) {
 	return hashutil.FromHex(raw)
 }
 
-func (s *Server) handleDifficulty(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDifficulty(w http.ResponseWriter, r *http.Request, n *node.FullNode) {
 	addr, err := parseAddress(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -220,17 +313,17 @@ func (s *Server) handleDifficulty(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, DifficultyResponse{
 		Address:    addr.Hex(),
-		Difficulty: s.node.DifficultyFor(addr),
+		Difficulty: n.DifficultyFor(addr),
 	})
 }
 
-func (s *Server) handleCredit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCredit(w http.ResponseWriter, r *http.Request, n *node.FullNode) {
 	addr, err := parseAddress(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	c := s.node.Engine().CreditOf(addr, s.node.Clock().Now())
+	c := n.Engine().CreditOf(addr, n.Clock().Now())
 	writeJSON(w, http.StatusOK, CreditResponse{
 		Address: addr.Hex(),
 		CrP:     c.CrP,
@@ -239,13 +332,13 @@ func (s *Server) handleCredit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, n *node.FullNode) {
 	addr, err := parseAddress(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	records := s.node.Engine().Ledger().Events(addr)
+	records := n.Engine().Ledger().Events(addr)
 	resp := EventsResponse{Address: addr.Hex(), Events: []EventResponse{}}
 	for _, rec := range records {
 		ev := EventResponse{
@@ -261,13 +354,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleGetTx(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGetTx(w http.ResponseWriter, r *http.Request, n *node.FullNode) {
 	id, err := hashutil.FromHex(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	t, err := s.node.GetTransaction(id)
+	t, err := n.GetTransaction(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -277,7 +370,7 @@ func (s *Server) handleGetTx(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleListTx(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleListTx(w http.ResponseWriter, r *http.Request, n *node.FullNode) {
 	q := r.URL.Query()
 	kindNum, err := strconv.Atoi(q.Get("kind"))
 	if err != nil || !txn.Kind(kindNum).Valid() {
@@ -292,7 +385,7 @@ func (s *Server) handleListTx(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	txs, err := s.node.TransactionsByKind(txn.Kind(kindNum), offset)
+	txs, err := n.TransactionsByKind(txn.Kind(kindNum), offset)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -304,7 +397,7 @@ func (s *Server) handleListTx(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, n *node.FullNode) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
@@ -320,7 +413,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode transaction: %w", err))
 		return
 	}
-	info, err := s.node.Submit(r.Context(), t)
+	info, err := n.Submit(r.Context(), t)
 	if err != nil {
 		writeError(w, statusForSubmitError(err), err)
 		return

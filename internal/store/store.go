@@ -7,15 +7,38 @@
 // lose the tangle) and pairs with the credit ledger's Prune for the
 // growth half.
 //
-// Log format, per record:
+// Segment format (v2): a fixed header followed by records.
+//
+//	magic      uint32 = 0xB10C5E67
+//	version    uint32 = 2
+//	generation uint64 (big endian) — incremented by each compaction
+//
+// Record format (unchanged from v1):
 //
 //	magic  uint32 = 0xB10C0DE5
 //	length uint32 (big endian)   — length of data
 //	crc32  uint32 (Castagnoli)   — over data
 //	data   []byte                — txn.Encode() bytes
 //
+// A v1 log (file beginning with a record magic, no segment header) still
+// opens — it reads as generation 0 and is upgraded to a v2 segment by the
+// first Compact.
+//
 // Torn tails (a crash mid-append) are detected via magic/length/CRC and
-// truncated away on open; everything before the tear replays.
+// truncated away on open — and the truncation is synced, so a recovered
+// log does not resurrect its tear on the next crash. Everything before
+// the tear replays.
+//
+// Failure semantics: a failed write or sync POISONS the log. Every later
+// Append fails with ErrPoisoned until the log is reopened, because after
+// a failed fsync the kernel may have dropped the dirty pages — the tail
+// is in an unknown state, and appending past it would silently diverge
+// from what a post-crash replay will see. A poisoned node must re-open
+// (re-replaying the durable prefix) before trusting the journal again.
+//
+// All file I/O goes through a chaos.FS so the crash-point torture suite
+// can script torn writes, fsync errors, and mid-compaction crashes
+// against the real code paths. Production callers use chaos.OS().
 package store
 
 import (
@@ -27,10 +50,15 @@ import (
 	"os"
 	"sync"
 
+	"github.com/b-iot/biot/internal/chaos"
 	"github.com/b-iot/biot/internal/txn"
 )
 
 const (
+	segMagic      uint32 = 0xB10C5E67
+	segVersion    uint32 = 2
+	segHeaderSize        = 16
+
 	recordMagic  uint32 = 0xB10C0DE5
 	headerSize          = 12
 	maxRecordLen        = txn.MaxPayloadSize + 4096 // payload + envelope slack
@@ -38,12 +66,29 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// RecoveryStats describes what Open recovered from disk.
+type RecoveryStats struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// Generation is the segment generation (0 for legacy v1 logs and
+	// fresh logs; +1 per compaction).
+	Generation uint64
+	// TornBytes is the size of the torn tail truncated away on open.
+	TornBytes int64
+	// LegacyV1 reports the file predated segment headers.
+	LegacyV1 bool
+}
+
 // Log is an append-only transaction log. Safe for concurrent use.
 type Log struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	n    int // records written (including replayed)
+	mu    sync.Mutex
+	fs    chaos.FS
+	f     chaos.File
+	path  string
+	n     int    // records written (including replayed)
+	gen   uint64 // segment generation
+	err   error  // sticky poison; non-nil after a failed write/sync
+	stats RecoveryStats
 }
 
 // Errors.
@@ -51,43 +96,152 @@ var (
 	ErrClosed      = errors.New("transaction log closed")
 	ErrCorruptLog  = errors.New("transaction log corrupt")
 	ErrRecordLarge = errors.New("transaction record exceeds maximum size")
+	// ErrPoisoned reports an append against a log whose backing file
+	// failed a write or sync. The durable tail is unknown; the log
+	// refuses all writes until reopened.
+	ErrPoisoned = errors.New("transaction log poisoned by earlier I/O failure")
 )
 
-// Open opens (creating if needed) the log at path, replays every intact
-// record through apply in order, truncates any torn tail, and leaves the
-// log ready for appends. apply errors abort the open (a record that no
-// longer applies indicates a foreign or corrupt log).
+// Open opens (creating if needed) the log at path on the real
+// filesystem. See OpenFS.
 func Open(path string, apply func(*txn.Transaction) error) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(chaos.OS(), path, apply)
+}
+
+// OpenFS opens (creating if needed) the log at path on fs, replays every
+// intact record through apply in order, truncates (and syncs) any torn
+// tail, and leaves the log ready for appends. apply errors abort the
+// open (a record that no longer applies indicates a foreign or corrupt
+// log).
+func OpenFS(fs chaos.FS, path string, apply func(*txn.Transaction) error) (*Log, error) {
+	if apply == nil {
+		return OpenFSGen(fs, path, nil)
+	}
+	return OpenFSGen(fs, path, func(t *txn.Transaction, _ uint64) error { return apply(t) })
+}
+
+// OpenFSGen is OpenFS with a generation-aware apply callback: gen is the
+// segment generation being replayed — 0 for fresh and legacy v1 logs,
+// >0 once compaction has rewritten the segment. Replay of a compacted
+// segment is the one situation where a record's parents may legitimately
+// be absent (they sat beyond the snapshot boundary), and callers use gen
+// to relax parent resolution exactly then and no wider.
+func OpenFSGen(fs chaos.FS, path string, apply func(*txn.Transaction, uint64) error) (*Log, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("open tx log: %w", err)
 	}
-	l := &Log{f: f, path: path}
+	l := &Log{fs: fs, f: f, path: path}
 
-	validLen, count, err := l.replay(apply)
+	base, size, err := l.readSegHeader()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if err := f.Truncate(validLen); err != nil {
+	validLen, count, err := l.replay(base, apply)
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("truncate torn tail: %w", err)
+		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	if validLen < size {
+		// Cut the torn tail and make the cut durable: without the sync,
+		// a crash after appending over the tear could splice old torn
+		// bytes into a new record.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sync truncated log: %w", err)
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("seek log end: %w", err)
 	}
 	l.n = count
+	l.stats = RecoveryStats{
+		Records:    count,
+		Generation: l.gen,
+		TornBytes:  size - validLen,
+		LegacyV1:   base == 0 && size > 0,
+	}
 	return l, nil
 }
 
-// replay reads records from the start, calling apply for each intact
-// one. It returns the byte offset of the last intact record's end.
-func (l *Log) replay(apply func(*txn.Transaction) error) (validLen int64, count int, err error) {
+// readSegHeader classifies the file start: v2 segment header, legacy v1
+// record stream, or empty/torn (in which case a fresh v2 header is
+// written and synced). It returns the offset records start at and the
+// current file size.
+func (l *Log) readSegHeader() (base int64, size int64, err error) {
+	size, err = l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, fmt.Errorf("size tx log: %w", err)
+	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, fmt.Errorf("seek log start: %w", err)
 	}
-	var offset int64
+	hdr := make([]byte, segHeaderSize)
+	if size >= 4 {
+		if _, err := io.ReadFull(l.f, hdr[:4]); err != nil {
+			return 0, 0, fmt.Errorf("read segment magic: %w", err)
+		}
+		switch binary.BigEndian.Uint32(hdr[:4]) {
+		case recordMagic:
+			// Legacy v1: headerless record stream, generation 0.
+			l.gen = 0
+			return 0, size, nil
+		case segMagic:
+			if size >= segHeaderSize {
+				if _, err := io.ReadFull(l.f, hdr[4:]); err != nil {
+					return 0, 0, fmt.Errorf("read segment header: %w", err)
+				}
+				if v := binary.BigEndian.Uint32(hdr[4:8]); v != segVersion {
+					return 0, 0, fmt.Errorf("%w: unsupported segment version %d", ErrCorruptLog, v)
+				}
+				l.gen = binary.BigEndian.Uint64(hdr[8:16])
+				return segHeaderSize, size, nil
+			}
+			// Torn mid-header: the header write never synced, so no
+			// record can have synced either. Start fresh below.
+		default:
+			// Unrecognized bytes: same treatment v1 gave a garbage
+			// prefix — an unusable tear, truncated away.
+		}
+	}
+	// Empty, torn-header, or garbage-prefix file: write a fresh v2
+	// header, durably, before any record lands after it.
+	if err := l.f.Truncate(0); err != nil {
+		return 0, 0, fmt.Errorf("reset tx log: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("seek log start: %w", err)
+	}
+	putSegHeader(hdr, 0)
+	if _, err := l.f.Write(hdr); err != nil {
+		return 0, 0, fmt.Errorf("write segment header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, 0, fmt.Errorf("sync segment header: %w", err)
+	}
+	l.gen = 0
+	return segHeaderSize, segHeaderSize, nil
+}
+
+func putSegHeader(b []byte, gen uint64) {
+	binary.BigEndian.PutUint32(b[0:4], segMagic)
+	binary.BigEndian.PutUint32(b[4:8], segVersion)
+	binary.BigEndian.PutUint64(b[8:16], gen)
+}
+
+// replay reads records from base, calling apply for each intact one. It
+// returns the byte offset of the last intact record's end.
+func (l *Log) replay(base int64, apply func(*txn.Transaction, uint64) error) (validLen int64, count int, err error) {
+	if _, err := l.f.Seek(base, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("seek records start: %w", err)
+	}
+	offset := base
 	header := make([]byte, headerSize)
 	for {
 		if _, err := io.ReadFull(l.f, header); err != nil {
@@ -119,7 +273,7 @@ func (l *Log) replay(apply func(*txn.Transaction) error) (validLen int64, count 
 				ErrCorruptLog, offset, err)
 		}
 		if apply != nil {
-			if err := apply(t); err != nil {
+			if err := apply(t, l.gen); err != nil {
 				return 0, 0, fmt.Errorf("replay record at %d: %w", offset, err)
 			}
 		}
@@ -128,32 +282,152 @@ func (l *Log) replay(apply func(*txn.Transaction) error) (validLen int64, count 
 	}
 }
 
-// Append durably records a transaction. The record is synced to stable
-// storage before Append returns.
-func (l *Log) Append(t *txn.Transaction) error {
+// encodeRecord frames one transaction.
+func encodeRecord(t *txn.Transaction) ([]byte, error) {
 	data := t.Encode()
 	if len(data) > maxRecordLen {
-		return fmt.Errorf("%w: %d bytes", ErrRecordLarge, len(data))
+		return nil, fmt.Errorf("%w: %d bytes", ErrRecordLarge, len(data))
 	}
 	buf := make([]byte, headerSize+len(data))
 	binary.BigEndian.PutUint32(buf[0:4], recordMagic)
 	binary.BigEndian.PutUint32(buf[4:8], uint32(len(data)))
 	binary.BigEndian.PutUint32(buf[8:12], crc32.Checksum(data, castagnoli))
 	copy(buf[headerSize:], data)
+	return buf, nil
+}
 
+// Append durably records a transaction. The record is synced to stable
+// storage before Append returns. A failed write or sync poisons the
+// log: the durable tail is unknown, so every subsequent Append fails
+// with ErrPoisoned until the log is reopened.
+func (l *Log) Append(t *txn.Transaction) error {
+	buf, err := encodeRecord(t)
+	if err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return ErrClosed
 	}
+	if l.err != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, l.err)
+	}
 	if _, err := l.f.Write(buf); err != nil {
+		l.err = err
 		return fmt.Errorf("append tx record: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
+		l.err = err
 		return fmt.Errorf("sync tx log: %w", err)
 	}
 	l.n++
 	return nil
+}
+
+// Compact atomically replaces the log's contents with txs, stamped with
+// the next generation. The replacement is written to a temp segment,
+// synced, then renamed over the live path — a crash at any point leaves
+// either the complete old segment or the complete new one. On success
+// the log continues appending to the new segment.
+//
+// A poisoned log refuses to compact: the caller's in-memory state may
+// already have diverged from the durable log, and compaction would make
+// that divergence permanent.
+func (l *Log) Compact(txs []*txn.Transaction) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, l.err)
+	}
+
+	tmpPath := l.path + ".compact"
+	tmp, err := l.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("open compact segment: %w", err)
+	}
+	fail := func(step string, err error) error {
+		tmp.Close()
+		_ = l.fs.Remove(tmpPath)
+		return fmt.Errorf("%s: %w", step, err)
+	}
+	hdr := make([]byte, segHeaderSize)
+	putSegHeader(hdr, l.gen+1)
+	if _, err := tmp.Write(hdr); err != nil {
+		return fail("write compact header", err)
+	}
+	for _, t := range txs {
+		buf, err := encodeRecord(t)
+		if err != nil {
+			return fail("encode compact record", err)
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			return fail("write compact record", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("sync compact segment", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = l.fs.Remove(tmpPath)
+		return fmt.Errorf("close compact segment: %w", err)
+	}
+	// The commit point. Before: the old segment is intact. After: the
+	// new one is, fully synced.
+	if err := l.fs.Rename(tmpPath, l.path); err != nil {
+		_ = l.fs.Remove(tmpPath)
+		return fmt.Errorf("commit compact segment: %w", err)
+	}
+
+	// Swing the live handle onto the new segment. The old handle now
+	// points at an unlinked file; appends through it would be lost.
+	f, err := l.fs.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		l.err = err // committed on disk but no usable handle: fail loudly
+		return fmt.Errorf("reopen compacted log: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		l.err = err
+		return fmt.Errorf("seek compacted log end: %w", err)
+	}
+	old := l.f
+	l.f = f
+	old.Close()
+	l.gen++
+	l.n = len(txs)
+	return nil
+}
+
+// Healthy reports whether the log is open and unpoisoned.
+func (l *Log) Healthy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f != nil && l.err == nil
+}
+
+// Err returns the sticky I/O error that poisoned the log, or nil.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Generation returns the current segment generation.
+func (l *Log) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// Stats returns what Open recovered from disk.
+func (l *Log) Stats() RecoveryStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
 }
 
 // Len returns the number of records in the log (replayed + appended).

@@ -1,0 +1,259 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/b-iot/biot/internal/chaos"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+func TestPoisonOnFailedSync(t *testing.T) {
+	fs := chaos.NewMemFS(1)
+	key := mustKey(t)
+	l, err := OpenFS(fs, "tx.log", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(sampleTx(t, key, "good")); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Healthy() {
+		t.Fatal("healthy log reports unhealthy")
+	}
+
+	fs.InjectSyncError(nil)
+	err = l.Append(sampleTx(t, key, "doomed"))
+	if !errors.Is(err, chaos.ErrInjectedFault) {
+		t.Fatalf("append over failed sync err = %v", err)
+	}
+	if l.Healthy() {
+		t.Fatal("log healthy after failed sync")
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() nil on poisoned log")
+	}
+
+	// Every later append fails with ErrPoisoned even though the disk
+	// has "recovered" — the unsynced tail is in an unknown state.
+	for i := 0; i < 3; i++ {
+		if err := l.Append(sampleTx(t, key, "after")); !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("append %d after poison err = %v", i, err)
+		}
+	}
+	// Compaction also refuses.
+	if err := l.Compact(nil); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("compact on poisoned log err = %v", err)
+	}
+	l.Close()
+
+	// Crash the machine and reopen: poison clears, and what replays is
+	// a valid prefix of the append stream — the synced record always,
+	// the unsynced one only if the kernel happened to flush it anyway.
+	fs.Reboot()
+	count := 0
+	l2, err := OpenFS(fs, "tx.log", func(*txn.Transaction) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if count < 1 || count > 2 {
+		t.Fatalf("replayed %d, want 1 (synced) or 2 (unsynced tail flushed anyway)", count)
+	}
+	if !l2.Healthy() {
+		t.Fatal("reopened log unhealthy")
+	}
+	if err := l2.Append(sampleTx(t, key, "recovered")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoisonOnFailedWrite(t *testing.T) {
+	fs := chaos.NewMemFS(2)
+	key := mustKey(t)
+	l, err := OpenFS(fs, "tx.log", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fs.InjectWriteError(nil)
+	if err := l.Append(sampleTx(t, key, "short")); !errors.Is(err, chaos.ErrInjectedFault) {
+		t.Fatalf("append over short write err = %v", err)
+	}
+	if err := l.Append(sampleTx(t, key, "next")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after short write err = %v", err)
+	}
+}
+
+func TestCompactRewritesSegment(t *testing.T) {
+	fs := chaos.NewMemFS(3)
+	key := mustKey(t)
+	l, err := OpenFS(fs, "tx.log", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []*txn.Transaction
+	for i := 0; i < 10; i++ {
+		tx := sampleTx(t, key, string(rune('a'+i)))
+		all = append(all, tx)
+		if err := l.Append(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Generation() != 0 {
+		t.Fatalf("fresh generation = %d", l.Generation())
+	}
+
+	// Keep the last 4.
+	if err := l.Compact(all[6:]); err != nil {
+		t.Fatal(err)
+	}
+	if l.Generation() != 1 {
+		t.Fatalf("generation after compact = %d", l.Generation())
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len after compact = %d", l.Len())
+	}
+	// Appends continue on the new segment.
+	post := sampleTx(t, key, "post-compact")
+	if err := l.Append(post); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	var got []*txn.Transaction
+	l2, err := OpenFS(fs, "tx.log", func(tx *txn.Transaction) error {
+		got = append(got, tx)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != 5 {
+		t.Fatalf("replayed %d, want 5", len(got))
+	}
+	want := append(append([]*txn.Transaction(nil), all[6:]...), post)
+	for i := range want {
+		if got[i].ID() != want[i].ID() {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if st := l2.Stats(); st.Generation != 1 || st.Records != 5 || st.TornBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Temp segment cleaned up.
+	for _, name := range fs.Files() {
+		if name == "tx.log.compact" {
+			t.Fatal("compact temp file left behind")
+		}
+	}
+}
+
+func TestLegacyV1LogOpens(t *testing.T) {
+	// Build a headerless v1-format log by hand: raw records, no segment
+	// header.
+	fs := chaos.NewMemFS(4)
+	key := mustKey(t)
+	tx := sampleTx(t, key, "legacy")
+	rec, err := encodeRecord(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteFile("tx.log", append(append([]byte(nil), rec...), rec[:5]...)) // + torn tail
+
+	count := 0
+	l, err := OpenFS(fs, "tx.log", func(got *txn.Transaction) error {
+		if got.ID() != tx.ID() {
+			t.Fatal("legacy record mangled")
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("replayed %d, want 1", count)
+	}
+	st := l.Stats()
+	if !st.LegacyV1 || st.Generation != 0 || st.TornBytes != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// First compaction upgrades the file to a v2 segment.
+	if err := l.Compact([]*txn.Transaction{tx}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	raw, err := fs.ReadFile("tx.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint32(raw[:4]) != segMagic {
+		t.Fatal("compacted log missing segment header")
+	}
+	l2, err := OpenFS(fs, "tx.log", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); st.LegacyV1 || st.Generation != 1 || st.Records != 1 {
+		t.Fatalf("post-upgrade stats = %+v", st)
+	}
+}
+
+func TestTornSegmentHeaderResets(t *testing.T) {
+	fs := chaos.NewMemFS(5)
+	var hdr [segHeaderSize]byte
+	putSegHeader(hdr[:], 0)
+	fs.WriteFile("tx.log", hdr[:7]) // crashed mid-header-write
+
+	l, err := OpenFS(fs, "tx.log", func(*txn.Transaction) error {
+		t.Fatal("replayed a record from a torn header")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(sampleTx(t, mustKey(t), "fresh")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealFSStatsAndGeneration(t *testing.T) {
+	// The same v2 behaviour through chaos.OS() on a real temp dir.
+	path := filepath.Join(t.TempDir(), "tx.log")
+	key := mustKey(t)
+	l, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := sampleTx(t, key, "disk")
+	if err := l.Append(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact([]*txn.Transaction{tx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(sampleTx(t, key, "disk2")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	count := 0
+	l2, err := Open(path, func(*txn.Transaction) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if count != 2 || l2.Generation() != 1 {
+		t.Fatalf("count=%d gen=%d", count, l2.Generation())
+	}
+	if _, err := os.Stat(path + ".compact"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp segment left on real fs")
+	}
+}

@@ -2,6 +2,7 @@ package tangle
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/b-iot/biot/internal/hashutil"
@@ -103,6 +104,51 @@ func (t *Tangle) Snapshot(now time.Time, keep time.Duration) int {
 	t.approvedOrder = approved
 	t.approvedHead = 0
 	return len(drop)
+}
+
+// Restore re-inserts a journaled transaction during crash recovery,
+// tolerating parents that a pre-crash snapshot folded away. The journal
+// is written in attachment order and recovery truncates only its tail,
+// so when a replayed record's parent is absent the only possible cause
+// is journal compaction after a snapshot — the record sat on the
+// snapshot boundary of the pre-crash node. Restore reconstructs that
+// state: the missing parent's ID enters the snapshotted set (duplicate
+// suppression and ErrSnapshottedParent semantics survive the restart)
+// and the child attaches as a pruned-boundary root, exactly the dangling
+// shape Snapshot leaves behind on a live node.
+//
+// Restore is for replaying the node's own trusted journal ONLY. Gossip
+// and sync admission must keep using Attach, where an unknown parent is
+// an ordering problem (defer) and a snapshotted parent a rejection —
+// otherwise a malicious peer could graft orphan subtangles past the
+// parent checks.
+func (t *Tangle) Restore(tx *txn.Transaction) (Info, error) {
+	t.mu.Lock()
+	info, err := t.restoreLocked(tx)
+	t.mu.Unlock()
+	if err == nil {
+		t.deliverPending()
+	}
+	return info, err
+}
+
+func (t *Tangle) restoreLocked(tx *txn.Transaction) (Info, error) {
+	id := tx.ID()
+	if _, dup := t.vertices[id]; dup {
+		return Info{}, fmt.Errorf("%w: %s", ErrDuplicate, id.Short())
+	}
+	if _, snap := t.snapshotted[id]; snap {
+		return Info{}, fmt.Errorf("%w: %s (snapshotted)", ErrDuplicate, id.Short())
+	}
+	trunk := t.vertices[tx.Trunk]
+	branch := t.vertices[tx.Branch]
+	if trunk == nil {
+		t.snapshotted[tx.Trunk] = struct{}{}
+	}
+	if branch == nil {
+		t.snapshotted[tx.Branch] = struct{}{}
+	}
+	return t.insertLocked(tx, id, trunk, branch), nil
 }
 
 // SnapshottedCount returns how many transaction IDs live only in the

@@ -404,11 +404,26 @@ func (t *Tangle) attachLocked(tx *txn.Transaction) (Info, error) {
 		return Info{}, fmt.Errorf("%w: branch %s", ErrUnknownParent, tx.Branch.Short())
 	}
 
-	now := t.clk.Now()
-	lazy := t.lazyParentsLocked(trunk, branch, now)
+	return t.insertLocked(tx, id, trunk, branch), nil
+}
 
-	height := trunk.height
-	if branch.height > height {
+// insertLocked wires a validated transaction into the DAG. trunk or
+// branch may be nil on the Restore path only, meaning that parent was
+// folded away by a pre-crash snapshot: the vertex attaches as a
+// pruned-boundary root (no approval is credited to the missing parent,
+// and its height restarts relative to the boundary).
+func (t *Tangle) insertLocked(tx *txn.Transaction, id hashutil.Hash, trunk, branch *vertex) Info {
+	now := t.clk.Now()
+	lazy := false
+	if trunk != nil && branch != nil {
+		lazy = t.lazyParentsLocked(trunk, branch, now)
+	}
+
+	height := 0
+	if trunk != nil {
+		height = trunk.height
+	}
+	if branch != nil && branch.height > height {
 		height = branch.height
 	}
 	v := &vertex{
@@ -425,6 +440,9 @@ func (t *Tangle) attachLocked(tx *txn.Transaction) (Info, error) {
 	// Wire approvals and retire approved tips.
 	events := t.evscratch[:0]
 	for _, p := range [...]*vertex{trunk, branch} {
+		if p == nil {
+			continue // snapshotted parent on the Restore path
+		}
 		p.approvers = append(p.approvers, id)
 		if p.firstApprovedAt.IsZero() {
 			p.firstApprovedAt = now
@@ -472,7 +490,7 @@ func (t *Tangle) attachLocked(tx *txn.Transaction) (Info, error) {
 	info := t.infoLocked(v)
 	t.pendingEvents = append(t.pendingEvents, events...)
 	t.evscratch = events[:0] // keep the grown capacity for the next attach
-	return info, nil
+	return info
 }
 
 // lazyParentsLocked implements the §III "lazy tips" detector: both
