@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-chaos race cover bench bench-gossip figures examples fuzz clean
+.PHONY: all build vet test test-short test-chaos race cover bench bench-gossip bench-store bench-all figures examples fuzz clean
 
 all: build vet test
 
@@ -24,6 +24,7 @@ test: vet
 	$(GO) test -race -run XXX -bench BenchmarkTangleConcurrentSelectDuringAttach -benchtime 100x ./internal/tangle/
 	$(GO) test -run XXX -bench BenchmarkGossip -benchtime 20x ./internal/gossip/
 	$(GO) run ./cmd/biot-bench -fig chaos -quick
+	$(GO) run ./cmd/biot-bench -fig store -quick
 
 # The fault-injection suite in one sweep: crash-point torture over the
 # journal, the supervised multi-node chaos soak (kills, disk faults,
@@ -61,11 +62,25 @@ bench:
 	$(GO) run ./cmd/biot-bench -fig tangle -json BENCH_tangle.json
 	$(GO) run ./cmd/biot-bench -fig gossip -json BENCH_gossip.json
 	$(GO) run ./cmd/biot-bench -fig chaos -json BENCH_chaos.json
+	$(GO) run ./cmd/biot-bench -fig store -json BENCH_store.json
 
 # The transport fan-out figure alone (regenerates BENCH_gossip.json).
 bench-gossip:
 	$(GO) test -run XXX -bench BenchmarkGossip -benchmem ./internal/gossip/
 	$(GO) run ./cmd/biot-bench -fig gossip -json BENCH_gossip.json
+
+# The durable-write-path figure alone (regenerates BENCH_store.json):
+# per-record fsync vs group commit, plus credit-query rescan vs
+# incremental.
+bench-store:
+	$(GO) run ./cmd/biot-bench -fig store -json BENCH_store.json
+
+# Regenerate every committed BENCH_*.json snapshot in one sweep.
+bench-all:
+	$(GO) run ./cmd/biot-bench -fig tangle -json BENCH_tangle.json
+	$(GO) run ./cmd/biot-bench -fig gossip -json BENCH_gossip.json
+	$(GO) run ./cmd/biot-bench -fig chaos -json BENCH_chaos.json
+	$(GO) run ./cmd/biot-bench -fig store -json BENCH_store.json
 
 # Regenerate every paper figure with full (Pi-emulated) parameters.
 figures:

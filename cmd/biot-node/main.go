@@ -55,6 +55,8 @@ func run() error {
 		difficulty   = flag.Int("difficulty", 11, "initial PoW difficulty D0")
 		rateLimit    = flag.Int("rate-limit", 50, "per-device submissions per second (0 = unlimited)")
 		persistPath  = flag.String("persist", "", "transaction log path; the ledger survives restarts when set")
+		journalBatch = flag.Int("journal-batch", 0, "max admitted records per journal fsync (0 = store default, 1 = fsync per record)")
+		journalDelay = flag.Duration("journal-delay", 0, "how long the journal commit leader lingers for a fuller batch (0 = flush immediately)")
 		withQuality  = flag.Bool("quality", false, "enable sensor data quality control on plaintext readings")
 		snapshotKeep = flag.Duration("snapshot-keep", 0, "compact the ledger periodically, keeping this much history (0 = never)")
 		keyfile      = flag.String("keyfile", "", "not yet supported; reserved for persisted node identity")
@@ -113,6 +115,9 @@ func run() error {
 			RateLimit:  *rateLimit,
 			RateWindow: time.Second,
 			Quality:    validator,
+
+			JournalMaxBatch: *journalBatch,
+			JournalMaxDelay: *journalDelay,
 		})
 		if err != nil {
 			net.Close()

@@ -50,13 +50,46 @@ type Ledger struct {
 type nodeRecord struct {
 	txs     []TxRecord // ordered by At
 	txIndex map[hashutil.Hash]int
-	events  []EventRecord // ordered by At
+	events  []EventRecord // ordered by At, capped at MaxEventsRetained
+
+	// Rolling CrP window: txs[winLo:winHi] are exactly the records with
+	// winNow−ΔT ≤ At ≤ winNow, and winSum is their summed weight. A
+	// query advances the window to its own now — adding newly eligible
+	// records at winHi, evicting expired ones at winLo — so repeated
+	// evaluation is O(evicted+added) instead of O(window). Mutations
+	// keep the invariant (or clear winValid when they cannot cheaply).
+	winValid bool
+	winLo    int
+	winHi    int
+	winSum   float64
+	winNow   time.Time
+
+	// Carry for events evicted by the retention cap: evCarry is their
+	// summed punishment coefficient, evCarryAt the newest evicted
+	// timestamp. Decaying the whole carry by the newest evicted age
+	// over-punishes (every evicted event is at least that old), which
+	// is the safe direction — the paper requires that misbehaviour's
+	// impact "cannot be eliminated over time".
+	evCarry   float64
+	evCarryAt time.Time
+
+	// CrN cache: exact value at crnAt for event-version crnVer. Any
+	// event mutation (insert or cap eviction) bumps evVer, so a stale
+	// cache can never survive a change to the punished history.
+	evVer    uint64
+	crnValid bool
+	crnAt    time.Time
+	crnVer   uint64
+	crn      float64
 }
 
 // NewLedger creates a credit ledger with the given parameters.
 func NewLedger(params Params) (*Ledger, error) {
 	if err := params.Validate(); err != nil {
 		return nil, fmt.Errorf("credit ledger params: %w", err)
+	}
+	if params.MaxEventsRetained == 0 {
+		params.MaxEventsRetained = DefaultMaxEventsRetained
 	}
 	return &Ledger{
 		params: params,
@@ -93,11 +126,14 @@ func (l *Ledger) RecordTransaction(addr identity.Address, id hashutil.Hash, weig
 	rec := l.record(addr)
 	if idx, ok := rec.txIndex[id]; ok {
 		if weight > rec.txs[idx].Weight {
+			rec.winAdjustWeight(idx, weight-rec.txs[idx].Weight)
 			rec.txs[idx].Weight = weight
 		}
 		return
 	}
-	rec.insertTx(TxRecord{ID: id, Weight: weight, At: at})
+	tr := TxRecord{ID: id, Weight: weight, At: at}
+	rec.winNoteInsert(tr, l.params.DeltaT)
+	rec.insertTx(tr)
 }
 
 // RemoveTransaction withdraws a previously recorded transaction — the
@@ -114,6 +150,7 @@ func (l *Ledger) RemoveTransaction(addr identity.Address, id hashutil.Hash) {
 	if !ok {
 		return
 	}
+	rec.winNoteRemove(idx, rec.txs[idx].Weight)
 	rec.txs = append(rec.txs[:idx], rec.txs[idx+1:]...)
 	delete(rec.txIndex, id)
 	for i := idx; i < len(rec.txs); i++ {
@@ -141,16 +178,29 @@ func (l *Ledger) UpdateWeight(addr identity.Address, id hashutil.Hash, weight fl
 		return
 	}
 	if weight > rec.txs[idx].Weight {
+		rec.winAdjustWeight(idx, weight-rec.txs[idx].Weight)
 		rec.txs[idx].Weight = weight
 	}
 }
 
 // RecordMalicious attributes a detected malicious behaviour to addr.
+// Retention is capped at MaxEventsRetained per node: the oldest events
+// are folded into the carry term (see nodeRecord) so the punished
+// history stays bounded without ever punishing less.
 func (l *Ledger) RecordMalicious(addr identity.Address, ev EventRecord) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	rec := l.record(addr)
 	rec.events = insertEvent(rec.events, ev)
+	for len(rec.events) > l.params.MaxEventsRetained {
+		old := rec.events[0]
+		rec.evCarry += l.params.Alpha(old.Behaviour)
+		if old.At.After(rec.evCarryAt) {
+			rec.evCarryAt = old.At
+		}
+		rec.events = append(rec.events[:0], rec.events[1:]...)
+	}
+	rec.evVer++
 }
 
 // insertTx keeps the slice ordered by At (records usually arrive in
@@ -173,13 +223,69 @@ func insertEvent(evs []EventRecord, ev EventRecord) []EventRecord {
 	return evs
 }
 
+// winNoteInsert updates the rolling window for a record about to be
+// inserted. Classification is by timestamp against the window the sums
+// were last advanced to (winNow): sorted insertion guarantees a record
+// older than the window lands at or before winLo, an in-window one
+// within [winLo, winHi], and a future one at or after winHi — so the
+// index range stays aligned without knowing the exact insert position.
+func (r *nodeRecord) winNoteInsert(tr TxRecord, deltaT time.Duration) {
+	if !r.winValid {
+		return
+	}
+	ws := r.winNow.Add(-deltaT)
+	switch {
+	case tr.At.Before(ws): // already expired relative to winNow
+		r.winLo++
+		r.winHi++
+	case tr.At.After(r.winNow): // not yet visible; next advance adds it
+	default:
+		r.winSum += tr.Weight
+		r.winHi++
+	}
+}
+
+// winNoteRemove updates the rolling window for the record at idx being
+// spliced out.
+func (r *nodeRecord) winNoteRemove(idx int, weight float64) {
+	if !r.winValid {
+		return
+	}
+	switch {
+	case idx < r.winLo:
+		r.winLo--
+		r.winHi--
+	case idx < r.winHi:
+		r.winSum -= weight
+		r.winHi--
+		if r.winLo == r.winHi {
+			r.winSum = 0 // empty window: reset accumulated float drift
+		}
+	}
+}
+
+// winAdjustWeight adds delta to the window sum iff the record at idx is
+// inside it. Window membership is exactly the index range [winLo,
+// winHi) — that is the rolling invariant.
+func (r *nodeRecord) winAdjustWeight(idx int, delta float64) {
+	if r.winValid && idx >= r.winLo && idx < r.winHi {
+		r.winSum += delta
+	}
+}
+
 // PositiveCredit evaluates CrP (Eqn 3) for addr at instant now: the sum
 // of transaction weights within the latest ΔT window, divided by ΔT in
 // seconds. A node with no activity in the window scores 0 — "the system
 // will not decrease the difficulty of PoW for it at the beginning".
+//
+// Evaluation is incremental: the per-node rolling window advances from
+// its last position, so a query costs O(records that entered or left
+// the window since) — O(1) amortized on the admission hot path —
+// instead of rescanning the full ΔT window. Queries therefore take the
+// write lock; the critical section is tiny.
 func (l *Ledger) PositiveCredit(addr identity.Address, now time.Time) float64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	rec, ok := l.nodes[addr]
 	if !ok {
 		return 0
@@ -187,9 +293,50 @@ func (l *Ledger) PositiveCredit(addr identity.Address, now time.Time) float64 {
 	return l.positiveLocked(rec, now)
 }
 
+// positiveLocked advances rec's rolling window to now and returns CrP.
+// Caller holds the write lock.
 func (l *Ledger) positiveLocked(rec *nodeRecord, now time.Time) float64 {
 	windowStart := now.Add(-l.params.DeltaT)
-	// Binary search for the first record inside the window.
+	if !rec.winValid || now.Before(rec.winNow) {
+		// First query, post-prune, or a time rewind (virtual clocks in
+		// tests and replays): rebuild the window by binary search.
+		rec.winLo = sort.Search(len(rec.txs), func(i int) bool {
+			return !rec.txs[i].At.Before(windowStart)
+		})
+		rec.winHi = rec.winLo + sort.Search(len(rec.txs)-rec.winLo, func(i int) bool {
+			return rec.txs[rec.winLo+i].At.After(now)
+		})
+		rec.winSum = 0
+		for _, tr := range rec.txs[rec.winLo:rec.winHi] {
+			rec.winSum += tr.Weight
+		}
+		rec.winValid = true
+		rec.winNow = now
+		return rec.winSum / l.params.DeltaT.Seconds()
+	}
+	// Advance: admit records that became visible (At ≤ now) ...
+	for rec.winHi < len(rec.txs) && !rec.txs[rec.winHi].At.After(now) {
+		rec.winSum += rec.txs[rec.winHi].Weight
+		rec.winHi++
+	}
+	// ... and evict records that expired (At < now − ΔT).
+	for rec.winLo < rec.winHi && rec.txs[rec.winLo].At.Before(windowStart) {
+		rec.winSum -= rec.txs[rec.winLo].Weight
+		rec.winLo++
+	}
+	if rec.winLo == rec.winHi {
+		rec.winSum = 0 // empty window: reset accumulated float drift
+	}
+	rec.winNow = now
+	return rec.winSum / l.params.DeltaT.Seconds()
+}
+
+// rescanPositiveLocked is the from-scratch CrP reference: a binary
+// search for the window start and a linear sum. It does not touch the
+// rolling state; property tests pin the incremental path against it,
+// and storebench uses it as the before-optimization baseline.
+func (l *Ledger) rescanPositiveLocked(rec *nodeRecord, now time.Time) float64 {
+	windowStart := now.Add(-l.params.DeltaT)
 	idx := sort.Search(len(rec.txs), func(i int) bool {
 		return !rec.txs[i].At.Before(windowStart)
 	})
@@ -211,9 +358,15 @@ func (l *Ledger) positiveLocked(rec *nodeRecord, now time.Time) float64 {
 // but finite at detection time. The contribution of each event decays
 // hyperbolically "but different from CrP, the impact cannot be
 // eliminated over time".
+//
+// The scan is bounded by MaxEventsRetained (evicted events contribute
+// through the carry term), and the result is cached per node keyed on
+// (instant, event version): any event mutation invalidates it, and a
+// repeat query at the same instant — several difficulty evaluations in
+// one admission batch — is a map-lookup hit.
 func (l *Ledger) NegativeCredit(addr identity.Address, now time.Time) float64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	rec, ok := l.nodes[addr]
 	if !ok {
 		return 0
@@ -221,7 +374,23 @@ func (l *Ledger) NegativeCredit(addr identity.Address, now time.Time) float64 {
 	return l.negativeLocked(rec, now)
 }
 
+// negativeLocked returns CrN at now, consulting and refreshing rec's
+// cache. Caller holds the write lock.
 func (l *Ledger) negativeLocked(rec *nodeRecord, now time.Time) float64 {
+	if rec.crnValid && rec.crnVer == rec.evVer && rec.crnAt.Equal(now) {
+		return rec.crn
+	}
+	crn := l.computeCrN(rec, now)
+	rec.crn = crn
+	rec.crnAt = now
+	rec.crnVer = rec.evVer
+	rec.crnValid = true
+	return crn
+}
+
+// computeCrN evaluates Eqn 4 over the retained events plus the carry
+// term for cap-evicted ones. Read-only on rec.
+func (l *Ledger) computeCrN(rec *nodeRecord, now time.Time) float64 {
 	var sum float64
 	deltaT := l.params.DeltaT.Seconds()
 	minAge := l.params.MinEventAge.Seconds()
@@ -235,19 +404,48 @@ func (l *Ledger) negativeLocked(rec *nodeRecord, now time.Time) float64 {
 		}
 		sum += l.params.Alpha(ev.Behaviour) * deltaT / age
 	}
+	if rec.evCarry > 0 {
+		age := now.Sub(rec.evCarryAt).Seconds()
+		if age < minAge {
+			age = minAge
+		}
+		sum += rec.evCarry * deltaT / age
+	}
 	return -sum
 }
 
-// CreditOf evaluates the full Eqn-2 credit for addr at now.
+// CreditOf evaluates the full Eqn-2 credit for addr at now, through the
+// incremental CrP window and the CrN cache.
 func (l *Ledger) CreditOf(addr identity.Address, now time.Time) Credit {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	rec, ok := l.nodes[addr]
 	if !ok {
 		return Credit{}
 	}
 	crP := l.positiveLocked(rec, now)
 	crN := l.negativeLocked(rec, now)
+	return Credit{
+		CrP: crP,
+		CrN: crN,
+		Cr:  l.params.Lambda1*crP + l.params.Lambda2*crN,
+	}
+}
+
+// RescanCredit evaluates credit from scratch — full window rescan, no
+// rolling sums, no CrN cache (the carry term for cap-evicted events
+// still applies; it is part of the definition once events are gone).
+// It is the reference the property tests compare the incremental path
+// against, and the baseline mode of the storebench credit benchmark.
+func (l *Ledger) RescanCredit(addr identity.Address, now time.Time) Credit {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.nodes[addr]
+	if !ok {
+		return Credit{}
+	}
+	crP := l.rescanPositiveLocked(rec, now)
+	crN := l.computeCrN(rec, now)
 	return Credit{
 		CrP: crP,
 		CrN: crN,
@@ -317,6 +515,19 @@ func (l *Ledger) Prune(now time.Time, keep time.Duration) int {
 			rec.txs = append(rec.txs[:0], rec.txs[idx:]...)
 			for i, tr := range rec.txs {
 				rec.txIndex[tr.ID] = i
+			}
+			if rec.winValid {
+				if idx <= rec.winLo {
+					// Only already-evicted records were dropped; the
+					// window just shifts left.
+					rec.winLo -= idx
+					rec.winHi -= idx
+				} else {
+					// The cutoff cut into the window (possible when the
+					// window lags the pruning clock): rebuild lazily on
+					// the next query.
+					rec.winValid = false
+				}
 			}
 		}
 	}

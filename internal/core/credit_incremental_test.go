@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+)
+
+func incTestParams() Params {
+	p := DefaultParams()
+	p.DeltaT = 10 * time.Second
+	return p
+}
+
+func creditClose(a, b Credit) bool {
+	const eps = 1e-9
+	near := func(x, y float64) bool {
+		return math.Abs(x-y) <= eps*(1+math.Abs(x)+math.Abs(y))
+	}
+	return near(a.CrP, b.CrP) && near(a.CrN, b.CrN) && near(a.Cr, b.Cr)
+}
+
+// TestIncrementalCreditMatchesRescan is the satellite property test:
+// after arbitrary interleavings of record / update-weight / remove /
+// prune / malicious-event operations under a mostly-advancing (but
+// occasionally rewinding) clock, the incremental CreditOf must equal a
+// from-scratch recompute. This pins every window-maintenance branch —
+// insert before/inside/after the window, removal on both sides, weight
+// bumps, prune cutting at and into the window, and rewind rebuilds.
+func TestIncrementalCreditMatchesRescan(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l, err := NewLedger(incTestParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := time.Unix(1000, 0)
+		now := base
+		addrs := make([]identity.Address, 3)
+		for i := range addrs {
+			addrs[i] = identity.Address(hashutil.Sum([]byte{byte(i + 1)}))
+		}
+		type known struct {
+			addr identity.Address
+			id   hashutil.Hash
+		}
+		var ids []known
+		nextID := 0
+
+		for step := 0; step < 400; step++ {
+			addr := addrs[rng.Intn(len(addrs))]
+			switch op := rng.Intn(10); {
+			case op < 4: // record a tx somewhere around now (past, in-window, future)
+				nextID++
+				id := hashutil.Sum([]byte(fmt.Sprintf("tx-%d-%d", seed, nextID)))
+				at := now.Add(time.Duration(rng.Intn(30)-22) * time.Second)
+				l.RecordTransaction(addr, id, rng.Float64()*4, at)
+				ids = append(ids, known{addr, id})
+			case op < 5 && len(ids) > 0: // grow a weight
+				k := ids[rng.Intn(len(ids))]
+				l.UpdateWeight(k.addr, k.id, rng.Float64()*8)
+			case op < 6 && len(ids) > 0: // withdraw a record
+				i := rng.Intn(len(ids))
+				l.RemoveTransaction(ids[i].addr, ids[i].id)
+				ids = append(ids[:i], ids[i+1:]...)
+			case op < 7: // malicious event
+				l.RecordMalicious(addr, EventRecord{
+					Behaviour: Behaviour(rng.Intn(3) + 1),
+					At:        now.Add(-time.Duration(rng.Intn(20)) * time.Second),
+				})
+			case op < 8: // prune
+				l.Prune(now, time.Duration(10+rng.Intn(20))*time.Second)
+			}
+
+			// Advance the clock; occasionally rewind it (replays and
+			// skewed virtual clocks do this in the wild).
+			if rng.Intn(12) == 0 {
+				now = now.Add(-time.Duration(rng.Intn(5000)) * time.Millisecond)
+			} else {
+				now = now.Add(time.Duration(rng.Intn(1500)) * time.Millisecond)
+			}
+
+			qa := addrs[rng.Intn(len(addrs))]
+			inc := l.CreditOf(qa, now)
+			ref := l.RescanCredit(qa, now)
+			if !creditClose(inc, ref) {
+				t.Fatalf("seed=%d step=%d: incremental %+v != rescan %+v", seed, step, inc, ref)
+			}
+			// Query again at the same instant: the CrN cache path.
+			if again := l.CreditOf(qa, now); !creditClose(again, ref) {
+				t.Fatalf("seed=%d step=%d: cached requery %+v != rescan %+v", seed, step, again, ref)
+			}
+		}
+	}
+}
+
+// TestIncrementalCreditAdvanceOnly exercises the pure hot path — a
+// monotonically advancing clock with records landing at "now", the
+// shape every admission produces — and checks the window never drifts
+// from the oracle.
+func TestIncrementalCreditAdvanceOnly(t *testing.T) {
+	l, err := NewLedger(incTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := identity.Address(hashutil.Sum([]byte("hot")))
+	now := time.Unix(5000, 0)
+	for i := 0; i < 2000; i++ {
+		id := hashutil.Sum([]byte(fmt.Sprintf("hot-%d", i)))
+		l.RecordTransaction(addr, id, 1, now)
+		inc := l.CreditOf(addr, now)
+		ref := l.RescanCredit(addr, now)
+		if !creditClose(inc, ref) {
+			t.Fatalf("step %d: incremental %+v != rescan %+v", i, inc, ref)
+		}
+		now = now.Add(37 * time.Millisecond)
+	}
+}
+
+// TestEventCapBoundsHistory pins the satellite fix for unbounded
+// nodeRecord.events growth: retained events never exceed the cap, and
+// the capped CrN is never milder than the uncapped one (the carry term
+// decays evicted events by the newest evicted age — an overestimate of
+// their punishment, by design).
+func TestEventCapBoundsHistory(t *testing.T) {
+	const cap = 8
+	pCapped := incTestParams()
+	pCapped.MaxEventsRetained = cap
+	capped, err := NewLedger(pCapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncapped, err := NewLedger(incTestParams()) // default cap of 256 ≫ test volume
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := identity.Address(hashutil.Sum([]byte("attacker")))
+	base := time.Unix(9000, 0)
+	for i := 0; i < 100; i++ {
+		ev := EventRecord{Behaviour: BehaviourDoubleSpend, At: base.Add(time.Duration(i) * time.Second)}
+		capped.RecordMalicious(addr, ev)
+		uncapped.RecordMalicious(addr, ev)
+		if got := len(capped.Events(addr)); got > cap {
+			t.Fatalf("after %d events, %d retained > cap %d", i+1, got, cap)
+		}
+	}
+	now := base.Add(200 * time.Second)
+	crnCapped := capped.NegativeCredit(addr, now)
+	crnUncapped := uncapped.NegativeCredit(addr, now)
+	if crnCapped > crnUncapped {
+		t.Fatalf("capped CrN %v is milder than uncapped %v — carry must never under-punish", crnCapped, crnUncapped)
+	}
+	if crnCapped >= 0 {
+		t.Fatalf("CrN = %v, want negative", crnCapped)
+	}
+}
+
+// TestCrNCacheInvalidatedByNewEvent: a repeat query at the same instant
+// must reflect an event recorded between the two queries — the event
+// version bump must defeat the cache.
+func TestCrNCacheInvalidatedByNewEvent(t *testing.T) {
+	l, err := NewLedger(incTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := identity.Address(hashutil.Sum([]byte("cached")))
+	now := time.Unix(7000, 0)
+	l.RecordMalicious(addr, EventRecord{Behaviour: BehaviourLazyTips, At: now.Add(-5 * time.Second)})
+	first := l.NegativeCredit(addr, now)
+	l.RecordMalicious(addr, EventRecord{Behaviour: BehaviourDoubleSpend, At: now.Add(-2 * time.Second)})
+	second := l.NegativeCredit(addr, now)
+	if second >= first {
+		t.Fatalf("CrN %v after second event not more negative than %v — stale cache served", second, first)
+	}
+	if again := l.NegativeCredit(addr, now); again != second {
+		t.Fatalf("repeat query %v != %v", again, second)
+	}
+}
+
+// TestPruneRebuildsWindow drives Prune's two paths — cutoff at or
+// before the evicted boundary (cheap shift) and cutoff inside a stale
+// window (invalidate + rebuild) — and checks queries stay correct.
+func TestPruneRebuildsWindow(t *testing.T) {
+	l, err := NewLedger(incTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := identity.Address(hashutil.Sum([]byte("pruned")))
+	base := time.Unix(3000, 0)
+	for i := 0; i < 50; i++ {
+		id := hashutil.Sum([]byte(fmt.Sprintf("p-%d", i)))
+		l.RecordTransaction(addr, id, 1, base.Add(time.Duration(i)*time.Second))
+	}
+	now := base.Add(55 * time.Second)
+	l.CreditOf(addr, now) // establish the rolling window
+
+	// Cheap path: prune far behind the window.
+	l.Prune(now, 40*time.Second)
+	if inc, ref := l.CreditOf(addr, now), l.RescanCredit(addr, now); !creditClose(inc, ref) {
+		t.Fatalf("after boundary prune: %+v != %+v", inc, ref)
+	}
+
+	// Invalidate path: prune with a much later clock, so the cutoff
+	// lands inside the (now stale) window.
+	later := now.Add(30 * time.Second)
+	l.Prune(later, 10*time.Second)
+	if inc, ref := l.CreditOf(addr, later), l.RescanCredit(addr, later); !creditClose(inc, ref) {
+		t.Fatalf("after in-window prune: %+v != %+v", inc, ref)
+	}
+}

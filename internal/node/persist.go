@@ -38,10 +38,50 @@ func (n *FullNode) EnablePersistenceFS(fs chaos.FS, path string) (replayed int, 
 	}
 	n.pendingMu.Unlock()
 
-	log, err := store.OpenFSGen(fs, path, n.replayTransaction)
+	// Admission journals after attach, outside any shared lock, so with
+	// concurrent submitters a child can reach the journal just before
+	// its parent (journal order is not attach order). Replay therefore
+	// stashes generation-0 unknown-parent records instead of aborting
+	// and retries the stash to a fixpoint after the scan; only records
+	// that STILL do not resolve mean what a gen-0 orphan always meant —
+	// a foreign or corrupt log.
+	var deferredOrphans []*txn.Transaction
+	log, err := store.OpenFSGen(fs, path, func(t *txn.Transaction, gen uint64) error {
+		err := n.replayTransaction(t, gen)
+		if gen == 0 && errors.Is(err, tangle.ErrUnknownParent) {
+			deferredOrphans = append(deferredOrphans, t)
+			return nil
+		}
+		return err
+	})
 	if err != nil {
 		return 0, fmt.Errorf("enable persistence: %w", err)
 	}
+	for len(deferredOrphans) > 0 {
+		progress := false
+		rest := deferredOrphans[:0]
+		for _, t := range deferredOrphans {
+			switch err := n.replayTransaction(t, 0); {
+			case err == nil:
+				progress = true
+			case errors.Is(err, tangle.ErrUnknownParent):
+				rest = append(rest, t)
+			default:
+				log.Close()
+				return 0, fmt.Errorf("enable persistence: %w", err)
+			}
+		}
+		deferredOrphans = rest
+		if !progress {
+			log.Close()
+			return 0, fmt.Errorf("enable persistence: %d journaled records never resolve a parent: %w",
+				len(deferredOrphans), tangle.ErrUnknownParent)
+		}
+	}
+	log.SetBatchConfig(store.BatchConfig{
+		MaxBatch: n.cfg.JournalMaxBatch,
+		MaxDelay: n.cfg.JournalMaxDelay,
+	})
 	n.pendingMu.Lock()
 	n.journal = log
 	n.pendingMu.Unlock()
@@ -192,7 +232,10 @@ func (n *FullNode) CompactJournal() (records int, err error) {
 	return len(txs), nil
 }
 
-// journalAppend records an admitted transaction; called from admit.
+// journalAppend records an admitted transaction; called from the
+// submission edge. Append blocks through the group-commit barrier, so
+// admission is only reported after the fsync covering the record — many
+// concurrent submitters share one flush.
 func (n *FullNode) journalAppend(t *txn.Transaction) {
 	n.pendingMu.Lock()
 	log := n.journal
@@ -204,6 +247,24 @@ func (n *FullNode) journalAppend(t *txn.Transaction) {
 	// updated); they surface through the JournalErrors counter so
 	// operators notice a dying disk.
 	if err := log.Append(t); err != nil {
+		n.counters.JournalErrors.Inc()
+	}
+}
+
+// journalBatch records a whole relay-admitted batch behind a single
+// durability barrier (one write + one fsync for the batch); called at
+// the end of admitGossipBatch.
+func (n *FullNode) journalBatch(txs []*txn.Transaction) {
+	if len(txs) == 0 {
+		return
+	}
+	n.pendingMu.Lock()
+	log := n.journal
+	n.pendingMu.Unlock()
+	if log == nil {
+		return
+	}
+	if err := log.AppendBatch(txs); err != nil {
 		n.counters.JournalErrors.Inc()
 	}
 }

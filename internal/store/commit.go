@@ -1,0 +1,333 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Group commit: the remedy for the one-fsync-per-record write path that
+// serialized the whole parallel submission pipeline behind a single
+// disk flush. Concurrent appenders enqueue their encoded records; the
+// first to find no committer in flight becomes the LEADER and flushes
+// the queue with one contiguous write and one Sync. Everyone whose
+// record rode in that batch observes the same durability barrier:
+// Append (and AppendBatch) return only after the Sync covering their
+// bytes succeeded — or with the error that poisoned the log.
+//
+// The protocol is leader/follower rather than a dedicated committer
+// goroutine so an idle log costs nothing and Close has no loop to tear
+// down:
+//
+//  1. An appender locks mu, enqueues its request, and — if a leader is
+//     already committing — unlocks and waits on its own done channel.
+//  2. Otherwise it marks itself leader, and loops: take up to MaxBatch
+//     records from the queue head, release mu (new appenders keep
+//     enqueueing while the disk is busy — that is where batches come
+//     from), write the concatenated records, Sync once, re-lock, and
+//     deliver the verdict to every request in the batch.
+//  3. The leader drains until the queue is empty, then steps down.
+//
+// Failure semantics are unchanged from the per-record path: a failed
+// write or Sync poisons the log stickily. Every request in the failing
+// batch gets the I/O error; every request still queued behind it gets
+// ErrPoisoned; so does every later Append until the log is reopened.
+// No waiter is ever told "durable" for a record the post-crash replay
+// cannot recover: success is only reported after Sync returns nil, and
+// a batch written-but-not-synced is, at worst, a torn tail the next
+// Open truncates away.
+//
+// File I/O (batch commits, compaction's segment rewrite and handle
+// swing) serializes on ioMu, acquired strictly before mu; mu alone
+// guards the queue and cheap state, and is never held across a disk
+// operation.
+
+// DefaultMaxBatch is the records-per-fsync cap when BatchConfig leaves
+// MaxBatch zero.
+const DefaultMaxBatch = 64
+
+// BatchConfig tunes the group committer.
+type BatchConfig struct {
+	// MaxBatch caps how many records one fsync covers. Zero selects
+	// DefaultMaxBatch; 1 degenerates to the per-record-fsync write path
+	// (every record still pays its own Sync — the baseline mode the
+	// storebench experiment measures against).
+	MaxBatch int
+	// MaxDelay is how long a leader with a less-than-full batch lingers
+	// before flushing, trading latency for batch size. Zero (the
+	// default) flushes immediately: batches then form naturally from
+	// whatever queued while the previous flush held the disk, which
+	// adds no latency when the log is uncontended.
+	MaxDelay time.Duration
+}
+
+// withDefaults normalizes the config.
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxDelay < 0 {
+		c.MaxDelay = 0
+	}
+	return c
+}
+
+// batchHistBuckets is the number of batch-size histogram buckets:
+// 1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65-128, >128.
+const batchHistBuckets = 9
+
+// BatchStats is a snapshot of the group committer's accounting.
+type BatchStats struct {
+	// Commits is the number of fsyncs the committer issued.
+	Commits uint64
+	// Records is the number of records those fsyncs made durable.
+	Records uint64
+	// Hist is the per-fsync batch-size histogram; bucket i counts
+	// commits whose record count fell in BatchBucketLabels()[i].
+	Hist [batchHistBuckets]uint64
+}
+
+// BatchBucketLabels returns the histogram bucket boundaries, aligned
+// with BatchStats.Hist.
+func BatchBucketLabels() [batchHistBuckets]string {
+	return [batchHistBuckets]string{
+		"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65-128", ">128",
+	}
+}
+
+// batchBucket maps a batch's record count to its histogram bucket.
+func batchBucket(n int) int {
+	if n <= 2 {
+		if n < 1 {
+			n = 1
+		}
+		return n - 1
+	}
+	b := 2
+	for limit := 4; b < batchHistBuckets-1; b++ {
+		if n <= limit {
+			return b
+		}
+		limit *= 2
+	}
+	return batchHistBuckets - 1
+}
+
+// commitReq is one appender's stake in a batch: its framed bytes, how
+// many records they hold, and the channel the barrier verdict arrives
+// on.
+type commitReq struct {
+	buf  []byte
+	n    int
+	done chan error
+}
+
+// SetBatchConfig tunes the group committer; safe to call at any time
+// (the next batch observes the new config). The zero value restores
+// defaults.
+func (l *Log) SetBatchConfig(cfg BatchConfig) {
+	cfg = cfg.withDefaults()
+	l.mu.Lock()
+	l.batchCfg = cfg
+	l.mu.Unlock()
+}
+
+// BatchStats returns a snapshot of the committer's accounting.
+func (l *Log) BatchStats() BatchStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.batchStats
+}
+
+// queuedRecordsLocked counts records waiting in the queue. Caller
+// holds mu.
+func (l *Log) queuedRecordsLocked() int {
+	n := 0
+	for _, req := range l.queue {
+		n += req.n
+	}
+	return n
+}
+
+// takeBatchLocked removes up to MaxBatch records' worth of requests
+// from the queue head. A single request larger than MaxBatch still
+// commits alone (AppendBatch is atomic at the barrier — it is never
+// split). Caller holds mu.
+func (l *Log) takeBatchLocked() (batch []*commitReq, records int) {
+	maxB := l.batchCfg.MaxBatch
+	cut := 0
+	for _, req := range l.queue {
+		if cut > 0 && records+req.n > maxB {
+			break
+		}
+		records += req.n
+		cut++
+	}
+	batch = l.queue[:cut:cut]
+	l.queue = l.queue[cut:]
+	return batch, records
+}
+
+// failQueueLocked delivers err to every queued request and empties the
+// queue. Caller holds mu.
+func (l *Log) failQueueLocked(err error) {
+	for _, req := range l.queue {
+		req.done <- err
+	}
+	l.queue = nil
+}
+
+// submit enqueues one request and sees it through the durability
+// barrier, leading the commit loop if no other appender is. It returns
+// the verdict for req's own batch.
+func (l *Log) submit(req *commitReq) error {
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrPoisoned, err)
+	}
+	l.queue = append(l.queue, req)
+	if l.committing {
+		l.mu.Unlock()
+		return <-req.done // the active leader owns our request now
+	}
+	l.committing = true
+	l.mu.Unlock()
+
+	l.lead()
+	return <-req.done
+}
+
+// lead runs the commit loop until the queue drains, then steps down.
+// The caller must have set l.committing under mu. Every request queued
+// while this leader runs is guaranteed a verdict before it steps down.
+func (l *Log) lead() {
+	for {
+		// A leader with a short batch may linger to let followers pile
+		// up; with the default MaxDelay of 0 batches form only from the
+		// natural enqueue-during-fsync overlap.
+		l.mu.Lock()
+		delay := l.batchCfg.MaxDelay
+		short := l.queuedRecordsLocked() < l.batchCfg.MaxBatch
+		l.mu.Unlock()
+		if delay > 0 && short {
+			time.Sleep(delay)
+		}
+
+		l.ioMu.Lock()
+		l.mu.Lock()
+		if l.err != nil {
+			l.failQueueLocked(fmt.Errorf("%w: %v", ErrPoisoned, l.err))
+			l.committing = false
+			l.mu.Unlock()
+			l.ioMu.Unlock()
+			return
+		}
+		if l.f == nil {
+			l.failQueueLocked(ErrClosed)
+			l.committing = false
+			l.mu.Unlock()
+			l.ioMu.Unlock()
+			return
+		}
+		batch, records := l.takeBatchLocked()
+		f := l.f
+		l.mu.Unlock()
+
+		if len(batch) == 0 {
+			l.mu.Lock()
+			// Re-check under mu: a request may have slipped in between
+			// the empty take and here.
+			if len(l.queue) == 0 {
+				l.committing = false
+				l.mu.Unlock()
+				l.ioMu.Unlock()
+				return
+			}
+			l.mu.Unlock()
+			l.ioMu.Unlock()
+			continue
+		}
+
+		// One contiguous write, one Sync: the whole batch shares the
+		// barrier. A crash in here leaves at most a torn tail — no
+		// waiter has been told anything yet.
+		buf := batch[0].buf
+		if len(batch) > 1 {
+			total := 0
+			for _, req := range batch {
+				total += len(req.buf)
+			}
+			joined := make([]byte, 0, total)
+			for _, req := range batch {
+				joined = append(joined, req.buf...)
+			}
+			buf = joined
+		}
+		_, err := f.Write(buf)
+		if err == nil {
+			err = f.Sync()
+		}
+
+		l.mu.Lock()
+		if err != nil {
+			// Sticky poison: the durable tail is unknown. The failing
+			// batch gets the I/O error; everything queued behind it is
+			// refused before touching the file.
+			l.err = err
+			for _, req := range batch {
+				req.done <- fmt.Errorf("append tx batch: %w", err)
+			}
+			l.failQueueLocked(fmt.Errorf("%w: %v", ErrPoisoned, err))
+			l.committing = false
+			l.mu.Unlock()
+			l.ioMu.Unlock()
+			return
+		}
+		l.n += records
+		l.batchStats.Commits++
+		l.batchStats.Records += uint64(records)
+		l.batchStats.Hist[batchBucket(records)]++
+		for _, req := range batch {
+			req.done <- nil
+		}
+		more := len(l.queue) > 0
+		if !more {
+			l.committing = false
+		}
+		l.mu.Unlock()
+		l.ioMu.Unlock()
+		if !more {
+			return
+		}
+	}
+}
+
+// AppendBatch durably records a group of transactions behind a single
+// durability barrier: all of them are framed into one contiguous queue
+// entry, written together, and covered by the same fsync (they are
+// never split across batches). On success every record is durable; on
+// error none should be trusted. An empty batch is a no-op.
+//
+// The relayed-admission path uses it to journal a whole gossip batch
+// with one flush instead of one per record.
+func (l *Log) AppendBatch(txs []*txn.Transaction) error {
+	if len(txs) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, t := range txs {
+		rec, err := encodeRecord(t)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, rec...)
+	}
+	return l.submit(&commitReq{buf: buf, n: len(txs), done: make(chan error, 1)})
+}

@@ -39,6 +39,45 @@ func fuzzLogBytes(n int) []byte {
 	return out
 }
 
+// fuzzBatchedLogBytes produces a segment through the real group-commit
+// write path (AppendBatch + concurrent-shaped batches), so the corpus
+// mutates bytes laid down exactly as a batching leader writes them.
+func fuzzBatchedLogBytes() []byte {
+	key, err := identity.Generate()
+	if err != nil {
+		panic(err)
+	}
+	fs := chaos.NewMemFS(7)
+	l, err := OpenFS(fs, "tx.log", nil)
+	if err != nil {
+		panic(err)
+	}
+	for bi, n := range []int{1, 3, 2} {
+		var batch []*txn.Transaction
+		for i := 0; i < n; i++ {
+			tx := &txn.Transaction{
+				Trunk:     hashutil.Sum([]byte("t")),
+				Branch:    hashutil.Sum([]byte("b")),
+				Timestamp: time.Unix(int64(bi*10+i+1), 0),
+				Kind:      txn.KindData,
+				Payload:   []byte{byte(bi), byte(i)},
+				Nonce:     uint64(i),
+			}
+			tx.Sign(key)
+			batch = append(batch, tx)
+		}
+		if err := l.AppendBatch(batch); err != nil {
+			panic(err)
+		}
+	}
+	l.Close()
+	data, err := fs.ReadFile("tx.log")
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
 // FuzzReplay feeds arbitrary bytes to the recovery path. Whatever the
 // mutation — truncations, bit flips, forged headers, length-field
 // attacks — replay must never panic and never admit a record whose
@@ -58,6 +97,9 @@ func FuzzReplay(f *testing.F) {
 	huge := append([]byte(nil), valid...) // length-field attack
 	binary.BigEndian.PutUint32(huge[segHeaderSize+4:], 0xFFFFFFF0)
 	f.Add(huge)
+	batched := fuzzBatchedLogBytes() // group-commit write shapes
+	f.Add(batched)
+	f.Add(batched[:len(batched)-11]) // crash mid-batch: torn batch tail
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fs := chaos.NewMemFS(1)

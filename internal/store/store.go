@@ -79,8 +79,15 @@ type RecoveryStats struct {
 	LegacyV1 bool
 }
 
-// Log is an append-only transaction log. Safe for concurrent use.
+// Log is an append-only transaction log. Safe for concurrent use:
+// concurrent Appends coalesce through the group committer (commit.go)
+// so many writers share one fsync.
 type Log struct {
+	// ioMu serializes file I/O — batch commits and compaction — and is
+	// always acquired before mu. mu guards the cheap state below and is
+	// never held across a disk operation.
+	ioMu sync.Mutex
+
 	mu    sync.Mutex
 	fs    chaos.FS
 	f     chaos.File
@@ -89,6 +96,12 @@ type Log struct {
 	gen   uint64 // segment generation
 	err   error  // sticky poison; non-nil after a failed write/sync
 	stats RecoveryStats
+
+	// Group-commit state (see commit.go).
+	batchCfg   BatchConfig
+	batchStats BatchStats
+	queue      []*commitReq
+	committing bool // a leader is flushing the queue
 }
 
 // Errors.
@@ -131,7 +144,7 @@ func OpenFSGen(fs chaos.FS, path string, apply func(*txn.Transaction, uint64) er
 	if err != nil {
 		return nil, fmt.Errorf("open tx log: %w", err)
 	}
-	l := &Log{fs: fs, f: f, path: path}
+	l := &Log{fs: fs, f: f, path: path, batchCfg: BatchConfig{}.withDefaults()}
 
 	base, size, err := l.readSegHeader()
 	if err != nil {
@@ -297,32 +310,17 @@ func encodeRecord(t *txn.Transaction) ([]byte, error) {
 }
 
 // Append durably records a transaction. The record is synced to stable
-// storage before Append returns. A failed write or sync poisons the
-// log: the durable tail is unknown, so every subsequent Append fails
-// with ErrPoisoned until the log is reopened.
+// storage before Append returns — concurrent Appends ride the same
+// group-commit barrier (commit.go), so the fsync cost amortizes over
+// however many records queued while the disk was busy. A failed write
+// or sync poisons the log: the durable tail is unknown, so every
+// subsequent Append fails with ErrPoisoned until the log is reopened.
 func (l *Log) Append(t *txn.Transaction) error {
 	buf, err := encodeRecord(t)
 	if err != nil {
 		return err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
-		return ErrClosed
-	}
-	if l.err != nil {
-		return fmt.Errorf("%w: %v", ErrPoisoned, l.err)
-	}
-	if _, err := l.f.Write(buf); err != nil {
-		l.err = err
-		return fmt.Errorf("append tx record: %w", err)
-	}
-	if err := l.f.Sync(); err != nil {
-		l.err = err
-		return fmt.Errorf("sync tx log: %w", err)
-	}
-	l.n++
-	return nil
+	return l.submit(&commitReq{buf: buf, n: 1, done: make(chan error, 1)})
 }
 
 // Compact atomically replaces the log's contents with txs, stamped with
@@ -335,14 +333,23 @@ func (l *Log) Append(t *txn.Transaction) error {
 // already have diverged from the durable log, and compaction would make
 // that divergence permanent.
 func (l *Log) Compact(txs []*txn.Transaction) error {
+	// ioMu keeps the rewrite exclusive with in-flight batch commits;
+	// appenders may keep enqueueing — their leader blocks on ioMu and
+	// commits to the new segment once the rename lands.
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.f == nil {
+		l.mu.Unlock()
 		return ErrClosed
 	}
 	if l.err != nil {
-		return fmt.Errorf("%w: %v", ErrPoisoned, l.err)
+		err := l.err
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrPoisoned, err)
 	}
+	gen := l.gen
+	l.mu.Unlock()
 
 	tmpPath := l.path + ".compact"
 	tmp, err := l.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -355,7 +362,7 @@ func (l *Log) Compact(txs []*txn.Transaction) error {
 		return fmt.Errorf("%s: %w", step, err)
 	}
 	hdr := make([]byte, segHeaderSize)
-	putSegHeader(hdr, l.gen+1)
+	putSegHeader(hdr, gen+1)
 	if _, err := tmp.Write(hdr); err != nil {
 		return fail("write compact header", err)
 	}
@@ -386,19 +393,25 @@ func (l *Log) Compact(txs []*txn.Transaction) error {
 	// points at an unlinked file; appends through it would be lost.
 	f, err := l.fs.OpenFile(l.path, os.O_RDWR, 0o644)
 	if err != nil {
+		l.mu.Lock()
 		l.err = err // committed on disk but no usable handle: fail loudly
+		l.mu.Unlock()
 		return fmt.Errorf("reopen compacted log: %w", err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
+		l.mu.Lock()
 		l.err = err
+		l.mu.Unlock()
 		return fmt.Errorf("seek compacted log end: %w", err)
 	}
+	l.mu.Lock()
 	old := l.f
 	l.f = f
-	old.Close()
-	l.gen++
+	l.gen = gen + 1
 	l.n = len(txs)
+	l.mu.Unlock()
+	old.Close()
 	return nil
 }
 
@@ -440,8 +453,13 @@ func (l *Log) Len() int {
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }
 
-// Close releases the file handle.
+// Close releases the file handle. It waits for the in-flight batch
+// commit (if any) to reach its barrier first, so no appender has its
+// file yanked away mid-write; requests still queued behind that batch
+// fail with ErrClosed.
 func (l *Log) Close() error {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
