@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-chaos race cover bench bench-gossip bench-store bench-all figures examples fuzz clean
+.PHONY: all build vet test test-short test-chaos test-scenarios test-scenarios-long race cover bench bench-gossip bench-store bench-scenarios bench-all figures examples fuzz clean
 
 all: build vet test
 
@@ -36,6 +36,16 @@ test-chaos:
 	$(GO) test -race -run 'TestChaosSoak|TestSupervisor' -count=1 -v ./internal/node/
 	$(GO) test -race -count=1 ./internal/chaos/
 	$(GO) test -fuzz='^FuzzReplay$$' -fuzztime=15s ./internal/store/
+
+# The scenario matrix at the 20-node CI tier (it also runs inside
+# `make test` via the package test sweep). A failing cell prints its
+# seed; replay it with BIOT_SCENARIO_SEED=<seed> make test-scenarios.
+test-scenarios:
+	$(GO) test -race -run 'TestScenarioMatrix$$|TestSpecByName' -count=1 -v ./internal/scenario/
+
+# The scenario matrix at the 100+-node tier (111 nodes per cell).
+test-scenarios-long:
+	BIOT_SCENARIO_LONG=1 $(GO) test -race -run TestScenarioMatrixLong -count=1 -timeout 30m -v ./internal/scenario/
 
 # Fast feedback loop: no race detector, skip the long soak/stress tests.
 test-short:
@@ -75,12 +85,18 @@ bench-gossip:
 bench-store:
 	$(GO) run ./cmd/biot-bench -fig store -json BENCH_store.json
 
+# The 100+-node scenario-matrix survival table alone (regenerates
+# BENCH_scenarios.json).
+bench-scenarios:
+	$(GO) run ./cmd/biot-bench -fig scenarios -json BENCH_scenarios.json
+
 # Regenerate every committed BENCH_*.json snapshot in one sweep.
 bench-all:
 	$(GO) run ./cmd/biot-bench -fig tangle -json BENCH_tangle.json
 	$(GO) run ./cmd/biot-bench -fig gossip -json BENCH_gossip.json
 	$(GO) run ./cmd/biot-bench -fig chaos -json BENCH_chaos.json
 	$(GO) run ./cmd/biot-bench -fig store -json BENCH_store.json
+	$(GO) run ./cmd/biot-bench -fig scenarios -json BENCH_scenarios.json
 
 # Regenerate every paper figure with full (Pi-emulated) parameters.
 figures:

@@ -1,0 +1,144 @@
+package attack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/pow"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// ParasiteChainResult summarizes a parasite-chain campaign.
+type ParasiteChainResult struct {
+	// HonestSpend is the attacker's public spend.
+	HonestSpend tangle.Info
+	// ParasiteSpend is the conflicting spend the side chain tries to
+	// bury into acceptance.
+	ParasiteSpend tangle.Info
+	// Links counts side-chain transactions attempted on top of the
+	// parasite spend; Accepted/Rejected split them by admission result.
+	Links    int
+	Accepted int
+	Rejected int
+}
+
+// ParasiteChain mounts the §III double-spend variant that evades lazy-
+// tip detection: the attacker publishes an honest-looking transfer,
+// then immediately re-spends the same sequence rooted at the *same*
+// pre-spend tips, and grows a self-approving side chain on top of the
+// conflicting spend — each link approves only the attacker's own
+// previous transaction instead of validating honest tips. Because
+// every parent in the chain is fresh, the tangle's stale-anchor check
+// never fires; the defence that must hold is the conflict event (the
+// credit penalty raising the attacker's difficulty) plus cumulative-
+// weight conflict resolution.
+func (a *Attacker) ParasiteChain(ctx context.Context, victim1, victim2 identity.Address, amount, seq uint64, links int) (ParasiteChainResult, error) {
+	var res ParasiteChainResult
+	trunk, branch, err := a.gw.TipsForApproval()
+	if err != nil {
+		return res, fmt.Errorf("get root tips: %w", err)
+	}
+	res.HonestSpend, err = a.buildAndSubmit(ctx, trunk, branch, txn.KindTransfer,
+		txn.EncodeTransfer(txn.Transfer{To: victim1, Amount: amount, Seq: seq}))
+	if err != nil {
+		return res, fmt.Errorf("honest spend: %w", err)
+	}
+	// The conflicting spend approves the pre-spend tips, so the side
+	// chain forks the ledger from just before the honest spend.
+	res.ParasiteSpend, err = a.buildAndSubmit(ctx, trunk, branch, txn.KindTransfer,
+		txn.EncodeTransfer(txn.Transfer{To: victim2, Amount: amount, Seq: seq}))
+	if err != nil {
+		return res, fmt.Errorf("parasite spend: %w", err)
+	}
+	prev := res.ParasiteSpend.ID
+	for i := 0; i < links; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		res.Links++
+		info, err := a.buildAndSubmit(ctx, prev, prev, txn.KindData,
+			[]byte(fmt.Sprintf("parasite link %d", i)))
+		if err != nil {
+			// The double-spend event lands between the difficulty query
+			// and admission exactly once; one refresh absorbs it.
+			if errors.Is(err, node.ErrWrongDifficulty) {
+				if info, err = a.buildAndSubmit(ctx, prev, prev, txn.KindData,
+					[]byte(fmt.Sprintf("parasite link %d retry", i))); err == nil {
+					res.Accepted++
+					prev = info.ID
+					continue
+				}
+			}
+			res.Rejected++
+			continue
+		}
+		res.Accepted++
+		prev = info.ID
+	}
+	return res, nil
+}
+
+// CreditFarmResult summarizes a credit-farming campaign.
+type CreditFarmResult struct {
+	// Colluders is the ring size; Submitted/Accepted/Rejected count the
+	// ring's micro-transactions.
+	Colluders int
+	Submitted int
+	Accepted  int
+	Rejected  int
+	// StartDifficulty is the PoW demand for a ring member before
+	// farming; EndDifficulty is the lowest demand across the ring after
+	// — the quantity the farm tries to drive to the clamp floor.
+	StartDifficulty int
+	EndDifficulty   int
+}
+
+// CreditFarm mounts a credit-farming campaign: a ring of *authorized*
+// colluding devices rapidly submits well-formed micro-transactions
+// purely to inflate their positive credit and drive their PoW
+// difficulty toward the clamp floor, banking cheap capacity for a
+// later attack. The submissions are individually honest — the defence
+// under test is the credit window itself (rolling CrP expiry and the
+// difficulty clamp), not admission.
+func CreditFarm(ctx context.Context, gw node.Gateway, worker *pow.Worker, clk clock.Clock, keys []*identity.KeyPair, perKey int) (CreditFarmResult, error) {
+	res := CreditFarmResult{Colluders: len(keys)}
+	if len(keys) == 0 {
+		return res, ErrNoAttackSurface
+	}
+	attackers := make([]*Attacker, len(keys))
+	for i, key := range keys {
+		atk, err := New(Config{Key: key, Gateway: gw, Worker: worker, Clock: clk})
+		if err != nil {
+			return res, err
+		}
+		attackers[i] = atk
+	}
+	res.StartDifficulty = gw.DifficultyFor(keys[0].Address())
+	// Round-robin so every ring member's credit window fills evenly.
+	for i := 0; i < perKey; i++ {
+		for k, atk := range attackers {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			res.Submitted++
+			_, err := atk.HonestSubmit(ctx, []byte(fmt.Sprintf("farm %d/%d", k, i)))
+			if err != nil {
+				res.Rejected++
+				continue
+			}
+			res.Accepted++
+		}
+	}
+	res.EndDifficulty = gw.DifficultyFor(keys[0].Address())
+	for _, key := range keys[1:] {
+		if d := gw.DifficultyFor(key.Address()); d < res.EndDifficulty {
+			res.EndDifficulty = d
+		}
+	}
+	return res, nil
+}

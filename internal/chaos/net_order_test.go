@@ -1,0 +1,231 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/gossip"
+)
+
+// orderSink joins a bus as name and records the first payload byte of
+// every MsgTransaction delivered to it, in arrival order.
+type orderSink struct {
+	mu  sync.Mutex
+	got []byte
+}
+
+func newOrderSink(t *testing.T, bus *gossip.Bus, name string) (*orderSink, *gossip.BusPeer) {
+	t.Helper()
+	peer, err := bus.Join(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &orderSink{}
+	peer.SetHandler(gossip.HandlerFunc(func(from string, m gossip.Message) (*gossip.Message, error) {
+		if m.Type == gossip.MsgTransaction && len(m.TxData) > 0 && len(m.TxData[0]) > 0 {
+			s.mu.Lock()
+			s.got = append(s.got, m.TxData[0][0])
+			s.mu.Unlock()
+		}
+		return &gossip.Message{}, nil
+	}))
+	return s, peer
+}
+
+func (s *orderSink) seq() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.got...)
+}
+
+func push(ctx context.Context, fn *FaultyNetwork, peer string, b byte) error {
+	_, err := fn.Request(ctx, peer, gossip.Message{
+		Type: gossip.MsgTransaction, TxData: [][]byte{{b}},
+	})
+	return err
+}
+
+// TestFaultyNetworkReorderSwapsAdjacentPushes pins the reorder
+// contract on the point-to-point push path full nodes actually use:
+// with ReorderProb=1 every odd push is absorbed (acked as in-flight)
+// and released behind the next one, so the peer observes adjacent
+// pairs swapped.
+func TestFaultyNetworkReorderSwapsAdjacentPushes(t *testing.T) {
+	bus := gossip.NewBus()
+	defer bus.Close()
+	a, _ := bus.Join("a")
+	sink, _ := newOrderSink(t, bus, "b")
+	fn := NewFaultyNetwork(a, NetFaults{ReorderProb: 1}, 1)
+
+	for i := byte(1); i <= 6; i++ {
+		if err := push(context.Background(), fn, "b", i); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	want := []byte{2, 1, 4, 3, 6, 5}
+	if got := sink.seq(); string(got) != string(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	if fn.Reordered != 3 {
+		t.Fatalf("Reordered = %d, want 3", fn.Reordered)
+	}
+}
+
+// TestFaultyNetworkBlockDropsHeldReorder pins the reorder+partition
+// composition edge: a datagram held back for reordering when the link
+// partitions must die with the partition, not sit in the buffer and
+// leak across after the link heals.
+func TestFaultyNetworkBlockDropsHeldReorder(t *testing.T) {
+	bus := gossip.NewBus()
+	defer bus.Close()
+	a, _ := bus.Join("a")
+	sink, _ := newOrderSink(t, bus, "b")
+	fn := NewFaultyNetwork(a, NetFaults{ReorderProb: 1}, 1)
+	ctx := context.Background()
+
+	if err := push(ctx, fn, "b", 1); err != nil {
+		t.Fatalf("push 1: %v", err) // absorbed into the reorder buffer
+	}
+	fn.Block("b")
+	if fn.Dropped != 1 {
+		t.Fatalf("Dropped = %d after Block, want 1 (the held datagram)", fn.Dropped)
+	}
+	fn.Unblock("b")
+	if err := push(ctx, fn, "b", 2); err != nil { // held
+		t.Fatalf("push 2: %v", err)
+	}
+	if err := push(ctx, fn, "b", 3); err != nil { // releases 2 behind it
+		t.Fatalf("push 3: %v", err)
+	}
+	// The pre-partition datagram 1 must never cross; post-partition
+	// traffic reorders normally.
+	want := []byte{3, 2}
+	if got := sink.seq(); string(got) != string(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+}
+
+// TestFaultyNetworkSyncExchangesNeverDupedOrReordered pins the
+// request-class split: synchronous exchanges own their reply, so even
+// a fault mix with certain duplication and reordering must deliver
+// them exactly once, in order.
+func TestFaultyNetworkSyncExchangesNeverDupedOrReordered(t *testing.T) {
+	bus := gossip.NewBus()
+	defer bus.Close()
+	a, _ := bus.Join("a")
+	peer, err := bus.Join("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu  sync.Mutex
+		got []byte
+	)
+	peer.SetHandler(gossip.HandlerFunc(func(from string, m gossip.Message) (*gossip.Message, error) {
+		mu.Lock()
+		got = append(got, byte(m.Offset))
+		mu.Unlock()
+		return &gossip.Message{}, nil
+	}))
+	fn := NewFaultyNetwork(a, NetFaults{DupProb: 1, ReorderProb: 1}, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := fn.Request(context.Background(), "b", gossip.Message{Type: gossip.MsgSyncRequest, Offset: uint64(i)}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if string(got) != string([]byte{0, 1, 2, 3, 4}) {
+		t.Fatalf("sync exchanges delivered %v, want in-order exactly-once", got)
+	}
+	if fn.Duplicated != 0 || fn.Reordered != 0 {
+		t.Fatalf("sync exchange faulted: dup=%d reorder=%d", fn.Duplicated, fn.Reordered)
+	}
+}
+
+// TestFaultyNetworkDelayPreservesPerPeerOrder pins the delay+dup
+// composition edge: random per-message delays shift latency but must
+// never invert a peer's stream, and duplicates arrive adjacent to
+// their original. With no drops and no reordering, collapsing adjacent
+// duplicates must therefore reproduce the send order exactly.
+func TestFaultyNetworkDelayPreservesPerPeerOrder(t *testing.T) {
+	bus := gossip.NewBus()
+	defer bus.Close()
+	a, _ := bus.Join("a")
+	sink, _ := newOrderSink(t, bus, "b")
+	fn := NewFaultyNetwork(a, NetFaults{DelayMax: 500 * time.Microsecond, DupProb: 0.4}, 7)
+	for i := byte(1); i <= 30; i++ {
+		if err := push(context.Background(), fn, "b", i); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	got := sink.seq()
+	var collapsed []byte
+	for i, b := range got {
+		if i > 0 && got[i-1] == b {
+			continue
+		}
+		collapsed = append(collapsed, b)
+	}
+	if len(collapsed) != 30 {
+		t.Fatalf("collapsed stream has %d entries, want 30: %v", len(collapsed), got)
+	}
+	for i, b := range collapsed {
+		if b != byte(i+1) {
+			t.Fatalf("delay inverted per-peer order at %d: %v", i, got)
+		}
+	}
+	if fn.Duplicated == 0 {
+		t.Fatal("dup mix degenerate: no duplicates injected")
+	}
+	if int64(len(got)) != 30+fn.Duplicated {
+		t.Fatalf("delivered %d messages with %d duplicates", len(got), fn.Duplicated)
+	}
+}
+
+// TestFaultyNetworkComposedFaultSchedulePinned drives the full
+// composed mix — drop, duplicate, delay, reorder, plus a Block window
+// mid-stream — under one fixed seed and pins the exact delivered
+// sequence. Two back-to-back runs must agree with each other AND with
+// the golden schedule: any change to how faults consume randomness or
+// compose is a visible diff here, not a silent behaviour shift.
+func TestFaultyNetworkComposedFaultSchedulePinned(t *testing.T) {
+	run := func() ([]byte, [4]int64) {
+		bus := gossip.NewBus()
+		defer bus.Close()
+		a, _ := bus.Join("a")
+		sink, _ := newOrderSink(t, bus, "b")
+		fn := NewFaultyNetwork(a, NetFaults{
+			DropProb:    0.2,
+			DupProb:     0.2,
+			DelayMax:    200 * time.Microsecond,
+			ReorderProb: 0.25,
+		}, 42)
+		ctx := context.Background()
+		for i := byte(1); i <= 30; i++ {
+			if i == 11 {
+				fn.Block("b")
+			}
+			if i == 21 {
+				fn.Unblock("b")
+			}
+			_ = push(ctx, fn, "b", i) // injected drops are the point
+		}
+		return sink.seq(), [4]int64{fn.Dropped, fn.Duplicated, fn.Delayed, fn.Reordered}
+	}
+
+	got1, c1 := run()
+	got2, c2 := run()
+	if string(got1) != string(got2) || c1 != c2 {
+		t.Fatalf("same seed diverged:\n  run1 %v %v\n  run2 %v %v", got1, c1, got2, c2)
+	}
+	want := []byte{1, 3, 5, 4, 6, 7, 9, 8, 10, 21, 22, 24, 23, 25, 25, 27, 29, 28}
+	if string(got1) != string(want) {
+		t.Fatalf("fault schedule shifted for seed 42:\n  got  %v\n  want %v", got1, want)
+	}
+	if c1[0] == 0 || c1[1] == 0 || c1[3] == 0 {
+		t.Fatalf("composed mix degenerate: drop/dup/delay/reorder = %v", c1)
+	}
+}

@@ -446,3 +446,22 @@ func TestLambdaSweepStricterPunishment(t *testing.T) {
 		t.Error("negative λ2 accepted")
 	}
 }
+
+func TestScenarioMatrixExperimentAllCellsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the CI-tier matrix runs 8 cells of 20 nodes each")
+	}
+	res, err := RunScenarioMatrix(context.Background(), QuickScenarioMatrixConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 6 {
+		t.Fatalf("matrix produced %d rows, want ≥ 6", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Converged || row.LostDurable > 0 || !row.CreditParityOK {
+			t.Errorf("cell %q: converged=%t lost=%d parity=%t",
+				row.Scenario, row.Converged, row.LostDurable, row.CreditParityOK)
+		}
+	}
+}

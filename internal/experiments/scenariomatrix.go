@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/b-iot/biot/internal/scenario"
+)
+
+// ScenarioMatrixConfig parameterizes the scenario-matrix survival
+// sweep: every named scenario (degraded wireless links, device churn
+// and mobility, revocation storms, adversarial campaigns, machine
+// carnage) runs at one tier, and each cell's pinned assertions —
+// convergence, zero admitted-transaction loss, credit-oracle parity —
+// must hold for the sweep to succeed.
+type ScenarioMatrixConfig struct {
+	// Tier selects the deployment scale: scenario.TierLong is the
+	// 100+-node acceptance snapshot (BENCH_scenarios.json),
+	// scenario.TierCI the 20-node CI reduction.
+	Tier scenario.Tier `json:"tier"`
+	// Seed drives every random choice in every cell; a failing cell
+	// replays under the same seed (BIOT_SCENARIO_SEED in the tests).
+	Seed int64 `json:"seed"`
+}
+
+// DefaultScenarioMatrixConfig is the acceptance-snapshot scale.
+func DefaultScenarioMatrixConfig() ScenarioMatrixConfig {
+	return ScenarioMatrixConfig{Tier: scenario.TierLong, Seed: 0xB107}
+}
+
+// QuickScenarioMatrixConfig is a CI-friendly reduction.
+func QuickScenarioMatrixConfig() ScenarioMatrixConfig {
+	return ScenarioMatrixConfig{Tier: scenario.TierCI, Seed: 0xB107}
+}
+
+// ScenarioMatrixResult is the full survival table, one row per cell.
+type ScenarioMatrixResult struct {
+	Config ScenarioMatrixConfig `json:"config"`
+	Rows   []scenario.Result    `json:"rows"`
+}
+
+// RunScenarioMatrix executes every scenario in the matrix at the
+// configured tier. A cell failure fails the sweep — these are the
+// repo's survival guarantees, not best-effort measurements — but the
+// failing row is still appended first so the snapshot shows how far
+// the cell got.
+func RunScenarioMatrix(ctx context.Context, cfg ScenarioMatrixConfig) (*ScenarioMatrixResult, error) {
+	res := &ScenarioMatrixResult{Config: cfg}
+	for _, spec := range scenario.Matrix(cfg.Tier) {
+		row, err := scenario.Run(ctx, spec, cfg.Seed)
+		res.Rows = append(res.Rows, row)
+		if err != nil {
+			return res, fmt.Errorf("scenario %s (seed %d): %w", spec.Name, cfg.Seed, err)
+		}
+	}
+	return res, nil
+}
+
+// Render writes the survival table in aligned columns.
+func (r *ScenarioMatrixResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Scenario matrix — %s tier, seed %d: convergence, zero admitted-loss and credit-oracle parity per cell\n",
+		r.Config.Tier, r.Config.Seed); err != nil {
+		return err
+	}
+	t := &table{header: []string{"scenario", "nodes", "admitted", "durable", "lost", "sync_rounds", "tangle", "restarts", "rejects", "parity", "elapsed_ms"}}
+	for _, row := range r.Rows {
+		parity := "ok"
+		if !row.CreditParityOK {
+			parity = fmt.Sprintf("Δ%.1g", row.MaxCreditDelta)
+		}
+		t.add(
+			row.Scenario,
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d/%d", row.Admitted, row.Submitted),
+			fmt.Sprintf("%d", row.Durable),
+			fmt.Sprintf("%d", row.LostDurable),
+			fmt.Sprintf("%d", row.SyncRounds),
+			fmt.Sprintf("%d", row.TangleSize),
+			fmt.Sprintf("%d", row.Restarts),
+			fmt.Sprintf("%d", row.Unauthorized),
+			parity,
+			fmt.Sprintf("%.0f", row.ElapsedMS),
+		)
+	}
+	return t.render(w)
+}
+
+// CSV writes the table as CSV.
+func (r *ScenarioMatrixResult) CSV(w io.Writer) error {
+	t := &table{header: []string{"scenario", "tier", "seed", "nodes", "submitted", "admitted", "submit_errors", "unauthorized_rejects", "guaranteed_durable", "lost_durable", "converged", "sync_rounds", "tangle_size", "watchdog_restarts", "credit_accounts", "credit_parity_ok", "max_credit_delta", "malicious_events", "elapsed_ms"}}
+	for _, row := range r.Rows {
+		t.add(
+			row.Scenario,
+			row.Tier,
+			fmt.Sprintf("%d", row.Seed),
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d", row.Submitted),
+			fmt.Sprintf("%d", row.Admitted),
+			fmt.Sprintf("%d", row.SubmitErrors),
+			fmt.Sprintf("%d", row.Unauthorized),
+			fmt.Sprintf("%d", row.Durable),
+			fmt.Sprintf("%d", row.LostDurable),
+			fmt.Sprintf("%t", row.Converged),
+			fmt.Sprintf("%d", row.SyncRounds),
+			fmt.Sprintf("%d", row.TangleSize),
+			fmt.Sprintf("%d", row.Restarts),
+			fmt.Sprintf("%d", row.CreditAccounts),
+			fmt.Sprintf("%t", row.CreditParityOK),
+			fmt.Sprintf("%.3g", row.MaxCreditDelta),
+			fmt.Sprintf("%d", row.MaliciousEvents),
+			fmt.Sprintf("%.1f", row.ElapsedMS))
+	}
+	return t.csv(w)
+}
+
+// JSON writes the table as a machine-readable snapshot
+// (BENCH_scenarios.json in the Makefile's bench target).
+func (r *ScenarioMatrixResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,539 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/b-iot/biot/internal/chaos"
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// GatewayHandle bundles one supervised gateway with its fault
+// injectors: the in-memory disk its journal lives on, the skewable
+// clock it stamps with, and the faulty network it gossips through
+// (rebuilt by the supervisor's Build on every restart, re-applying the
+// currently desired fault mix so a restart mid-storm stays in the
+// storm).
+type GatewayHandle struct {
+	Name  string
+	Key   *identity.KeyPair
+	Disk  *chaos.MemFS
+	Clock *chaos.SkewClock
+	Sup   *node.Supervisor
+
+	mu      sync.Mutex
+	fn      *chaos.FaultyNetwork
+	desired chaos.NetFaults
+}
+
+// SetFaults applies a fault mix to the gateway's outbound gossip, now
+// and across restarts.
+func (g *GatewayHandle) SetFaults(f chaos.NetFaults) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.desired = f
+	if g.fn != nil {
+		g.fn.SetFaults(f)
+	}
+}
+
+// HealFaults clears the gateway's gossip faults.
+func (g *GatewayHandle) HealFaults() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.desired = chaos.NetFaults{}
+	if g.fn != nil {
+		g.fn.Heal()
+	}
+}
+
+func (g *GatewayHandle) setNetwork(fn *chaos.FaultyNetwork) chaos.NetFaults {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.fn = fn
+	return g.desired
+}
+
+// DeviceHandle is one IoT device bound to the cluster through a
+// roaming gateway delegate, so scenarios can move it between gateways
+// (mobility) without rebuilding the light node.
+type DeviceHandle struct {
+	Light *node.LightNode
+	Key   *identity.KeyPair
+	roam  *roamingGateway
+}
+
+// GatewayIndex reports which gateway the device currently talks to.
+func (d *DeviceHandle) GatewayIndex() int { return int(d.roam.idx.Load()) }
+
+// roamingGateway routes a device's gateway calls to whichever gateway
+// the scenario currently binds it to, through that gateway's
+// supervisor delegate (so restarts re-resolve too).
+type roamingGateway struct {
+	c   *Cluster
+	idx atomic.Int32
+}
+
+var _ node.Gateway = (*roamingGateway)(nil)
+
+func (r *roamingGateway) gw() node.Gateway {
+	return r.c.Gateways[r.idx.Load()].Sup.Gateway()
+}
+
+func (r *roamingGateway) TipsForApproval() (hashutil.Hash, hashutil.Hash, error) {
+	return r.gw().TipsForApproval()
+}
+func (r *roamingGateway) DifficultyFor(addr identity.Address) int {
+	return r.gw().DifficultyFor(addr)
+}
+func (r *roamingGateway) GetTransaction(id hashutil.Hash) (*txn.Transaction, error) {
+	return r.gw().GetTransaction(id)
+}
+func (r *roamingGateway) Submit(ctx context.Context, t *txn.Transaction) (tangle.Info, error) {
+	return r.gw().Submit(ctx, t)
+}
+func (r *roamingGateway) TransactionsByKind(kind txn.Kind, offset int) ([]*txn.Transaction, error) {
+	return r.gw().TransactionsByKind(kind, offset)
+}
+
+// Cluster is one running deployment under a scenario: a stable manager
+// full node plus supervised gateway full nodes journaling to fault-
+// injectable disks and gossiping through per-gateway faulty networks,
+// with light-node devices bound through roaming delegates. All nodes
+// share one virtual clock; per-gateway skew layers on top of it.
+type Cluster struct {
+	Spec Spec
+	Seed int64
+
+	Clk      *clock.Virtual
+	Bus      *gossip.Bus
+	Mgr      *node.Manager
+	MgrNode  *node.FullNode
+	Gateways []*GatewayHandle
+	Devices  []*DeviceHandle
+
+	// RNG drives the harness's own schedule choices (churn victims,
+	// roam targets); derived from the scenario seed.
+	RNG *rand.Rand
+
+	phase    atomic.Int64
+	mustMu   sync.Mutex
+	mustHave map[string]bool
+
+	submitted    atomic.Int64
+	admitted     atomic.Int64
+	submitErrors atomic.Int64
+	unauthorized atomic.Int64
+
+	isolatedMu sync.Mutex
+	isolated   map[string]bool
+}
+
+// scenarioParams are the default consensus parameters for scenario
+// runs: trivial base PoW so hundreds of proofs mine instantly, with a
+// clamp ceiling low enough that a punished attacker's raised demand
+// stays mineable in-test.
+func scenarioParams() core.Params {
+	p := core.DefaultParams()
+	p.InitialDifficulty = 4
+	p.MinDifficulty = 1
+	p.MaxDifficulty = 12
+	return p
+}
+
+// newCluster builds and starts the deployment for a spec.
+func newCluster(spec Spec, seed int64) (*Cluster, error) {
+	params := spec.Params
+	if params == nil {
+		params = scenarioParams
+	}
+	c := &Cluster{
+		Spec:     spec,
+		Seed:     seed,
+		Clk:      clock.NewVirtual(time.Unix(1_700_000_000, 0)),
+		Bus:      gossip.NewBus(),
+		RNG:      rand.New(rand.NewSource(seed ^ 0x5CE4A210)),
+		mustHave: make(map[string]bool),
+		isolated: make(map[string]bool),
+	}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
+
+	mgrKey, err := identity.Generate()
+	if err != nil {
+		return fail(err)
+	}
+	mgrNet, err := c.Bus.Join("mgr")
+	if err != nil {
+		return fail(err)
+	}
+	c.MgrNode, err = node.NewFull(node.FullConfig{
+		Key:        mgrKey,
+		Role:       identity.RoleManager,
+		ManagerPub: mgrKey.Public(),
+		Credit:     params(),
+		Tangle:     spec.Tangle,
+		Clock:      c.Clk,
+		Network:    mgrNet,
+	})
+	if err != nil {
+		return fail(fmt.Errorf("manager node: %w", err))
+	}
+	c.Mgr, err = node.NewManager(c.MgrNode)
+	if err != nil {
+		return fail(err)
+	}
+
+	for i := 0; i < spec.Gateways; i++ {
+		gwKey, err := identity.Generate()
+		if err != nil {
+			return fail(err)
+		}
+		g := &GatewayHandle{
+			Name:  fmt.Sprintf("gw-%d", i),
+			Key:   gwKey,
+			Disk:  chaos.NewMemFS(seed + int64(i)),
+			Clock: chaos.NewSkewClock(c.Clk, 0, seed+1000+int64(i)),
+		}
+		netSeed := seed + 100 + int64(i)
+		sup, err := node.NewSupervisor(node.SupervisorConfig{
+			Build: func() (*node.FullNode, error) {
+				peer, err := c.Bus.Join(g.Name)
+				if err != nil {
+					return nil, err
+				}
+				fn := chaos.NewFaultyNetwork(peer, chaos.NetFaults{}, netSeed)
+				fn.SetFaults(g.setNetwork(fn))
+				n, err := node.NewFull(node.FullConfig{
+					Key:        gwKey,
+					Role:       identity.RoleGateway,
+					ManagerPub: mgrKey.Public(),
+					Credit:     params(),
+					Tangle:     spec.Tangle,
+					Clock:      g.Clock,
+					Network:    fn,
+				})
+				if err != nil {
+					fn.Close()
+					return nil, err
+				}
+				return n, nil
+			},
+			PersistPath:   g.Name + ".journal",
+			FS:            g.Disk,
+			WatchInterval: 10 * time.Millisecond,
+			BackoffBase:   5 * time.Millisecond,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		g.Sup = sup
+		if err := sup.Start(); err != nil {
+			return fail(fmt.Errorf("start %s: %v", g.Name, err))
+		}
+		c.Gateways = append(c.Gateways, g)
+	}
+
+	for d := 0; d < spec.Devices; d++ {
+		key, err := identity.Generate()
+		if err != nil {
+			return fail(err)
+		}
+		roam := &roamingGateway{c: c}
+		roam.idx.Store(int32(d % spec.Gateways))
+		light, err := node.NewLight(node.LightConfig{
+			Key:     key,
+			Gateway: roam,
+			Clock:   c.Clk,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		c.Devices = append(c.Devices, &DeviceHandle{Light: light, Key: key, roam: roam})
+		c.Mgr.AuthorizeDevice(key.Public(), key.BoxPublic())
+	}
+	ctx := context.Background()
+	if _, err := c.Mgr.PublishAuthorization(ctx); err != nil {
+		return fail(fmt.Errorf("publish authorization: %w", err))
+	}
+	if err := c.MgrNode.FlushBroadcast(ctx); err != nil {
+		return fail(err)
+	}
+	return c, nil
+}
+
+// Close tears the deployment down.
+func (c *Cluster) Close() {
+	ctx := context.Background()
+	for _, g := range c.Gateways {
+		if g.Sup != nil {
+			_ = g.Sup.Stop(ctx)
+		}
+	}
+	if c.MgrNode != nil {
+		_ = c.MgrNode.Close()
+	}
+	if c.Bus != nil {
+		_ = c.Bus.Close()
+	}
+}
+
+// MoveDevice re-binds device d to gateway gw: mobility between
+// coverage areas. Call between traffic rounds.
+func (c *Cluster) MoveDevice(d, gw int) {
+	c.Devices[d].roam.idx.Store(int32(gw))
+}
+
+// KillGateway crashes gateway i's machine: the node dies without
+// draining and, when reboot is set, the disk power-cycles too (the
+// unsynced page cache tears away).
+func (c *Cluster) KillGateway(i int, reboot bool) {
+	c.Gateways[i].Sup.Kill()
+	if reboot {
+		c.Gateways[i].Disk.Reboot()
+	}
+}
+
+// IsolateGateway partitions gateway i from every other node on the
+// bus; HealAll lifts it.
+func (c *Cluster) IsolateGateway(i int) {
+	name := c.Gateways[i].Name
+	c.Bus.Isolate(name)
+	c.isolatedMu.Lock()
+	c.isolated[name] = true
+	c.isolatedMu.Unlock()
+}
+
+// Unauthorized reports how many device submissions the authorization
+// gate rejected so far.
+func (c *Cluster) Unauthorized() int64 { return c.unauthorized.Load() }
+
+// Traffic runs one round: every device posts PerPhase readings
+// concurrently. With faultsActive, submission failures are the point
+// and are only counted; otherwise they abort the round. A transaction
+// enters the cluster's zero-loss obligation iff its submit succeeded
+// on a node instance whose journal was still verifiably healthy
+// afterwards (poison is sticky per instance, so healthy-after proves
+// the append fsynced).
+func (c *Cluster) Traffic(ctx context.Context, faultsActive bool) error {
+	phase := c.phase.Add(1)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(c.Devices))
+	for d, dev := range c.Devices {
+		wg.Add(1)
+		go func(d int, dev *DeviceHandle) {
+			defer wg.Done()
+			for i := 0; i < c.Spec.PerPhase; i++ {
+				sup := c.Gateways[dev.GatewayIndex()].Sup
+				before := sup.Node()
+				c.submitted.Add(1)
+				res, err := dev.Light.PostReading(ctx,
+					[]byte(fmt.Sprintf("%s p%d d%d i%d", c.Spec.Name, phase, d, i)))
+				if err != nil {
+					c.submitErrors.Add(1)
+					if errors.Is(err, node.ErrUnauthorizedDevice) {
+						c.unauthorized.Add(1)
+					}
+					if !faultsActive {
+						errs <- fmt.Errorf("clean phase %d device %d: %w", phase, d, err)
+						return
+					}
+					continue
+				}
+				c.admitted.Add(1)
+				after := sup.Node()
+				if before != nil && before == after && after.JournalHealthy() {
+					c.mustMu.Lock()
+					c.mustHave[res.Info.ID.String()] = true
+					c.mustMu.Unlock()
+				}
+			}
+		}(d, dev)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// HealAll returns the deployment to a fault-free topology: gossip
+// faults clear, partitions lift, crashed gateways restart, and every
+// supervisor must report ready within the deadline (watchdog healings
+// included).
+func (c *Cluster) HealAll(ctx context.Context) error {
+	c.isolatedMu.Lock()
+	for name := range c.isolated {
+		c.Bus.Restore(name)
+	}
+	c.isolated = make(map[string]bool)
+	c.isolatedMu.Unlock()
+	for _, g := range c.Gateways {
+		g.HealFaults()
+		if g.Sup.Node() == nil && g.Sup.State() == node.StateStopped {
+			if err := g.Sup.Start(); err != nil && !errors.Is(err, node.ErrSupervisorRunning) {
+				return fmt.Errorf("restart %s: %w", g.Name, err)
+			}
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for _, g := range c.Gateways {
+		for !g.Sup.Ready() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s never became ready after healing: %+v", g.Name, g.Sup.Health())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// fulls returns every live full node, manager first.
+func (c *Cluster) fulls() []*node.FullNode {
+	out := []*node.FullNode{c.MgrNode}
+	for _, g := range c.Gateways {
+		if n := g.Sup.Node(); n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func idSet(n *node.FullNode) map[string]bool {
+	set := make(map[string]bool)
+	for _, tr := range n.Tangle().Export() {
+		set[tr.ID().String()] = true
+	}
+	return set
+}
+
+func equalSets(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Converge flushes every node's fan-out pipeline, then pull-syncs the
+// cluster to a fixpoint of identical tangle ID sets. It returns the
+// number of sync rounds taken and whether the fixpoint was reached.
+func (c *Cluster) Converge(ctx context.Context) (rounds int, converged bool, err error) {
+	fulls := c.fulls()
+	if len(fulls) != c.Spec.Gateways+1 {
+		return 0, false, fmt.Errorf("only %d/%d full nodes alive", len(fulls), c.Spec.Gateways+1)
+	}
+	for _, n := range fulls {
+		if err := n.FlushBroadcast(ctx); err != nil {
+			return 0, false, fmt.Errorf("flush: %w", err)
+		}
+	}
+	const maxRounds = 40
+	for rounds = 1; rounds <= maxRounds; rounds++ {
+		for _, n := range fulls {
+			n.SyncAll(ctx)
+		}
+		ref := idSet(fulls[0])
+		same := true
+		for _, n := range fulls[1:] {
+			if !equalSets(ref, idSet(n)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return rounds, true, nil
+		}
+	}
+	return maxRounds, false, nil
+}
+
+// checkZeroLoss verifies every guaranteed-durable transaction is
+// present on the reference node (call after Converge reached the
+// fixpoint, so presence on one node is presence on all).
+func (c *Cluster) checkZeroLoss() (durable, lost int) {
+	ref := idSet(c.fulls()[0])
+	c.mustMu.Lock()
+	defer c.mustMu.Unlock()
+	for id := range c.mustHave {
+		if !ref[id] {
+			lost++
+		}
+	}
+	return len(c.mustHave), lost
+}
+
+// checkCreditParity compares every full node's incremental credit
+// evaluation against its RescanCredit oracle for every known account,
+// at the shared base instant (which is in the past for positively
+// skewed gateways — deliberately exercising the evaluator's rewind
+// path). It returns the account count of the reference node, the
+// worst relative divergence observed, and whether all nodes pass.
+func (c *Cluster) checkCreditParity() (accounts int, maxDelta float64, ok bool) {
+	now := c.Clk.Now()
+	ok = true
+	const eps = 1e-9
+	for i, n := range c.fulls() {
+		ledger := n.Engine().Ledger()
+		addrs := ledger.Nodes()
+		if i == 0 {
+			accounts = len(addrs)
+		}
+		for _, addr := range addrs {
+			oracle := ledger.RescanCredit(addr, now)
+			got := ledger.CreditOf(addr, now)
+			for _, pair := range [][2]float64{
+				{got.CrP, oracle.CrP}, {got.CrN, oracle.CrN}, {got.Cr, oracle.Cr},
+			} {
+				rel := math.Abs(pair[0]-pair[1]) / (1 + math.Abs(pair[0]) + math.Abs(pair[1]))
+				if rel > maxDelta {
+					maxDelta = rel
+				}
+				if rel > eps {
+					ok = false
+				}
+			}
+		}
+	}
+	return accounts, maxDelta, ok
+}
+
+// totalRestarts sums watchdog/explicit restarts across gateways.
+func (c *Cluster) totalRestarts() int64 {
+	var total int64
+	for _, g := range c.Gateways {
+		total += g.Sup.Restarts()
+	}
+	return total
+}
+
+// maliciousEvents counts behaviour events recorded on the reference
+// node across all accounts.
+func (c *Cluster) maliciousEvents() int {
+	ledger := c.fulls()[0].Engine().Ledger()
+	total := 0
+	for _, addr := range ledger.Nodes() {
+		total += len(ledger.Events(addr))
+	}
+	return total
+}

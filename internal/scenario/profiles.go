@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"time"
+
+	"github.com/b-iot/biot/internal/chaos"
+)
+
+// LinkProfile is a named outbound-gossip fault mix modeling one
+// wireless regime. The presets follow the qualitative regimes the
+// PBFT-for-IoT measurement study found to change consensus behaviour:
+// a clean wired baseline, a healthy WLAN, a congested WLAN, and a
+// lossy low-power wide-area link. Delays are scaled to microseconds/
+// low milliseconds so scenario wall-clock stays test-sized — the mix
+// (loss ≫ delay ≫ duplication) is what's modeled, not absolute RTTs.
+type LinkProfile struct {
+	Name   string
+	Faults chaos.NetFaults
+}
+
+// Link profiles, ordered from benign to hostile.
+var (
+	// LinkClean injects nothing: the wired-lab baseline.
+	LinkClean = LinkProfile{Name: "clean"}
+
+	// LinkWLANGood is a healthy 802.11 cell: occasional loss, small
+	// jitter, rare link-layer retransmit duplicates.
+	LinkWLANGood = LinkProfile{Name: "wlan-good", Faults: chaos.NetFaults{
+		DropProb: 0.02,
+		DupProb:  0.02,
+		DelayMax: 200 * time.Microsecond,
+	}}
+
+	// LinkWLANCongested is a saturated cell: double-digit loss,
+	// visible jitter, retransmit duplicates, and enough queueing that
+	// datagrams overtake each other.
+	LinkWLANCongested = LinkProfile{Name: "wlan-congested", Faults: chaos.NetFaults{
+		DropProb:    0.12,
+		DupProb:     0.08,
+		DelayMax:    time.Millisecond,
+		ReorderProb: 0.08,
+	}}
+
+	// LinkLPWANLossy is a long-range low-power link at the edge of its
+	// budget: heavy loss, long delays, duty-cycle-induced reordering.
+	LinkLPWANLossy = LinkProfile{Name: "lpwan-lossy", Faults: chaos.NetFaults{
+		DropProb:    0.30,
+		DupProb:     0.10,
+		DelayMax:    3 * time.Millisecond,
+		ReorderProb: 0.15,
+	}}
+)
