@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-chaos test-scenarios test-scenarios-long race cover bench bench-gossip bench-store bench-scenarios bench-all figures examples fuzz clean
+.PHONY: all build vet test test-short test-chaos test-scenarios test-scenarios-long race cover bench bench-gossip bench-store bench-scenarios bench-latency bench-all figures examples fuzz clean
 
 all: build vet test
 
@@ -25,6 +25,8 @@ test: vet
 	$(GO) test -run XXX -bench BenchmarkGossip -benchtime 20x ./internal/gossip/
 	$(GO) run ./cmd/biot-bench -fig chaos -quick
 	$(GO) run ./cmd/biot-bench -fig store -quick
+	$(GO) run ./cmd/biot-bench -fig latency -quick
+	$(GO) test -run 'TestWirePathAllocationBudget|TestSteadyStateZeroAlloc' -count=1 ./internal/txn/
 
 # The fault-injection suite in one sweep: crash-point torture over the
 # journal, the supervised multi-node chaos soak (kills, disk faults,
@@ -90,6 +92,12 @@ bench-store:
 bench-scenarios:
 	$(GO) run ./cmd/biot-bench -fig scenarios -json BENCH_scenarios.json
 
+# The open-loop admission-latency sweep alone (regenerates
+# BENCH_latency.json): offered-rate sweep with batched-verification vs
+# per-transaction baseline, coordinated-omission-safe percentiles.
+bench-latency:
+	$(GO) run ./cmd/biot-bench -fig latency -json BENCH_latency.json
+
 # Regenerate every committed BENCH_*.json snapshot in one sweep.
 bench-all:
 	$(GO) run ./cmd/biot-bench -fig tangle -json BENCH_tangle.json
@@ -97,6 +105,7 @@ bench-all:
 	$(GO) run ./cmd/biot-bench -fig chaos -json BENCH_chaos.json
 	$(GO) run ./cmd/biot-bench -fig store -json BENCH_store.json
 	$(GO) run ./cmd/biot-bench -fig scenarios -json BENCH_scenarios.json
+	$(GO) run ./cmd/biot-bench -fig latency -json BENCH_latency.json
 
 # Regenerate every paper figure with full (Pi-emulated) parameters.
 figures:

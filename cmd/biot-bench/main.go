@@ -20,6 +20,7 @@
 //	biot-bench -fig chaos              # crash recovery + replay throughput
 //	biot-bench -fig store              # group-commit journal + credit query cost
 //	biot-bench -fig scenarios          # 100+-node scenario-matrix survival table
+//	biot-bench -fig latency            # open-loop admission-latency sweep
 //	biot-bench -fig 9 -csv out.csv     # also write CSV
 //	biot-bench -fig pipeline -json BENCH_pipeline.json
 package main
@@ -42,7 +43,7 @@ type renderable interface {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, tangle, gossip, chaos, store, scenarios, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, tangle, gossip, chaos, store, scenarios, latency, all")
 	quick := flag.Bool("quick", false, "CI-scale parameters (smaller sweeps, no device emulation)")
 	csvPath := flag.String("csv", "", "also write the result as CSV to this file (single figure only)")
 	jsonPath := flag.String("json", "", "also write the result as JSON to this file (single figure only; figures that support it)")
@@ -63,7 +64,7 @@ func run(fig string, quick bool, csvPath, jsonPath string) error {
 	ctx := context.Background()
 	figs := []string{fig}
 	if fig == "all" {
-		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline", "tangle", "gossip", "chaos", "store", "scenarios"}
+		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline", "tangle", "gossip", "chaos", "store", "scenarios", "latency"}
 		if csvPath != "" {
 			return fmt.Errorf("-csv requires a single figure")
 		}
@@ -189,6 +190,12 @@ func runOne(ctx context.Context, fig string, quick bool) (renderable, error) {
 			cfg = experiments.QuickScenarioMatrixConfig()
 		}
 		return experiments.RunScenarioMatrix(ctx, cfg)
+	case "latency":
+		cfg := experiments.DefaultLatencyBenchConfig()
+		if quick {
+			cfg = experiments.QuickLatencyBenchConfig()
+		}
+		return experiments.RunLatencyBench(ctx, cfg)
 	case "scale":
 		cfg := experiments.DefaultScalabilityConfig()
 		if quick {

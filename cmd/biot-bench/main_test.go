@@ -9,7 +9,7 @@ import (
 // TestRunOneQuickFigures smoke-tests every figure the harness knows, in
 // its quick configuration, rendering to io.Discard.
 func TestRunOneQuickFigures(t *testing.T) {
-	figs := []string{"8a", "8b", "9", "security", "keydist", "lazyresist", "lambda", "gossip"}
+	figs := []string{"8a", "8b", "9", "security", "keydist", "lazyresist", "lambda", "gossip", "latency"}
 	for _, fig := range figs {
 		fig := fig
 		t.Run(fig, func(t *testing.T) {

@@ -465,3 +465,62 @@ func TestScenarioMatrixExperimentAllCellsPass(t *testing.T) {
 		}
 	}
 }
+
+// TestLatencyBenchSweep smoke-tests the open-loop latency sweep at a
+// tiny scale: both verification modes run, every transaction is
+// accounted for, quantiles are ordered, and end-to-end latency carries
+// at least the injected link delay.
+func TestLatencyBenchSweep(t *testing.T) {
+	cfg := QuickLatencyBenchConfig()
+	cfg.Rates = []float64{300}
+	cfg.TxPerRate = 30
+	cfg.Devices = 4
+	cfg.ConfirmTimeout = 15 * time.Second // race-mode headroom
+	res, err := RunLatencyBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want batched + per-tx", len(res.Rows))
+	}
+	if res.Rows[0].Mode != "batched" || res.Rows[1].Mode != "per-tx" {
+		t.Fatalf("row modes = %q, %q", res.Rows[0].Mode, res.Rows[1].Mode)
+	}
+	for _, row := range res.Rows {
+		if row.Submitted != cfg.TxPerRate {
+			t.Errorf("%s: submitted %d, want %d (open-loop runs never drop sends)",
+				row.Mode, row.Submitted, cfg.TxPerRate)
+		}
+		if row.Failed != 0 {
+			t.Errorf("%s: %d failures", row.Mode, row.Failed)
+		}
+		if row.AdmitP50 <= 0 || row.AdmitP50 > row.AdmitP99 || row.AdmitP99 > row.AdmitP999 {
+			t.Errorf("%s: admit quantiles out of order: %v %v %v",
+				row.Mode, row.AdmitP50, row.AdmitP99, row.AdmitP999)
+		}
+		if row.E2EP50 < cfg.NetLatency {
+			t.Errorf("%s: e2e p50 %v below the %v link delay", row.Mode, row.E2EP50, cfg.NetLatency)
+		}
+		if row.E2EP50 > row.E2EP99 || row.E2EP99 > row.E2EP999 {
+			t.Errorf("%s: e2e quantiles out of order", row.Mode)
+		}
+		if row.VerifyNsPerTx <= 0 {
+			t.Errorf("%s: no relay verification cost recorded", row.Mode)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil || buf.Len() == 0 {
+		t.Fatalf("render: %v (%d bytes)", err, buf.Len())
+	}
+	buf.Reset()
+	if err := res.CSV(&buf); err != nil || !strings.Contains(buf.String(), "offered_tps") {
+		t.Fatalf("csv: %v", err)
+	}
+	buf.Reset()
+	if err := res.JSON(&buf); err != nil || !strings.Contains(buf.String(), "verify_ns_per_tx") {
+		t.Fatalf("json: %v", err)
+	}
+	if _, err := RunLatencyBench(context.Background(), LatencyBenchConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}

@@ -125,7 +125,12 @@ func DecodeMessage(data []byte) (Message, error) {
 		if l > uint64(len(rest)) {
 			return Message{}, fmt.Errorf("%w: tx entry truncated", ErrBadMessage)
 		}
-		txData = append(txData, append([]byte(nil), rest[:l]...))
+		// Zero-copy: each entry aliases the input datagram (cap-clipped
+		// so appends cannot bleed into the next entry). Frames arrive in
+		// per-message buffers and txn.Decode takes its own copy, so the
+		// only cost of aliasing is keeping the datagram alive until its
+		// transactions are decoded — which the handler does immediately.
+		txData = append(txData, rest[:l:l])
 		rest = rest[l:]
 	}
 

@@ -6,6 +6,7 @@ package hashutil
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -35,6 +36,20 @@ func SumConcat(parts ...[]byte) Hash {
 	var out Hash
 	h.Sum(out[:0])
 	return out
+}
+
+// SumPow computes the paper's Eqn-6 proof-of-work output
+// hash(hash(a) || hash(b) || nonce) in a single pass over a fixed
+// stack buffer. Unlike SumConcat it allocates nothing, which is what
+// lets mining loops and relay-admission PoW checks run allocation-free.
+func SumPow(a, b Hash, nonce uint64) Hash {
+	var buf [2*Size + 8]byte
+	inner := sha256.Sum256(a[:])
+	copy(buf[:Size], inner[:])
+	inner = sha256.Sum256(b[:])
+	copy(buf[Size:2*Size], inner[:])
+	binary.BigEndian.PutUint64(buf[2*Size:], nonce)
+	return sha256.Sum256(buf[:])
 }
 
 // IsZero reports whether h is the all-zero hash.

@@ -1,0 +1,202 @@
+package identity
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha512"
+	"fmt"
+
+	"github.com/b-iot/biot/internal/identity/edwards25519"
+)
+
+// MinBatchSize is the smallest batch VerifyBatch verifies with the
+// shared-ladder equation; below it the per-signature path is at least
+// as fast (the fixed cost of the random coefficients and the Straus
+// setup outweighs the shared doublings).
+const MinBatchSize = 2
+
+// batchCoefficientBytes sizes the random coefficient drawn per
+// signature: 128 bits bounds a forged batch's acceptance probability at
+// ~2^-128, matching the curve's security level; wider buys nothing.
+const batchCoefficientBytes = 16
+
+// VerifyBatch checks n (public key, message, signature) triples
+// together. It returns nil when every signature verifies; otherwise it
+// returns a slice of length n whose entry i reports triple i's failure
+// (nil for the triples that are individually valid), so one bad
+// signature in a gossip batch still pinpoints the offender.
+//
+// The fast path verifies the whole batch with a single multi-scalar
+// equation: sample random 128-bit z_i and check
+//
+//	[Σ z_i s_i]B − Σ [z_i k_i]A_i − Σ [z_i]R_i == identity,
+//
+// which holds for any set of valid signatures and fails, except with
+// probability ~2^-128 per forged term, when any signature is invalid.
+// One pass shares the 256-step doubling ladder across every term, so a
+// batch of n costs roughly n·(two NAF tables + sparse additions)
+// instead of n independent double-scalar multiplications. When the
+// batch equation fails, each signature is re-checked with Verify — the
+// fallback is what attributes the failure, and it also guarantees the
+// accept/reject decision for invalid batches is byte-for-byte the
+// per-signature one.
+//
+// Triples whose key or signature is structurally unusable (wrong key
+// length, wrong signature length, non-canonical s, undecodable R or A)
+// are rejected up front with a typed error — ErrBadKeyLength for
+// malformed keys — and excluded from the equation; the remaining
+// triples are still batch-verified.
+func VerifyBatch(pubs []PublicKey, messages, sigs [][]byte) []error {
+	n := len(pubs)
+	if len(messages) != n || len(sigs) != n {
+		panic(fmt.Sprintf("identity: VerifyBatch length mismatch: %d keys, %d messages, %d signatures",
+			n, len(messages), len(sigs)))
+	}
+	if n == 0 {
+		return nil
+	}
+	if n < MinBatchSize {
+		return verifyEach(pubs, messages, sigs)
+	}
+
+	errs := make([]error, n)
+	failed := false
+
+	// Decode every triple into curve form, rejecting the structurally
+	// unusable ones up front. Entry i participates in the batch
+	// equation iff errs[i] is still nil afterwards.
+	As := make([]*edwards25519.Point, 0, n)
+	Rs := make([]*edwards25519.Point, 0, n)
+	ss := make([]*edwards25519.Scalar, 0, n)
+	ks := make([]*edwards25519.Scalar, 0, n)
+	live := make([]int, 0, n) // batch slot -> triple index
+	for i := 0; i < n; i++ {
+		if len(pubs[i]) != ed25519.PublicKeySize {
+			errs[i] = fmt.Errorf("%w: length %d", ErrBadKeyLength, len(pubs[i]))
+			failed = true
+			continue
+		}
+		if len(sigs[i]) != ed25519.SignatureSize {
+			errs[i] = ErrBadSignature
+			failed = true
+			continue
+		}
+		s, err := edwards25519.NewScalar().SetCanonicalBytes(sigs[i][32:])
+		if err != nil {
+			// Non-canonical s: RFC 8032 (and crypto/ed25519) reject it.
+			errs[i] = ErrBadSignature
+			failed = true
+			continue
+		}
+		A, err := new(edwards25519.Point).SetBytes(pubs[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("%w: not a curve point", ErrBadPublicKey)
+			failed = true
+			continue
+		}
+		R, err := new(edwards25519.Point).SetBytes(sigs[i][:32])
+		if err != nil {
+			// sig[:32] is not the canonical encoding of any point, while
+			// the R' a per-signature verify computes always encodes to
+			// one — the comparison cannot succeed.
+			errs[i] = ErrBadSignature
+			failed = true
+			continue
+		}
+		kh := sha512.New()
+		kh.Write(sigs[i][:32])
+		kh.Write(pubs[i])
+		kh.Write(messages[i])
+		var digest [64]byte
+		k, err := edwards25519.NewScalar().SetUniformBytes(kh.Sum(digest[:0]))
+		if err != nil {
+			errs[i] = ErrBadSignature
+			failed = true
+			continue
+		}
+		As = append(As, A)
+		Rs = append(Rs, R)
+		ss = append(ss, s)
+		ks = append(ks, k)
+		live = append(live, i)
+	}
+
+	switch {
+	case len(live) == 0:
+		return errs
+	case len(live) < MinBatchSize:
+		for _, i := range live {
+			if errs[i] = Verify(pubs[i], messages[i], sigs[i]); errs[i] != nil {
+				failed = true
+			}
+		}
+		if !failed {
+			return nil
+		}
+		return errs
+	}
+
+	// Random coefficients: one entropy read for the whole batch. If the
+	// system entropy source is unusable, fall back to per-signature
+	// verification rather than accepting a weaker equation.
+	zRaw := make([]byte, batchCoefficientBytes*len(live))
+	if _, err := rand.Read(zRaw); err != nil {
+		for _, i := range live {
+			if errs[i] = Verify(pubs[i], messages[i], sigs[i]); errs[i] != nil {
+				failed = true
+			}
+		}
+		if !failed {
+			return nil
+		}
+		return errs
+	}
+
+	// Assemble [Σ z_i s_i]B + Σ [−z_i k_i]A_i + Σ [−z_i]R_i.
+	var zBuf [32]byte
+	bScalar := edwards25519.NewScalar()
+	scalars := make([]*edwards25519.Scalar, 0, 2*len(live))
+	points := make([]*edwards25519.Point, 0, 2*len(live))
+	for slot := range live {
+		copy(zBuf[:batchCoefficientBytes], zRaw[slot*batchCoefficientBytes:])
+		z, err := edwards25519.NewScalar().SetCanonicalBytes(zBuf[:])
+		if err != nil {
+			// Unreachable: a 128-bit value is always below the group
+			// order l ≈ 2^252.
+			panic("identity: batch coefficient out of range")
+		}
+		bScalar.MultiplyAdd(z, ss[slot], bScalar)
+		zNeg := edwards25519.NewScalar().Negate(z)
+		scalars = append(scalars, edwards25519.NewScalar().Multiply(zNeg, ks[slot]), zNeg)
+		points = append(points, As[slot], Rs[slot])
+	}
+	check := new(edwards25519.Point).VarTimeMultiScalarBaseMult(bScalar, scalars, points)
+	if check.Equal(edwards25519.NewIdentityPoint()) == 1 {
+		if !failed {
+			return nil
+		}
+		return errs
+	}
+
+	// The combined equation failed: at least one signature in the batch
+	// is bad. Re-check each one individually to pinpoint the offenders
+	// (and to make the final verdict identical to Verify's).
+	for _, i := range live {
+		errs[i] = Verify(pubs[i], messages[i], sigs[i])
+	}
+	return errs
+}
+
+// verifyEach is the trivial per-signature path for degenerate batches.
+func verifyEach(pubs []PublicKey, messages, sigs [][]byte) []error {
+	var errs []error
+	for i := range pubs {
+		if err := Verify(pubs[i], messages[i], sigs[i]); err != nil {
+			if errs == nil {
+				errs = make([]error, len(pubs))
+			}
+			errs[i] = err
+		}
+	}
+	return errs
+}

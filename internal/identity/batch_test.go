@@ -1,0 +1,235 @@
+package identity
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// batchFixture builds one (pubs, messages, sigs) triple set from a
+// seeded RNG, mutating a seeded subset into corrupted / truncated /
+// short-key entries, and returns the expected per-entry validity.
+type batchCase int
+
+const (
+	caseValid batchCase = iota
+	caseCorruptSig
+	caseTruncatedSig
+	caseCorruptMessage
+	caseShortKey
+	caseWrongSigner
+	numBatchCases
+)
+
+func buildBatch(t testing.TB, rng *rand.Rand, cases []batchCase) (pubs []PublicKey, msgs, sigs [][]byte) {
+	t.Helper()
+	for i, c := range cases {
+		key, err := GenerateFrom(rng)
+		if err != nil {
+			t.Fatalf("generate key %d: %v", i, err)
+		}
+		// Mixed message sizes: empty, tiny, and up to a few KiB.
+		msg := make([]byte, rng.Intn(4096))
+		rng.Read(msg)
+		sig := key.Sign(msg)
+		pub := key.Public()
+		switch c {
+		case caseCorruptSig:
+			sig[rng.Intn(len(sig))] ^= 1 << uint(rng.Intn(8))
+		case caseTruncatedSig:
+			sig = sig[:rng.Intn(len(sig))]
+		case caseCorruptMessage:
+			if len(msg) == 0 {
+				msg = []byte{0x7F}
+			} else {
+				msg[rng.Intn(len(msg))] ^= 0x40
+			}
+		case caseShortKey:
+			pub = pub[:rng.Intn(len(pub))]
+		case caseWrongSigner:
+			other, err := GenerateFrom(rng)
+			if err != nil {
+				t.Fatalf("generate foreign key: %v", err)
+			}
+			sig = other.Sign(msg)
+		}
+		pubs = append(pubs, pub)
+		msgs = append(msgs, msg)
+		sigs = append(sigs, sig)
+	}
+	return pubs, msgs, sigs
+}
+
+// TestVerifyBatchAgreesWithVerify is the batch/single agreement
+// property: over seeded interleavings of valid, corrupted, truncated
+// and mis-keyed entries at mixed message sizes, VerifyBatch's
+// per-entry verdict must match identity.Verify exactly.
+func TestVerifyBatchAgreesWithVerify(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0xB107 + seed))
+			n := 1 + rng.Intn(48)
+			cases := make([]batchCase, n)
+			for i := range cases {
+				// Bias toward valid entries so most seeds exercise the
+				// batch-accept fast path with occasional offenders.
+				if rng.Intn(3) == 0 {
+					cases[i] = batchCase(rng.Intn(int(numBatchCases)))
+				}
+			}
+			pubs, msgs, sigs := buildBatch(t, rng, cases)
+			checkAgreement(t, pubs, msgs, sigs)
+		})
+	}
+}
+
+// TestVerifyBatchAllInvalid pins the all-offenders edge: every entry
+// must be individually attributed, none silently accepted.
+func TestVerifyBatchAllInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := make([]batchCase, 16)
+	for i := range cases {
+		cases[i] = 1 + batchCase(rng.Intn(int(numBatchCases)-1))
+	}
+	pubs, msgs, sigs := buildBatch(t, rng, cases)
+	errs := VerifyBatch(pubs, msgs, sigs)
+	if errs == nil {
+		t.Fatal("all-invalid batch verified clean")
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("entry %d (case %d): invalid entry accepted", i, cases[i])
+		}
+	}
+	checkAgreement(t, pubs, msgs, sigs)
+}
+
+// TestVerifyBatchSingleInvalidIn64 pins offender attribution in a
+// large otherwise-valid batch: exactly one entry rejected, the right
+// one.
+func TestVerifyBatchSingleInvalidIn64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := make([]batchCase, 64)
+	bad := rng.Intn(64)
+	cases[bad] = caseCorruptSig
+	pubs, msgs, sigs := buildBatch(t, rng, cases)
+	errs := VerifyBatch(pubs, msgs, sigs)
+	if errs == nil {
+		t.Fatal("batch with one corrupted signature verified clean")
+	}
+	for i, err := range errs {
+		if i == bad && err == nil {
+			t.Errorf("offender %d accepted", bad)
+		}
+		if i != bad && err != nil {
+			t.Errorf("valid entry %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestVerifyBatchAllValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 5, 64} {
+		pubs, msgs, sigs := buildBatch(t, rng, make([]batchCase, n))
+		if errs := VerifyBatch(pubs, msgs, sigs); errs != nil {
+			t.Fatalf("n=%d: valid batch rejected: %v", n, errs)
+		}
+	}
+}
+
+func TestVerifyBatchEmptyAndMismatched(t *testing.T) {
+	if errs := VerifyBatch(nil, nil, nil); errs != nil {
+		t.Fatalf("empty batch: %v", errs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched slice lengths")
+		}
+	}()
+	VerifyBatch(make([]PublicKey, 2), make([][]byte, 1), make([][]byte, 2))
+}
+
+// TestVerifyBatchShortKeyTyped pins the satellite contract: malformed
+// keys surface ErrBadKeyLength, distinguishable from ErrBadSignature.
+func TestVerifyBatchShortKeyTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cases := make([]batchCase, 8)
+	cases[3] = caseShortKey
+	cases[5] = caseCorruptSig
+	pubs, msgs, sigs := buildBatch(t, rng, cases)
+	errs := VerifyBatch(pubs, msgs, sigs)
+	if errs == nil {
+		t.Fatal("batch with short key verified clean")
+	}
+	if !errors.Is(errs[3], ErrBadKeyLength) {
+		t.Errorf("short key error = %v, want ErrBadKeyLength", errs[3])
+	}
+	if errors.Is(errs[5], ErrBadKeyLength) || errs[5] == nil {
+		t.Errorf("corrupt signature error = %v, want a non-key error", errs[5])
+	}
+	if !errors.Is(Verify(pubs[3], msgs[3], sigs[3]), ErrBadKeyLength) {
+		t.Error("identity.Verify on a short key must return ErrBadKeyLength")
+	}
+}
+
+// checkAgreement asserts VerifyBatch and Verify agree entry-by-entry.
+func checkAgreement(t *testing.T, pubs []PublicKey, msgs, sigs [][]byte) {
+	t.Helper()
+	errs := VerifyBatch(pubs, msgs, sigs)
+	for i := range pubs {
+		single := Verify(pubs[i], msgs[i], sigs[i])
+		var batch error
+		if errs != nil {
+			batch = errs[i]
+		}
+		if (single == nil) != (batch == nil) {
+			t.Errorf("entry %d: batch verdict %v, single verdict %v", i, batch, single)
+		}
+	}
+}
+
+func BenchmarkVerifySingle(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pubs, msgs, sigs := buildBatch(b, rng, make([]batchCase, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(pubs)
+		if err := Verify(pubs[j], msgs[j], sigs[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyBatch(b *testing.B) {
+	for _, n := range []int{2, 8, 16, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			pubs, msgs, sigs := buildBatch(b, rng, make([]batchCase, n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if errs := VerifyBatch(pubs, msgs, sigs); errs != nil {
+					b.Fatal("batch rejected")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/sig")
+		})
+	}
+}
+
+// Guard: a KeyPair's Sign output stays bit-stable under the batch
+// path's buffer reuse (regression guard for aliasing bugs in the
+// decode loop).
+func TestVerifyBatchDoesNotMutateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pubs, msgs, sigs := buildBatch(t, rng, make([]batchCase, 4))
+	pubCopy := append([]byte(nil), pubs[0]...)
+	sigCopy := append([]byte(nil), sigs[0]...)
+	msgCopy := append([]byte(nil), msgs[0]...)
+	VerifyBatch(pubs, msgs, sigs)
+	if !bytes.Equal(pubCopy, pubs[0]) || !bytes.Equal(sigCopy, sigs[0]) || !bytes.Equal(msgCopy, msgs[0]) {
+		t.Fatal("VerifyBatch mutated caller buffers")
+	}
+}

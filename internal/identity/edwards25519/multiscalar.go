@@ -1,0 +1,79 @@
+package edwards25519
+
+// VarTimeMultiScalarBaseMult sets v = b*B + Σ scalars[i]*points[i],
+// where B is the canonical generator, and returns v.
+//
+// It is the batch-verification workhorse: a single Straus pass shares
+// one 256-iteration doubling ladder across every term, so the marginal
+// cost of one more point is only its width-5 NAF table (8 additions)
+// plus ~51 sparse additions — versus the ~256 doublings a standalone
+// scalar multiplication would pay.
+//
+// Execution time depends on the inputs. scalars and points must have
+// equal length.
+func (v *Point) VarTimeMultiScalarBaseMult(b *Scalar, scalars []*Scalar, points []*Point) *Point {
+	if len(scalars) != len(points) {
+		panic("edwards25519: mismatched multiscalar input lengths")
+	}
+	checkInitialized(points...)
+
+	// Dynamic points get width-5 NAF tables built at runtime; the fixed
+	// basepoint reuses the precomputed width-8 table (sparser digits).
+	tables := make([]nafLookupTable5, len(points))
+	nafs := make([][256]int8, len(scalars))
+	for i, p := range points {
+		tables[i].FromP3(p)
+		nafs[i] = scalars[i].nonAdjacentForm(5)
+	}
+	basepointNafTable := basepointNafTable()
+	bNaf := b.nonAdjacentForm(8)
+
+	// Find the first nonzero coefficient across every NAF.
+	i := 255
+	for ; i >= 0; i-- {
+		nonzero := bNaf[i] != 0
+		for j := 0; !nonzero && j < len(nafs); j++ {
+			nonzero = nafs[j][i] != 0
+		}
+		if nonzero {
+			break
+		}
+	}
+
+	multA := &projCached{}
+	multB := &affineCached{}
+	tmp1 := &projP1xP1{}
+	tmp2 := &projP2{}
+	tmp2.Zero()
+
+	for ; i >= 0; i-- {
+		tmp1.Double(tmp2)
+
+		for j := range nafs {
+			if nafs[j][i] > 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(multA, nafs[j][i])
+				tmp1.Add(v, multA)
+			} else if nafs[j][i] < 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(multA, -nafs[j][i])
+				tmp1.Sub(v, multA)
+			}
+		}
+
+		if bNaf[i] > 0 {
+			v.fromP1xP1(tmp1)
+			basepointNafTable.SelectInto(multB, bNaf[i])
+			tmp1.AddAffine(v, multB)
+		} else if bNaf[i] < 0 {
+			v.fromP1xP1(tmp1)
+			basepointNafTable.SelectInto(multB, -bNaf[i])
+			tmp1.SubAffine(v, multB)
+		}
+
+		tmp2.FromP1xP1(tmp1)
+	}
+
+	v.fromP2(tmp2)
+	return v
+}

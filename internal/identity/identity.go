@@ -119,12 +119,17 @@ func (k *KeyPair) Sign(message []byte) []byte {
 var (
 	ErrBadSignature = errors.New("signature verification failed")
 	ErrBadPublicKey = errors.New("malformed public key")
+	// ErrBadKeyLength reports a public key of the wrong byte length. It
+	// is distinct from ErrBadSignature so batch-verification fallback
+	// (and its callers) can tell a malformed key from a signature that
+	// merely fails to verify.
+	ErrBadKeyLength = errors.New("public key has wrong length")
 )
 
 // Verify checks sig over message under pub.
 func Verify(pub PublicKey, message, sig []byte) error {
 	if len(pub) != ed25519.PublicKeySize {
-		return fmt.Errorf("%w: length %d", ErrBadPublicKey, len(pub))
+		return fmt.Errorf("%w: length %d", ErrBadKeyLength, len(pub))
 	}
 	if !ed25519.Verify(pub, message, sig) {
 		return ErrBadSignature

@@ -58,6 +58,13 @@ type PipelineMetrics struct {
 	// VerifyCacheHits counts gossip echoes whose repeated signature
 	// work was skipped via the verified-ID LRU.
 	VerifyCacheHits *metrics.Counter
+	// BatchVerifies counts identity.VerifyBatch calls on the inbound
+	// path; BatchVerified counts the signatures they settled (ratio =
+	// mean batch size). BatchFallbacks counts batches whose combined
+	// equation failed and fell back to per-signature attribution.
+	BatchVerifies  *metrics.Counter
+	BatchVerified  *metrics.Counter
+	BatchFallbacks *metrics.Counter
 	// OrphanSyncs counts inbound batches that triggered the (single)
 	// per-batch sync round-trip for missing parents.
 	OrphanSyncs *metrics.Counter
@@ -79,6 +86,9 @@ func newPipelineMetrics() PipelineMetrics {
 		VerifyBusy:       &metrics.Gauge{},
 		VerifyPeak:       &metrics.Gauge{},
 		VerifyCacheHits:  &metrics.Counter{},
+		BatchVerifies:    &metrics.Counter{},
+		BatchVerified:    &metrics.Counter{},
+		BatchFallbacks:   &metrics.Counter{},
 		OrphanSyncs:      &metrics.Counter{},
 		SyncPages:        &metrics.Counter{},
 	}

@@ -97,6 +97,13 @@ type FullConfig struct {
 	// flush.
 	JournalMaxBatch int
 	JournalMaxDelay time.Duration
+
+	// DisableBatchVerify forces the inbound gossip path back to one
+	// Ed25519 verification per transaction instead of settling each
+	// batch's signatures with one shared-ladder VerifyBatch equation.
+	// It exists as the measured baseline for the latency harness; there
+	// is no reason to set it in a deployment.
+	DisableBatchVerify bool
 }
 
 func (c *FullConfig) withDefaults() (FullConfig, error) {

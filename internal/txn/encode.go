@@ -42,18 +42,71 @@ var (
 	errInternalEncode = errors.New("internal encoding inconsistency")
 )
 
-// Encode returns the full canonical encoding, including nonce and
-// signature. ID() is the SHA-256 of this byte string.
-func (t *Transaction) Encode() []byte {
-	return t.encode(true)
+// wireCache is one immutable snapshot of a transaction's canonical
+// encoding, shared through Transaction.cache (an atomic pointer) so
+// concurrent readers never re-serialize and never race. The nonce bytes
+// at enc[signingLen:signingLen+8] are the only field the protocol
+// legitimately mutates after the first encode (PoW runs after signing,
+// Fig 6); ensureCache detects a changed Nonce and rebuilds.
+type wireCache struct {
+	enc        []byte        // full canonical encoding
+	signingLen int           // length of the SigningBytes prefix within enc
+	id         hashutil.Hash // SHA-256 of enc, once computed
+	idValid    bool
 }
 
-func (t *Transaction) encode(full bool) []byte {
+// ensureCache returns a cache snapshot whose encoding matches the
+// transaction's current fields, building one on first use. Fields
+// other than Nonce must not be mutated after the first
+// Encode/ID/SigningBytes/VerifyBasic call — Sign and Invalidate reset
+// the cache; direct mutation of any other field afterwards is a
+// contract violation (Clone first, or call Invalidate).
+func (t *Transaction) ensureCache() *wireCache {
+	if c := t.cache.Load(); c != nil &&
+		binary.BigEndian.Uint64(c.enc[c.signingLen:]) == t.Nonce {
+		return c
+	}
+	c := &wireCache{enc: t.appendEncode(nil, true)}
+	c.signingLen = len(c.enc) - 8 - 2 - len(t.Signature)
+	t.cache.Store(c)
+	return c
+}
+
+// Encode returns the full canonical encoding, including nonce and
+// signature. ID() is the SHA-256 of this byte string.
+//
+// The returned slice is the transaction's cached encoding: treat it as
+// read-only and use AppendEncode for a private copy.
+func (t *Transaction) Encode() []byte {
+	return t.ensureCache().enc
+}
+
+// AppendEncode appends the full canonical encoding to dst and returns
+// the extended slice, reusing the cached encoding when present. It is
+// the allocation-free path for callers assembling wire messages or
+// journal records into their own buffers.
+func (t *Transaction) AppendEncode(dst []byte) []byte {
+	return append(dst, t.ensureCache().enc...)
+}
+
+// Invalidate drops the cached canonical encoding. Callers that mutate
+// transaction fields directly (tests, attack harnesses) after an
+// encode-path call must invalidate before re-encoding or re-verifying;
+// the protocol itself never needs it (Sign invalidates, and Nonce
+// changes are tracked).
+func (t *Transaction) Invalidate() {
+	t.cache.Store(nil)
+}
+
+// appendEncode serializes from the struct fields, bypassing the cache.
+func (t *Transaction) appendEncode(buf []byte, full bool) []byte {
 	size := 2 + 1 + 1 + hashutil.Size*2 + 8 + 2 + len(t.Issuer) + 4 + len(t.Payload)
 	if full {
 		size += 8 + 2 + len(t.Signature)
 	}
-	buf := make([]byte, 0, size)
+	if buf == nil {
+		buf = make([]byte, 0, size)
+	}
 	buf = binary.BigEndian.AppendUint16(buf, wireMagic)
 	buf = append(buf, wireVersion, byte(t.Kind))
 	buf = append(buf, t.Trunk[:]...)
@@ -113,8 +166,17 @@ func (d *decoder) uint64() (uint64, error) {
 }
 
 // Decode parses a full canonical encoding produced by Encode.
+//
+// The wire format is positional, so the input IS the canonical
+// encoding: Decode copies it once, seeds the transaction's encoding
+// cache with that copy, and sub-slices Issuer, Payload and Signature
+// from it — one buffer allocation for the whole transaction, and
+// ID/Encode/SigningBytes/VerifyBasic never re-serialize. The decoded
+// transaction's byte-slice fields alias the cache; Clone before
+// mutating them.
 func Decode(data []byte) (*Transaction, error) {
-	d := &decoder{data: data}
+	owned := append([]byte(nil), data...)
+	d := &decoder{data: owned}
 	magic, err := d.uint16()
 	if err != nil {
 		return nil, err
@@ -153,7 +215,7 @@ func Decode(data []byte) (*Transaction, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Issuer = append(identity.PublicKey(nil), issuer...)
+	t.Issuer = identity.PublicKey(issuer)
 	payloadLen, err := d.uint32()
 	if err != nil {
 		return nil, err
@@ -165,7 +227,8 @@ func Decode(data []byte) (*Transaction, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Payload = append([]byte(nil), payload...)
+	t.Payload = payload
+	signingLen := d.off
 	if t.Nonce, err = d.uint64(); err != nil {
 		return nil, err
 	}
@@ -177,9 +240,14 @@ func Decode(data []byte) (*Transaction, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Signature = append([]byte(nil), sig...)
+	t.Signature = sig
 	if d.remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTrailingBytes, d.remaining())
 	}
+	// The input was parsed positionally start to finish, so owned is
+	// bit-identical to what re-encoding the fields would produce: seed
+	// the cache and the wire path never serializes this transaction
+	// again.
+	t.cache.Store(&wireCache{enc: owned, signingLen: signingLen})
 	return t, nil
 }

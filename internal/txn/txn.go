@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/b-iot/biot/internal/hashutil"
@@ -90,13 +91,30 @@ type Transaction struct {
 	Nonce uint64
 	// Signature is the issuer's Ed25519 signature over SigningBytes.
 	Signature []byte
+
+	// cache holds the canonical encoding (and its SHA-256) so the wire
+	// path — decode, verify, ID, re-encode — serializes each
+	// transaction at most once. See wireCache in encode.go for the
+	// mutation contract. An atomic pointer rather than a mutex: cache
+	// fills are idempotent, and concurrent readers (gossip fan-out,
+	// sync pages, verification pool) must never block each other.
+	cache atomic.Pointer[wireCache]
 }
 
 // ID returns the transaction identity: the SHA-256 digest of the full
 // canonical encoding (parents, issuer, timestamp, payload, nonce,
-// signature). Any mutation changes the ID.
+// signature). Any mutation changes the ID. The digest is computed once
+// per encoding and cached.
 func (t *Transaction) ID() hashutil.Hash {
-	return hashutil.Sum(t.Encode())
+	c := t.ensureCache()
+	if c.idValid {
+		return c.id
+	}
+	// Publish a fresh snapshot rather than writing into the shared one:
+	// a concurrent reader may hold c.
+	withID := &wireCache{enc: c.enc, signingLen: c.signingLen, id: hashutil.Sum(c.enc), idValid: true}
+	t.cache.Store(withID)
+	return withID.id
 }
 
 // Sender returns the issuing account's address.
@@ -105,13 +123,11 @@ func (t *Transaction) Sender() identity.Address {
 }
 
 // PowDigest computes the Eqn-6 output for the transaction's parents and
-// the given nonce.
+// the given nonce. Single-pass over a fixed stack buffer: no heap
+// allocation per attempt, which matters both in mining loops and on the
+// relay admission path that re-checks every gossiped transaction.
 func PowDigest(trunk, branch hashutil.Hash, nonce uint64) hashutil.Hash {
-	var nb [8]byte
-	binary.BigEndian.PutUint64(nb[:], nonce)
-	inner1 := hashutil.Sum(trunk[:])
-	inner2 := hashutil.Sum(branch[:])
-	return hashutil.SumConcat(inner1[:], inner2[:], nb[:])
+	return hashutil.SumPow(trunk, branch, nonce)
 }
 
 // PowDigest returns the Eqn-6 output for this transaction's own nonce.
@@ -123,15 +139,23 @@ func (t *Transaction) PowDigest() hashutil.Hash {
 // signature: everything except the nonce and the signature itself. The
 // nonce is excluded because proof-of-work is computed after signing
 // (paper Fig 6 steps 4-5: validate tips, then bundle via PoW).
+//
+// It is the prefix of the full canonical encoding, so a cached
+// transaction pays nothing here. The returned slice aliases the cache;
+// treat it as read-only.
 func (t *Transaction) SigningBytes() []byte {
-	return t.encode(false)
+	c := t.ensureCache()
+	return c.enc[:c.signingLen]
 }
 
 // Sign signs the transaction with key and stores the signature. The
 // issuer field is set from the key; callers sign before running PoW.
+// Sign resets the encoding cache: it changes Issuer and Signature, and
+// the signing prefix must be serialized from the updated fields.
 func (t *Transaction) Sign(key *identity.KeyPair) {
+	t.cache.Store(nil)
 	t.Issuer = key.Public()
-	t.Signature = key.Sign(t.SigningBytes())
+	t.Signature = key.Sign(t.appendEncode(nil, false))
 }
 
 // Validation errors. They are matched by gateways to decide whether a
@@ -147,10 +171,11 @@ var (
 	ErrGenesisParents   = errors.New("genesis transaction must reference zero parents")
 )
 
-// VerifyBasic checks structural integrity and the issuer signature. It
-// does not check proof-of-work (difficulty is per-node under the
-// credit-based mechanism; see VerifyPoW) nor ledger semantics.
-func (t *Transaction) VerifyBasic() error {
+// VerifyStructure checks everything VerifyBasic does except the
+// signature: issuer presence, payload kind and size, and parent shape.
+// The batch-verification path runs it per transaction and then settles
+// all the signatures with one identity.VerifyBatch call.
+func (t *Transaction) VerifyStructure() error {
 	if len(t.Issuer) == 0 {
 		return ErrNoIssuer
 	}
@@ -169,6 +194,20 @@ func (t *Transaction) VerifyBasic() error {
 			return ErrMissingParents
 		}
 	}
+	return nil
+}
+
+// VerifyBasic checks structural integrity and the issuer signature. It
+// does not check proof-of-work (difficulty is per-node under the
+// credit-based mechanism; see VerifyPoW) nor ledger semantics.
+//
+// The signature is checked against the cached canonical encoding's
+// signing prefix — one serialization per transaction no matter how
+// often it is verified, identified or re-encoded.
+func (t *Transaction) VerifyBasic() error {
+	if err := t.VerifyStructure(); err != nil {
+		return err
+	}
 	if err := identity.Verify(t.Issuer, t.SigningBytes(), t.Signature); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadTxSignature, err)
 	}
@@ -185,11 +224,25 @@ func (t *Transaction) VerifyPoW(difficulty int) error {
 	return nil
 }
 
-// Clone returns a deep copy of the transaction.
+// Clone returns a deep copy of the transaction: every byte-slice field
+// is freshly allocated, so mutating either side never corrupts the
+// other. When the original carries a current encoding cache the clone
+// shares that snapshot — wireCache values are immutable (a nonce change
+// replaces the snapshot, never patches it), so sharing is safe and the
+// clone inherits the already-computed encoding and ID for free.
 func (t *Transaction) Clone() *Transaction {
-	cp := *t
-	cp.Issuer = append(identity.PublicKey(nil), t.Issuer...)
-	cp.Payload = append([]byte(nil), t.Payload...)
-	cp.Signature = append([]byte(nil), t.Signature...)
-	return &cp
+	cp := &Transaction{
+		Trunk:     t.Trunk,
+		Branch:    t.Branch,
+		Issuer:    append(identity.PublicKey(nil), t.Issuer...),
+		Timestamp: t.Timestamp,
+		Kind:      t.Kind,
+		Payload:   append([]byte(nil), t.Payload...),
+		Nonce:     t.Nonce,
+		Signature: append([]byte(nil), t.Signature...),
+	}
+	if c := t.cache.Load(); c != nil && binary.BigEndian.Uint64(c.enc[c.signingLen:]) == t.Nonce {
+		cp.cache.Store(c)
+	}
+	return cp
 }
