@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-chaos test-scenarios test-scenarios-long race cover bench bench-gossip bench-store bench-scenarios bench-latency bench-all figures examples fuzz clean
+.PHONY: all build vet test test-short test-chaos test-scenarios test-scenarios-long race cover bench bench-gossip bench-store bench-scenarios bench-latency bench-mem bench-all figures examples fuzz clean
 
 all: build vet test
 
@@ -26,7 +26,9 @@ test: vet
 	$(GO) run ./cmd/biot-bench -fig chaos -quick
 	$(GO) run ./cmd/biot-bench -fig store -quick
 	$(GO) run ./cmd/biot-bench -fig latency -quick
+	$(GO) run ./cmd/biot-bench -fig mem -quick
 	$(GO) test -run 'TestWirePathAllocationBudget|TestSteadyStateZeroAlloc' -count=1 ./internal/txn/
+	$(GO) test -race -run 'TestResidentVerticesStayBounded' -count=1 ./internal/tangle/
 
 # The fault-injection suite in one sweep: crash-point torture over the
 # journal, the supervised multi-node chaos soak (kills, disk faults,
@@ -98,6 +100,12 @@ bench-scenarios:
 bench-latency:
 	$(GO) run ./cmd/biot-bench -fig latency -json BENCH_latency.json
 
+# The bounded-memory figure alone (regenerates BENCH_mem.json):
+# steady-state resident/heap vs ledger lifetime with and without epoch
+# snapshots, plus snapshot-bootstrap vs full-replay join time.
+bench-mem:
+	$(GO) run ./cmd/biot-bench -fig mem -json BENCH_mem.json
+
 # Regenerate every committed BENCH_*.json snapshot in one sweep.
 bench-all:
 	$(GO) run ./cmd/biot-bench -fig tangle -json BENCH_tangle.json
@@ -106,6 +114,7 @@ bench-all:
 	$(GO) run ./cmd/biot-bench -fig store -json BENCH_store.json
 	$(GO) run ./cmd/biot-bench -fig scenarios -json BENCH_scenarios.json
 	$(GO) run ./cmd/biot-bench -fig latency -json BENCH_latency.json
+	$(GO) run ./cmd/biot-bench -fig mem -json BENCH_mem.json
 
 # Regenerate every paper figure with full (Pi-emulated) parameters.
 figures:

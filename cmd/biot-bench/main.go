@@ -21,6 +21,7 @@
 //	biot-bench -fig store              # group-commit journal + credit query cost
 //	biot-bench -fig scenarios          # 100+-node scenario-matrix survival table
 //	biot-bench -fig latency            # open-loop admission-latency sweep
+//	biot-bench -fig mem                # bounded-memory ledger + snapshot join time
 //	biot-bench -fig 9 -csv out.csv     # also write CSV
 //	biot-bench -fig pipeline -json BENCH_pipeline.json
 package main
@@ -43,7 +44,7 @@ type renderable interface {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, tangle, gossip, chaos, store, scenarios, latency, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, tangle, gossip, chaos, store, scenarios, latency, mem, all")
 	quick := flag.Bool("quick", false, "CI-scale parameters (smaller sweeps, no device emulation)")
 	csvPath := flag.String("csv", "", "also write the result as CSV to this file (single figure only)")
 	jsonPath := flag.String("json", "", "also write the result as JSON to this file (single figure only; figures that support it)")
@@ -64,7 +65,7 @@ func run(fig string, quick bool, csvPath, jsonPath string) error {
 	ctx := context.Background()
 	figs := []string{fig}
 	if fig == "all" {
-		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline", "tangle", "gossip", "chaos", "store", "scenarios", "latency"}
+		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline", "tangle", "gossip", "chaos", "store", "scenarios", "latency", "mem"}
 		if csvPath != "" {
 			return fmt.Errorf("-csv requires a single figure")
 		}
@@ -196,6 +197,12 @@ func runOne(ctx context.Context, fig string, quick bool) (renderable, error) {
 			cfg = experiments.QuickLatencyBenchConfig()
 		}
 		return experiments.RunLatencyBench(ctx, cfg)
+	case "mem":
+		cfg := experiments.DefaultMemBenchConfig()
+		if quick {
+			cfg = experiments.QuickMemBenchConfig()
+		}
+		return experiments.RunMemBench(ctx, cfg)
 	case "scale":
 		cfg := experiments.DefaultScalabilityConfig()
 		if quick {

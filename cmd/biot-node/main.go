@@ -59,6 +59,7 @@ func run() error {
 		journalDelay = flag.Duration("journal-delay", 0, "how long the journal commit leader lingers for a fuller batch (0 = flush immediately)")
 		withQuality  = flag.Bool("quality", false, "enable sensor data quality control on plaintext readings")
 		snapshotKeep = flag.Duration("snapshot-keep", 0, "compact the ledger periodically, keeping this much history (0 = never)")
+		snapshotInterval = flag.Duration("snapshot-interval", 0, "quantize compaction cutoffs to this epoch so all gateways cut at the same boundary (0 = unaligned)")
 		keyfile      = flag.String("keyfile", "", "not yet supported; reserved for persisted node identity")
 	)
 	flag.Parse()
@@ -118,6 +119,7 @@ func run() error {
 
 			JournalMaxBatch: *journalBatch,
 			JournalMaxDelay: *journalDelay,
+			SnapshotEpoch:   *snapshotInterval,
 		})
 		if err != nil {
 			net.Close()
@@ -128,7 +130,12 @@ func run() error {
 
 	compactEvery := time.Duration(0)
 	if *snapshotKeep > 0 {
+		// Compact twice per keep window by default; with epoch-aligned
+		// cuts, once per epoch is enough (the cutoff only moves then).
 		compactEvery = *snapshotKeep / 2
+		if *snapshotInterval > 0 {
+			compactEvery = *snapshotInterval
+		}
 	}
 	sup, err := node.NewSupervisor(node.SupervisorConfig{
 		Build:         build,
@@ -174,9 +181,15 @@ func run() error {
 			fmt.Printf("  authorized:  %d device(s)\n", len(splitList(*authorize)))
 		}
 	} else {
-		// Joining gateway: pull history from peers.
-		full.SyncAll(context.Background())
-		fmt.Printf("  synced:      %d transactions\n", full.Tangle().Size())
+		// Joining gateway: snapshot-shipped bootstrap when a peer can
+		// serve one (O(frontier) join), full paged replay otherwise.
+		stats, err := full.Bootstrap(context.Background())
+		if err != nil {
+			fmt.Printf("  bootstrap:   failed (%v); continuing with live gossip\n", err)
+		} else {
+			fmt.Printf("  joined:      %s mode from %q — %d boundary roots, %d live txs in %v\n",
+				stats.Mode, stats.Peer, stats.Boundary, full.Tangle().Size(), stats.Elapsed.Round(time.Millisecond))
+		}
 	}
 
 	// The RPC server re-resolves the node per request, so a watchdog

@@ -225,6 +225,18 @@ func (b *Builder) RegisterGateway(pub identity.PublicKey) {
 	b.gateways[identity.EncodePublic(pub)] = struct{}{}
 }
 
+// SeedSeq raises the builder's sequence so the next list supersedes an
+// already-applied one. A restarted manager replays its own published
+// lists out of the journal (they are retained across snapshots); its
+// next list must continue that sequence, not collide with it.
+func (b *Builder) SeedSeq(seq uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if seq > b.seq {
+		b.seq = seq
+	}
+}
+
 // Next produces the next List payload, bumping the sequence.
 func (b *Builder) Next() List {
 	b.mu.Lock()

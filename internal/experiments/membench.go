@@ -1,0 +1,580 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/b-iot/biot/internal/chaos"
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/store"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// MemBenchConfig parameterizes the memory-footprint benchmark. Section
+// A ages a tangle through many multiples of the keep window under
+// continuous traffic — once with epoch snapshots + a cold index, once
+// without — and samples resident vertices and post-GC heap at each
+// lifetime checkpoint: the pruned curve must plateau while the unpruned
+// one grows linearly with history. Section B ages a small deployment,
+// compacts the serving gateway, and times a fresh gateway's
+// snapshot-shipped join against full paged replay from an unpruned
+// peer, verifying the two joins converge on the same live region and
+// the same per-device difficulty.
+type MemBenchConfig struct {
+	// Keep is the history window a pruning node retains.
+	Keep time.Duration
+	// Step is the virtual time between consecutive transactions, so
+	// Keep/Step transactions span one keep window.
+	Step time.Duration
+	// Checkpoints lists the lifetime multiples (units of the keep
+	// window) at which memory is sampled; the run lasts to the largest.
+	Checkpoints []int
+
+	// JoinDevices and JoinRounds size the Section-B deployment: devices
+	// each post one reading per round, rounds are JoinStep apart.
+	JoinDevices int
+	JoinRounds  int
+	// JoinStep is the virtual time between Section-B rounds.
+	JoinStep time.Duration
+	// JoinKeep is the serving gateway's keep window.
+	JoinKeep time.Duration
+	// Difficulty is the PoW difficulty devices solve in Section B.
+	Difficulty int
+
+	// Seed drives the in-memory disk under the cold index.
+	Seed int64
+}
+
+// DefaultMemBenchConfig is the acceptance-snapshot scale
+// (BENCH_mem.json): steady state to 25× the keep window, a join over
+// ~30× more history than frontier.
+func DefaultMemBenchConfig() MemBenchConfig {
+	return MemBenchConfig{
+		Keep:        5 * time.Minute,
+		Step:        time.Second,
+		Checkpoints: []int{1, 5, 10, 20, 25},
+		JoinDevices: 6,
+		JoinRounds:  300,
+		JoinStep:    time.Minute,
+		JoinKeep:    5 * time.Minute,
+		Difficulty:  4,
+		Seed:        0x4D454D,
+	}
+}
+
+// QuickMemBenchConfig is a CI-friendly reduction (smaller history, no
+// headline ratios to honor).
+func QuickMemBenchConfig() MemBenchConfig {
+	return MemBenchConfig{
+		Keep:        time.Minute,
+		Step:        time.Second,
+		Checkpoints: []int{1, 5, 10, 20},
+		JoinDevices: 3,
+		JoinRounds:  40,
+		JoinStep:    time.Minute,
+		JoinKeep:    5 * time.Minute,
+		Difficulty:  4,
+		Seed:        0x4D454D,
+	}
+}
+
+// MemSample is one steady-state checkpoint.
+type MemSample struct {
+	// Multiple is the lifetime in keep windows.
+	Multiple int `json:"multiple"`
+	// History is the total transactions attached so far.
+	History int `json:"history"`
+	// Resident is the tangle's live vertex count.
+	Resident int `json:"resident_vertices"`
+	// Boundary is the boundary-root set size (pruned mode only).
+	Boundary int `json:"boundary_roots"`
+	// Cold is the distinct pruned-transaction count.
+	Cold int `json:"cold_total"`
+	// ColdIndexBytes is the on-disk cold-index footprint. The bench
+	// disk is in-memory, so these bytes show up in HeapBytes too; on a
+	// real node they live on disk.
+	ColdIndexBytes int64 `json:"cold_index_bytes"`
+	// HeapBytes is post-GC runtime heap in use.
+	HeapBytes uint64 `json:"heap_inuse_bytes"`
+}
+
+// MemSteadySummary is the Section-A headline: growth from the first
+// checkpoint to the last, per mode.
+type MemSteadySummary struct {
+	// PrunedResidentGrowth is last/first resident vertices with
+	// pruning — the flat line (≈1).
+	PrunedResidentGrowth float64 `json:"pruned_resident_growth"`
+	// UnprunedResidentGrowth is the same ratio without pruning — grows
+	// with the checkpoint span.
+	UnprunedResidentGrowth float64 `json:"unpruned_resident_growth"`
+	// PrunedHeapGrowth is last/first post-GC heap with pruning, cold
+	// index bytes excluded (they are disk on a real node).
+	PrunedHeapGrowth float64 `json:"pruned_heap_growth"`
+	// UnprunedHeapGrowth is the same ratio without pruning.
+	UnprunedHeapGrowth float64 `json:"unpruned_heap_growth"`
+}
+
+// MemJoin is the Section-B comparison.
+type MemJoin struct {
+	// HistoryTx is the unpruned peer's total history; LiveTx is the
+	// pruned gateway's live region — the snapshot join's working set.
+	HistoryTx int `json:"history_tx"`
+	LiveTx    int `json:"live_tx"`
+	// BoundaryRoots and CreditSeeded describe the shipped manifest.
+	BoundaryRoots int `json:"boundary_roots"`
+	CreditSeeded  int `json:"credit_seeded"`
+	// SnapshotMs and ReplayMs are wall-clock join times; Speedup is
+	// replay over snapshot.
+	SnapshotMs float64 `json:"snapshot_ms"`
+	ReplayMs   float64 `json:"replay_ms"`
+	Speedup    float64 `json:"speedup"`
+	// Identical: the snapshot joiner's live region is byte-identical
+	// to the serving gateway's.
+	Identical bool `json:"identical"`
+	// CreditParity: the joiner's incremental credit matches a full
+	// rescan for every known account.
+	CreditParity bool `json:"credit_parity"`
+	// DifficultyAgree: serving peer, snapshot joiner, and replay
+	// joiner derive the same difficulty for every device.
+	DifficultyAgree bool `json:"difficulty_agree"`
+}
+
+// MemBenchResult is the full memory-footprint comparison.
+type MemBenchResult struct {
+	Config   MemBenchConfig   `json:"config"`
+	Pruned   []MemSample      `json:"pruned"`
+	Unpruned []MemSample      `json:"unpruned"`
+	Summary  MemSteadySummary `json:"summary"`
+	Join     MemJoin          `json:"join"`
+}
+
+// runMemSteady ages one tangle to the last checkpoint, sampling at each.
+// A linear chain under epoch snapshots is the worst case for the
+// boundary set staying O(frontier): every window has exactly one root.
+func runMemSteady(ctx context.Context, cfg MemBenchConfig, pruned bool) ([]MemSample, error) {
+	key, err := identity.Generate()
+	if err != nil {
+		return nil, err
+	}
+	vc := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	tcfg := tangle.DefaultConfig()
+	tcfg.ConfirmationWeight = 3
+	tg, err := tangle.New(tcfg, key.Public(), vc)
+	if err != nil {
+		return nil, err
+	}
+	var cold *store.ColdIndex
+	if pruned {
+		fs := chaos.NewMemFS(cfg.Seed)
+		cold, err = store.OpenColdIndex(fs, "membench.cold")
+		if err != nil {
+			return nil, err
+		}
+		defer cold.Close()
+		if err := tg.SetColdStore(cold); err != nil {
+			return nil, err
+		}
+	}
+
+	perWindow := int(cfg.Keep / cfg.Step)
+	if perWindow < 1 {
+		return nil, fmt.Errorf("keep %v shorter than step %v", cfg.Keep, cfg.Step)
+	}
+	sample := func(multiple, history int) MemSample {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s := MemSample{
+			Multiple:  multiple,
+			History:   history,
+			Resident:  tg.Size(),
+			Boundary:  tg.BoundaryCount(),
+			Cold:      tg.SnapshottedCount(),
+			HeapBytes: ms.HeapInuse,
+		}
+		if cold != nil {
+			s.ColdIndexBytes = cold.Bytes()
+		}
+		return s
+	}
+
+	var out []MemSample
+	last := tg.Genesis()[0]
+	history := 0
+	next := 0
+	for window := 1; window <= cfg.Checkpoints[len(cfg.Checkpoints)-1]; window++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < perWindow; i++ {
+			vc.Advance(cfg.Step)
+			tx := &txn.Transaction{
+				Trunk:     last,
+				Branch:    last,
+				Timestamp: vc.Now(),
+				Kind:      txn.KindData,
+				Issuer:    key.Public(),
+				Payload:   []byte(fmt.Sprintf("mem-%d", history)),
+			}
+			info, err := tg.Attach(tx)
+			if err != nil {
+				return nil, fmt.Errorf("attach %d: %w", history, err)
+			}
+			last = info.ID
+			history++
+		}
+		if pruned {
+			tg.SnapshotEpoch(vc.Now(), cfg.Keep, cfg.Keep)
+		}
+		if next < len(cfg.Checkpoints) && window == cfg.Checkpoints[next] {
+			out = append(out, sample(window, history))
+			next++
+		}
+	}
+	return out, nil
+}
+
+// memJoinCluster is the Section-B deployment: an unpruned manager (the
+// full-replay peer), a pruning gateway (the snapshot peer), and devices
+// posting through the gateway. Everything shares one virtual clock so
+// credit derivation is identical on every node.
+type memJoinCluster struct {
+	bus     *gossip.Bus
+	clk     *clock.Virtual
+	params  core.Params
+	mgrKey  *identity.KeyPair
+	mgr     *node.Manager
+	gateway *node.FullNode
+	devices []*node.LightNode
+}
+
+func (c *memJoinCluster) close() {
+	if c.gateway != nil {
+		c.gateway.Close()
+	}
+	if c.mgr != nil {
+		c.mgr.Node().Close()
+	}
+	if c.bus != nil {
+		c.bus.Close()
+	}
+}
+
+func (c *memJoinCluster) join(name string) (*node.FullNode, error) {
+	key, err := identity.Generate()
+	if err != nil {
+		return nil, err
+	}
+	net, err := c.bus.Join(name)
+	if err != nil {
+		return nil, err
+	}
+	return node.NewFull(node.FullConfig{
+		Key:        key,
+		Role:       identity.RoleGateway,
+		ManagerPub: c.mgrKey.Public(),
+		Credit:     c.params,
+		Clock:      c.clk,
+		Network:    net,
+	})
+}
+
+func buildMemJoinCluster(ctx context.Context, cfg MemBenchConfig) (*memJoinCluster, error) {
+	c := &memJoinCluster{
+		bus: gossip.NewBus(),
+		clk: clock.NewVirtual(time.Unix(1_700_000_000, 0)),
+	}
+	c.params = core.DefaultParams()
+	c.params.InitialDifficulty = cfg.Difficulty
+	c.params.MinDifficulty = 1
+	c.params.MaxDifficulty = cfg.Difficulty + 6
+
+	var err error
+	if c.mgrKey, err = identity.Generate(); err != nil {
+		return nil, err
+	}
+	mgrNet, err := c.bus.Join("manager")
+	if err != nil {
+		return nil, err
+	}
+	full, err := node.NewFull(node.FullConfig{
+		Key:        c.mgrKey,
+		Role:       identity.RoleManager,
+		ManagerPub: c.mgrKey.Public(),
+		Credit:     c.params,
+		Clock:      c.clk,
+		Network:    mgrNet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c.mgr, err = node.NewManager(full); err != nil {
+		full.Close()
+		return nil, err
+	}
+	if c.gateway, err = c.join("gw-0"); err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < cfg.JoinDevices; i++ {
+		key, err := identity.Generate()
+		if err != nil {
+			return nil, err
+		}
+		device, err := node.NewLight(node.LightConfig{
+			Key:     key,
+			Gateway: c.gateway,
+			Clock:   c.clk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.devices = append(c.devices, device)
+		c.mgr.AuthorizeDevice(key.Public(), key.BoxPublic())
+	}
+	if _, err := c.mgr.PublishAuthorization(ctx); err != nil {
+		return nil, err
+	}
+	if err := c.gateway.FlushBroadcast(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func runMemJoin(ctx context.Context, cfg MemBenchConfig) (MemJoin, error) {
+	c, err := buildMemJoinCluster(ctx, cfg)
+	if err != nil {
+		if c != nil {
+			c.close()
+		}
+		return MemJoin{}, err
+	}
+	defer c.close()
+
+	// Age the deployment well past the keep window.
+	for r := 0; r < cfg.JoinRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return MemJoin{}, err
+		}
+		c.clk.Advance(cfg.JoinStep)
+		for i, device := range c.devices {
+			if _, err := device.PostReading(ctx, []byte(fmt.Sprintf("r%d-d%d", r, i))); err != nil {
+				return MemJoin{}, fmt.Errorf("round %d device %d: %w", r, i, err)
+			}
+		}
+		if err := c.gateway.FlushBroadcast(ctx); err != nil {
+			return MemJoin{}, err
+		}
+	}
+	c.mgr.Node().SyncAll(ctx)
+	mgrFull := c.mgr.Node()
+	if got, want := mgrFull.Tangle().Size(), c.gateway.Tangle().Size(); got != want {
+		return MemJoin{}, fmt.Errorf("peers did not converge before the cut: manager %d, gateway %d", got, want)
+	}
+
+	join := MemJoin{HistoryTx: mgrFull.Tangle().Size()}
+	if dropped, _ := c.gateway.Compact(cfg.JoinKeep); dropped == 0 {
+		return MemJoin{}, fmt.Errorf("gateway compacted nothing over %d rounds", cfg.JoinRounds)
+	}
+	join.LiveTx = c.gateway.Tangle().Size()
+
+	// Snapshot-shipped join from the pruned gateway.
+	snap, err := c.join("joiner-snap")
+	if err != nil {
+		return MemJoin{}, err
+	}
+	defer snap.Close()
+	start := time.Now()
+	snapStats, err := snap.BootstrapFrom(ctx, "gw-0")
+	if err != nil {
+		return MemJoin{}, fmt.Errorf("snapshot join: %w", err)
+	}
+	join.SnapshotMs = float64(time.Since(start).Microseconds()) / 1e3
+	if snapStats.Mode != "snapshot" {
+		return MemJoin{}, fmt.Errorf("snapshot join ran in %q mode", snapStats.Mode)
+	}
+	join.BoundaryRoots = snapStats.Boundary
+	join.CreditSeeded = snapStats.CreditSeeded
+
+	// Full paged replay from the unpruned manager.
+	replay, err := c.join("joiner-full")
+	if err != nil {
+		return MemJoin{}, err
+	}
+	defer replay.Close()
+	start = time.Now()
+	replayStats, err := replay.BootstrapFrom(ctx, "manager")
+	if err != nil {
+		return MemJoin{}, fmt.Errorf("replay join: %w", err)
+	}
+	join.ReplayMs = float64(time.Since(start).Microseconds()) / 1e3
+	if replayStats.Mode != "replay" {
+		return MemJoin{}, fmt.Errorf("replay join ran in %q mode", replayStats.Mode)
+	}
+	if join.SnapshotMs > 0 {
+		join.Speedup = join.ReplayMs / join.SnapshotMs
+	}
+
+	// Identity: the snapshot joiner's live region is byte-for-byte the
+	// serving gateway's.
+	join.Identical = snap.Tangle().Size() == c.gateway.Tangle().Size()
+	for _, tx := range c.gateway.Tangle().Export() {
+		got, err := snap.GetTransaction(tx.ID())
+		if err != nil || string(got.Encode()) != string(tx.Encode()) {
+			join.Identical = false
+			break
+		}
+	}
+
+	now := c.clk.Now()
+	join.CreditParity = true
+	led := snap.Engine().Ledger()
+	for _, addr := range led.Nodes() {
+		inc, ref := led.CreditOf(addr, now), led.RescanCredit(addr, now)
+		if diff := inc.Cr - ref.Cr; diff > 1e-9 || diff < -1e-9 {
+			join.CreditParity = false
+			break
+		}
+	}
+	join.DifficultyAgree = true
+	for _, device := range c.devices {
+		want := c.gateway.DifficultyFor(device.Address())
+		if snap.DifficultyFor(device.Address()) != want ||
+			replay.DifficultyFor(device.Address()) != want {
+			join.DifficultyAgree = false
+			break
+		}
+	}
+	return join, nil
+}
+
+// RunMemBench executes the steady-state and join sections. The unpruned
+// steady-state pass runs first and is released before the pruned pass
+// samples the heap, so each mode's post-GC numbers reflect its own live
+// set.
+func RunMemBench(ctx context.Context, cfg MemBenchConfig) (*MemBenchResult, error) {
+	if len(cfg.Checkpoints) == 0 || cfg.JoinDevices < 1 || cfg.JoinRounds < 1 {
+		return nil, fmt.Errorf("mem bench workload too small")
+	}
+	for i := 1; i < len(cfg.Checkpoints); i++ {
+		if cfg.Checkpoints[i] <= cfg.Checkpoints[i-1] {
+			return nil, fmt.Errorf("checkpoints must increase")
+		}
+	}
+	res := &MemBenchResult{Config: cfg}
+	var err error
+	if res.Unpruned, err = runMemSteady(ctx, cfg, false); err != nil {
+		return nil, fmt.Errorf("unpruned steady state: %w", err)
+	}
+	runtime.GC()
+	if res.Pruned, err = runMemSteady(ctx, cfg, true); err != nil {
+		return nil, fmt.Errorf("pruned steady state: %w", err)
+	}
+
+	growth := func(s []MemSample, f func(MemSample) float64) float64 {
+		first, lastV := f(s[0]), f(s[len(s)-1])
+		if first <= 0 {
+			return 0
+		}
+		return lastV / first
+	}
+	resident := func(s MemSample) float64 { return float64(s.Resident) }
+	heap := func(s MemSample) float64 { return float64(s.HeapBytes) - float64(s.ColdIndexBytes) }
+	res.Summary = MemSteadySummary{
+		PrunedResidentGrowth:   growth(res.Pruned, resident),
+		UnprunedResidentGrowth: growth(res.Unpruned, resident),
+		PrunedHeapGrowth:       growth(res.Pruned, heap),
+		UnprunedHeapGrowth:     growth(res.Unpruned, heap),
+	}
+
+	if res.Join, err = runMemJoin(ctx, cfg); err != nil {
+		return nil, fmt.Errorf("join section: %w", err)
+	}
+	return res, nil
+}
+
+// Render writes both sections as aligned tables.
+func (r *MemBenchResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Steady-state memory — epoch snapshots vs unbounded history (keep %v, %d tx/window)\n",
+		r.Config.Keep, int(r.Config.Keep/r.Config.Step)); err != nil {
+		return err
+	}
+	t := &table{header: []string{"mode", "lifetime", "history", "resident", "boundary", "cold", "cold_idx_kb", "heap_kb"}}
+	add := func(mode string, samples []MemSample) {
+		for _, s := range samples {
+			t.add(
+				mode,
+				fmt.Sprintf("%dx", s.Multiple),
+				fmt.Sprintf("%d", s.History),
+				fmt.Sprintf("%d", s.Resident),
+				fmt.Sprintf("%d", s.Boundary),
+				fmt.Sprintf("%d", s.Cold),
+				fmt.Sprintf("%d", s.ColdIndexBytes/1024),
+				fmt.Sprintf("%d", s.HeapBytes/1024),
+			)
+		}
+	}
+	add("pruned", r.Pruned)
+	add("unpruned", r.Unpruned)
+	if err := t.render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"\nGrowth first→last checkpoint: resident %.2fx pruned vs %.2fx unpruned; heap (less cold index) %.2fx vs %.2fx\n",
+		r.Summary.PrunedResidentGrowth, r.Summary.UnprunedResidentGrowth,
+		r.Summary.PrunedHeapGrowth, r.Summary.UnprunedHeapGrowth); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintf(w,
+		"\nJoin time — snapshot-shipped bootstrap vs full paged replay (%d tx history, %d live)\n",
+		r.Join.HistoryTx, r.Join.LiveTx); err != nil {
+		return err
+	}
+	j := &table{header: []string{"mode", "ms", "boundary", "credit_seeded", "identical", "credit_parity", "difficulty_agree"}}
+	j.add("snapshot", fmt.Sprintf("%.1f", r.Join.SnapshotMs),
+		fmt.Sprintf("%d", r.Join.BoundaryRoots), fmt.Sprintf("%d", r.Join.CreditSeeded),
+		fmt.Sprintf("%v", r.Join.Identical), fmt.Sprintf("%v", r.Join.CreditParity),
+		fmt.Sprintf("%v", r.Join.DifficultyAgree))
+	j.add("replay", fmt.Sprintf("%.1f", r.Join.ReplayMs), "-", "-", "-", "-", "-")
+	j.add("speedup", fmt.Sprintf("%.1fx", r.Join.Speedup), "-", "-", "-", "-", "-")
+	return j.render(w)
+}
+
+// CSV writes the steady-state samples as CSV.
+func (r *MemBenchResult) CSV(w io.Writer) error {
+	t := &table{header: []string{"mode", "multiple", "history", "resident_vertices", "boundary_roots", "cold_total", "cold_index_bytes", "heap_inuse_bytes"}}
+	add := func(mode string, samples []MemSample) {
+		for _, s := range samples {
+			t.add(mode,
+				fmt.Sprintf("%d", s.Multiple),
+				fmt.Sprintf("%d", s.History),
+				fmt.Sprintf("%d", s.Resident),
+				fmt.Sprintf("%d", s.Boundary),
+				fmt.Sprintf("%d", s.Cold),
+				fmt.Sprintf("%d", s.ColdIndexBytes),
+				fmt.Sprintf("%d", s.HeapBytes))
+		}
+	}
+	add("pruned", r.Pruned)
+	add("unpruned", r.Unpruned)
+	return t.csv(w)
+}
+
+// JSON writes the comparison as a machine-readable snapshot
+// (BENCH_mem.json in the Makefile's bench-mem target).
+func (r *MemBenchResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

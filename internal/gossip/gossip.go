@@ -30,6 +30,13 @@ const (
 	MsgSyncRequest
 	// MsgSyncResponse returns the requested transaction bytes.
 	MsgSyncResponse
+	// MsgSnapshotRequest asks a peer for its snapshot manifest: the
+	// epoch boundary a fresh node can bootstrap from without replaying
+	// pruned history.
+	MsgSnapshotRequest
+	// MsgSnapshotResponse carries the JSON-encoded manifest in
+	// TxData[0].
+	MsgSnapshotResponse
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +48,10 @@ func (t MsgType) String() string {
 		return "sync-request"
 	case MsgSyncResponse:
 		return "sync-response"
+	case MsgSnapshotRequest:
+		return "snapshot-request"
+	case MsgSnapshotResponse:
+		return "snapshot-response"
 	default:
 		return fmt.Sprintf("msgtype(%d)", int(t))
 	}

@@ -1,0 +1,299 @@
+package node_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/chaos"
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+)
+
+// TestMultiGenerationCompactRecovery extends the single-generation
+// crash-recovery pin: a node that lives through TWO Compact +
+// CompactJournal cycles (journal generations 1 and 2) — with a reboot
+// in between — must replay each compacted segment through the
+// snapshot-boundary Restore path and come back with the exact live
+// working set, a durable pruned-ID count, and a working control plane.
+func TestMultiGenerationCompactRecovery(t *testing.T) {
+	ctx := context.Background()
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	fs := chaos.NewMemFS(7)
+	managerKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := func() (*node.FullNode, *node.Manager, int) {
+		full, err := node.NewFull(node.FullConfig{
+			Key:        managerKey,
+			Role:       identity.RoleManager,
+			ManagerPub: managerKey.Public(),
+			Credit:     testParams(),
+			Clock:      clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := full.EnablePersistenceFS(fs, "multi.journal")
+		if err != nil {
+			t.Fatalf("enable persistence: %v", err)
+		}
+		mgr, err := node.NewManager(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return full, mgr, replayed
+	}
+	post := func(full *node.FullNode, mgr *node.Manager, n int, tag string) {
+		t.Helper()
+		device := newTestDevice(t, full)
+		mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+		if _, err := mgr.PublishAuthorization(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			clk.Advance(time.Minute)
+			if _, err := device.PostReading(ctx, []byte(fmt.Sprintf("%s-%d", tag, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cycle := func(full *node.FullNode) {
+		t.Helper()
+		if dropped, _ := full.Compact(10 * time.Minute); dropped == 0 {
+			t.Fatal("compact dropped nothing")
+		}
+		if _, err := full.CompactJournal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Generation 1, then reboot.
+	full, mgr, _ := boot()
+	post(full, mgr, 30, "gen1")
+	cycle(full)
+	sizeAfter1 := full.Tangle().Size()
+	cold1 := full.Tangle().SnapshottedCount()
+	if err := full.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+	full.Close()
+	fs.Reboot()
+
+	full2, mgr2, _ := boot()
+	if got := full2.Tangle().Size(); got != sizeAfter1 {
+		t.Fatalf("gen-1 recovery size = %d, want %d", got, sizeAfter1)
+	}
+	if got := full2.Tangle().SnapshottedCount(); got < cold1 {
+		t.Errorf("gen-1 recovery lost cold history: %d < %d", got, cold1)
+	}
+
+	// Generation 2 on the recovered node, then reboot again.
+	post(full2, mgr2, 30, "gen2")
+	cycle(full2)
+	sizeAfter2 := full2.Tangle().Size()
+	cold2 := full2.Tangle().SnapshottedCount()
+	if cold2 <= cold1 {
+		t.Fatalf("second compaction pruned nothing new: %d vs %d", cold2, cold1)
+	}
+	if _, gen, ok := full2.JournalStats(); !ok || gen != 2 {
+		t.Fatalf("journal generation = %d (ok=%v), want 2", gen, ok)
+	}
+	if err := full2.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+	full2.Close()
+	fs.Reboot()
+
+	full3, mgr3, _ := boot()
+	defer full3.Close()
+	defer full3.ClosePersistence()
+	if got := full3.Tangle().Size(); got != sizeAfter2 {
+		t.Fatalf("gen-2 recovery size = %d, want %d", got, sizeAfter2)
+	}
+	if got := full3.Tangle().SnapshottedCount(); got < cold2 {
+		t.Errorf("gen-2 recovery lost cold history: %d < %d", got, cold2)
+	}
+	if full3.MemoryStats().ColdIndexBytes == 0 {
+		t.Error("cold index empty after two pruning generations")
+	}
+	// The twice-recovered node still serves, and credit survives with
+	// incremental/rescan parity.
+	post(full3, mgr3, 3, "gen3")
+	led := full3.Engine().Ledger()
+	now := clk.Now()
+	for _, addr := range led.Nodes() {
+		inc, ref := led.CreditOf(addr, now), led.RescanCredit(addr, now)
+		if math.Abs(inc.Cr-ref.Cr) > 1e-9 {
+			t.Errorf("credit parity broken for %s: incremental %+v, rescan %+v", addr.Short(), inc, ref)
+		}
+	}
+}
+
+// TestSnapshotBootstrapEquivalence is the tier test for the snapshot-
+// shipped join: a ~20-node deployment (manager + 3 gateways + 14
+// devices + 2 joiners) ages past several prune windows, the gateways
+// compact, and then two fresh gateways join — one bootstrapping from a
+// pruned gateway's snapshot manifest, one replaying full history from
+// the (unpruned) manager. The snapshot-bootstrapped node must converge
+// on a live region byte-identical to its serving peer's, and every
+// node must agree on each device's credit-derived difficulty.
+func TestSnapshotBootstrapEquivalence(t *testing.T) {
+	ctx := context.Background()
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	dep := newMultiNode(t, 3, clk)
+
+	const nDevices = 14
+	var devices []*node.LightNode
+	for i := 0; i < nDevices; i++ {
+		key, err := identity.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		device, err := node.NewLight(node.LightConfig{
+			Key:     key,
+			Gateway: dep.gateways[i%len(dep.gateways)],
+			Clock:   clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices = append(devices, device)
+		dep.mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	}
+	if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dep.flush(t)
+
+	// Age the deployment well past the keep window.
+	const rounds = 12
+	for r := 0; r < rounds; r++ {
+		clk.Advance(time.Minute)
+		for i, device := range devices {
+			if _, err := device.PostReading(ctx, []byte(fmt.Sprintf("r%d-d%d", r, i))); err != nil {
+				t.Fatalf("round %d device %d: %v", r, i, err)
+			}
+		}
+		dep.flush(t)
+	}
+	// Converge everyone before cutting.
+	for _, gw := range dep.gateways {
+		gw.SyncAll(ctx)
+	}
+	dep.mgr.Node().SyncAll(ctx)
+	dep.flush(t)
+	fullSize := dep.mgr.Node().Tangle().Size()
+	for i, gw := range dep.gateways {
+		if got := gw.Tangle().Size(); got != fullSize {
+			t.Fatalf("gateway %d did not converge: %d vs %d", i, got, fullSize)
+		}
+	}
+
+	// Gateways compact (shared clock → identical cut); the manager keeps
+	// full history and stays the replay peer.
+	const keep = 5 * time.Minute
+	for i, gw := range dep.gateways {
+		if dropped, _ := gw.Compact(keep); dropped == 0 {
+			t.Fatalf("gateway %d compacted nothing", i)
+		}
+	}
+	gw0 := dep.gateways[0]
+	if gw0.Tangle().SnapshottedCount() == 0 {
+		t.Fatal("no cold history to bootstrap over")
+	}
+
+	join := func(name string) *node.FullNode {
+		t.Helper()
+		key, err := identity.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := dep.bus.Join(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joiner, err := node.NewFull(node.FullConfig{
+			Key:        key,
+			Role:       identity.RoleGateway,
+			ManagerPub: dep.mgrKey.Public(),
+			Credit:     testParams(),
+			Clock:      clk,
+			Network:    net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return joiner
+	}
+
+	snap := join("joiner-snap")
+	snapStats, err := snap.BootstrapFrom(ctx, "gw-0")
+	if err != nil {
+		t.Fatalf("snapshot bootstrap: %v", err)
+	}
+	if snapStats.Mode != "snapshot" || snapStats.Boundary == 0 {
+		t.Fatalf("snapshot join stats = %+v, want snapshot mode with boundary roots", snapStats)
+	}
+
+	replay := join("joiner-full")
+	replayStats, err := replay.BootstrapFrom(ctx, "manager")
+	if err != nil {
+		t.Fatalf("replay bootstrap: %v", err)
+	}
+	if replayStats.Mode != "replay" {
+		t.Fatalf("replay join stats = %+v, want replay mode", replayStats)
+	}
+
+	// The snapshot-bootstrapped live region is byte-identical to the
+	// serving peer's.
+	peerTxs := gw0.Tangle().Export()
+	if got, want := snap.Tangle().Size(), gw0.Tangle().Size(); got != want {
+		t.Fatalf("bootstrapped size = %d, want %d", got, want)
+	}
+	for _, tx := range peerTxs {
+		got, err := snap.GetTransaction(tx.ID())
+		if err != nil {
+			t.Fatalf("bootstrapped node missing %s: %v", tx.ID().Short(), err)
+		}
+		if string(got.Encode()) != string(tx.Encode()) {
+			t.Fatalf("tx %s differs byte-for-byte after bootstrap", tx.ID().Short())
+		}
+	}
+	// The full-replay joiner holds ALL history — strictly more — and
+	// still contains the live region.
+	if replay.Tangle().Size() <= snap.Tangle().Size() {
+		t.Errorf("replay joiner resident %d not larger than snapshot joiner %d",
+			replay.Tangle().Size(), snap.Tangle().Size())
+	}
+	for _, tx := range peerTxs {
+		if !replay.Tangle().Contains(tx.ID()) {
+			t.Fatalf("replay joiner missing live tx %s", tx.ID().Short())
+		}
+	}
+
+	// Credit equivalence: every full node — pruned peer, snapshot
+	// joiner, replay joiner — derives the same difficulty for every
+	// device, and the joiner's incremental credit matches a full rescan.
+	now := clk.Now()
+	led := snap.Engine().Ledger()
+	for _, addr := range led.Nodes() {
+		inc, ref := led.CreditOf(addr, now), led.RescanCredit(addr, now)
+		if math.Abs(inc.Cr-ref.Cr) > 1e-9 {
+			t.Errorf("joiner credit parity broken for %s: %+v vs %+v", addr.Short(), inc, ref)
+		}
+	}
+	for i, device := range devices {
+		want := gw0.DifficultyFor(device.Address())
+		if got := snap.DifficultyFor(device.Address()); got != want {
+			t.Errorf("device %d: snapshot joiner difficulty %d != peer %d", i, got, want)
+		}
+		if got := replay.DifficultyFor(device.Address()); got != want {
+			t.Errorf("device %d: replay joiner difficulty %d != peer %d", i, got, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package node
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -98,6 +99,12 @@ type FullConfig struct {
 	JournalMaxBatch int
 	JournalMaxDelay time.Duration
 
+	// SnapshotEpoch, when positive, quantizes Compact's prune cutoff to
+	// multiples of this interval, so gateways compacting at different
+	// instants still cut at the same settled epoch boundary and serve
+	// identical snapshot manifests. Zero keeps the raw now-keep cutoff.
+	SnapshotEpoch time.Duration
+
 	// DisableBatchVerify forces the inbound gossip path back to one
 	// Ed25519 verification per transaction instead of settling each
 	// batch's signatures with one shared-ladder VerifyBatch equation.
@@ -176,6 +183,7 @@ type FullNode struct {
 	pending   map[hashutil.Hash]*txn.Transaction // transfers awaiting confirmation
 	deferred  []tangle.Event                     // settlement events awaiting drainDeferred
 	journal   *store.Log                         // nil unless EnablePersistence was called
+	coldIdx   *store.ColdIndex                   // durable pruned-ID index; nil when memory-only
 
 	limiterMu sync.Mutex
 	limiter   map[identity.Address]*rateWindow
@@ -677,6 +685,16 @@ func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Messag
 			Offset: uint64(off + len(page)),
 			Total:  uint64(total),
 			More:   len(page) == syncPageSize,
+		}, nil
+	case gossip.MsgSnapshotRequest:
+		data, err := json.Marshal(n.SnapshotManifest())
+		if err != nil {
+			return nil, fmt.Errorf("encode snapshot manifest: %w", err)
+		}
+		return &gossip.Message{
+			Type:   gossip.MsgSnapshotResponse,
+			TxData: [][]byte{data},
+			Total:  uint64(n.tangle.Size()),
 		}, nil
 	default:
 		return nil, fmt.Errorf("unhandled gossip message type %v", msg.Type)

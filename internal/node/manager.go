@@ -57,10 +57,16 @@ func NewManager(full *FullNode) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("manager submission client: %w", err)
 	}
+	builder := authz.NewBuilder()
+	// Resume the list sequence past whatever the node replayed: the
+	// manager's earlier lists survive restarts (and snapshots — they are
+	// retained kinds), and a fresh builder colliding with its own
+	// applied sequence would deadlock the control plane.
+	builder.SeedSeq(full.Registry().Seq())
 	return &Manager{
 		full:     full,
 		client:   client,
-		builder:  authz.NewBuilder(),
+		builder:  builder,
 		boxKeys:  make(map[identity.Address][]byte),
 		issued:   dataauth.NewKeyStore(),
 		sessions: make(map[string]*managerKeySession),

@@ -1,0 +1,48 @@
+package node
+
+import "runtime"
+
+// MemoryStats is the node's memory footprint, the quantity the hot/cold
+// split bounds: resident vertices and boundary roots are O(frontier) in
+// steady state no matter how long the node runs, the cold-ID count
+// grows but lives on disk, and the journal shrinks back at every
+// CompactJournal. Served through Supervisor.Health on /healthz so a
+// leak shows up on a dashboard, not in an OOM kill.
+type MemoryStats struct {
+	// ResidentVertices is the live (hot-region) tangle size.
+	ResidentVertices int `json:"resident_vertices"`
+	// BoundaryRoots is the snapshot-boundary set size — pruned IDs still
+	// referenced by a live vertex.
+	BoundaryRoots int `json:"boundary_roots"`
+	// SnapshottedIDs counts every ID ever pruned (the cold region).
+	SnapshottedIDs int `json:"snapshotted_ids"`
+	// JournalBytes is the on-disk size of the transaction log's durable
+	// prefix (0 when memory-only).
+	JournalBytes int64 `json:"journal_bytes"`
+	// ColdIndexBytes is the on-disk size of the pruned-ID index (0 when
+	// memory-only).
+	ColdIndexBytes int64 `json:"cold_index_bytes"`
+	// HeapInuse is the Go runtime's in-use heap, process-wide.
+	HeapInuse uint64 `json:"heap_inuse_bytes"`
+}
+
+// MemoryStats returns the node's current memory footprint.
+func (n *FullNode) MemoryStats() MemoryStats {
+	ms := MemoryStats{
+		ResidentVertices: n.tangle.Size(),
+		BoundaryRoots:    n.tangle.BoundaryCount(),
+		SnapshottedIDs:   n.tangle.SnapshottedCount(),
+	}
+	n.pendingMu.Lock()
+	if n.journal != nil {
+		ms.JournalBytes = n.journal.Bytes()
+	}
+	if n.coldIdx != nil {
+		ms.ColdIndexBytes = n.coldIdx.Bytes()
+	}
+	n.pendingMu.Unlock()
+	var rt runtime.MemStats
+	runtime.ReadMemStats(&rt)
+	ms.HeapInuse = rt.HeapInuse
+	return ms
+}

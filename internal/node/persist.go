@@ -38,6 +38,21 @@ func (n *FullNode) EnablePersistenceFS(fs chaos.FS, path string) (replayed int, 
 	}
 	n.pendingMu.Unlock()
 
+	// The cold index opens BEFORE the journal replays: a compacted
+	// (generation ≥ 1) segment replays boundary records through Restore,
+	// whose duplicate and pruned-parent checks consult the persisted
+	// cold membership — it has to be installed for them to keep their
+	// exact pre-restart semantics.
+	coldIdx, err := store.OpenColdIndex(fs, path+".cold")
+	if err != nil {
+		return 0, fmt.Errorf("enable persistence: open cold index: %w", err)
+	}
+	if err := n.tangle.SetColdStore(coldIdx); err != nil {
+		coldIdx.Close()
+		return 0, fmt.Errorf("enable persistence: %w", err)
+	}
+	n.tangle.RestoreColdEpoch(coldIdx.Epoch())
+
 	// Admission journals after attach, outside any shared lock, so with
 	// concurrent submitters a child can reach the journal just before
 	// its parent (journal order is not attach order). Replay therefore
@@ -55,6 +70,7 @@ func (n *FullNode) EnablePersistenceFS(fs chaos.FS, path string) (replayed int, 
 		return err
 	})
 	if err != nil {
+		coldIdx.Close()
 		return 0, fmt.Errorf("enable persistence: %w", err)
 	}
 	for len(deferredOrphans) > 0 {
@@ -68,12 +84,14 @@ func (n *FullNode) EnablePersistenceFS(fs chaos.FS, path string) (replayed int, 
 				rest = append(rest, t)
 			default:
 				log.Close()
+				coldIdx.Close()
 				return 0, fmt.Errorf("enable persistence: %w", err)
 			}
 		}
 		deferredOrphans = rest
 		if !progress {
 			log.Close()
+			coldIdx.Close()
 			return 0, fmt.Errorf("enable persistence: %d journaled records never resolve a parent: %w",
 				len(deferredOrphans), tangle.ErrUnknownParent)
 		}
@@ -84,6 +102,7 @@ func (n *FullNode) EnablePersistenceFS(fs chaos.FS, path string) (replayed int, 
 	})
 	n.pendingMu.Lock()
 	n.journal = log
+	n.coldIdx = coldIdx
 	n.pendingMu.Unlock()
 	return log.Len(), nil
 }
@@ -124,16 +143,24 @@ func (n *FullNode) JournalStats() (stats store.RecoveryStats, generation uint64,
 	return log.Stats(), log.Generation(), true
 }
 
-// ClosePersistence flushes and closes the journal.
+// ClosePersistence flushes and closes the journal and cold index.
 func (n *FullNode) ClosePersistence() error {
 	n.pendingMu.Lock()
 	log := n.journal
+	idx := n.coldIdx
 	n.journal = nil
+	n.coldIdx = nil
 	n.pendingMu.Unlock()
 	if log == nil {
 		return ErrNotPersistent
 	}
-	return log.Close()
+	err := log.Close()
+	if idx != nil {
+		if cerr := idx.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // replayTransaction re-admits a journaled transaction at startup. It
@@ -200,7 +227,14 @@ func (n *FullNode) replayTransaction(t *txn.Transaction, generation uint64) erro
 // values below ΔT are raised by the credit ledger itself.
 func (n *FullNode) Compact(keep time.Duration) (tangleDropped, creditDropped int) {
 	now := n.cfg.Clock.Now()
-	tangleDropped = n.tangle.Snapshot(now, keep)
+	// The tangle must not prune inside the credit window: a transaction
+	// record younger than ΔT still contributes to CrP, and RescanCredit
+	// parity requires the evidence to stay resident. The credit ledger
+	// clamps itself; mirror that for the tangle cutoff.
+	if dt := n.engine.Ledger().Params().DeltaT; keep < dt {
+		keep = dt
+	}
+	tangleDropped = n.tangle.SnapshotEpoch(now, keep, n.cfg.SnapshotEpoch)
 	creditDropped = n.engine.Ledger().Prune(now, keep)
 	return tangleDropped, creditDropped
 }

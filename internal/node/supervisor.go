@@ -124,6 +124,9 @@ type Health struct {
 	Journal   ComponentHealth `json:"journal"`
 	Transport ComponentHealth `json:"transport"`
 	Pipeline  ComponentHealth `json:"pipeline"`
+	// Memory is the node's footprint: the quantities the hot/cold split
+	// keeps O(frontier) (zero value while the node is down).
+	Memory MemoryStats `json:"memory"`
 }
 
 // ErrSupervisorRunning reports a Start on a running supervisor.
@@ -321,6 +324,7 @@ func (s *Supervisor) Health() Health {
 		h.Pipeline = ComponentHealth{OK: true, Detail: fmt.Sprintf(
 			"queue depth %d", n.Pipeline().QueueDepth.Value())}
 	}
+	h.Memory = n.MemoryStats()
 	return h
 }
 

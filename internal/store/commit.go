@@ -291,6 +291,7 @@ func (l *Log) lead() {
 			return
 		}
 		l.n += records
+		l.bytes += int64(len(buf))
 		l.batchStats.Commits++
 		l.batchStats.Records += uint64(records)
 		l.batchStats.Hist[batchBucket(records)]++

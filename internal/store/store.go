@@ -93,6 +93,7 @@ type Log struct {
 	f     chaos.File
 	path  string
 	n     int    // records written (including replayed)
+	bytes int64  // durable segment size: header + intact records
 	gen   uint64 // segment generation
 	err   error  // sticky poison; non-nil after a failed write/sync
 	stats RecoveryStats
@@ -174,6 +175,7 @@ func OpenFSGen(fs chaos.FS, path string, apply func(*txn.Transaction, uint64) er
 		return nil, fmt.Errorf("seek log end: %w", err)
 	}
 	l.n = count
+	l.bytes = validLen
 	l.stats = RecoveryStats{
 		Records:    count,
 		Generation: l.gen,
@@ -366,6 +368,7 @@ func (l *Log) Compact(txs []*txn.Transaction) error {
 	if _, err := tmp.Write(hdr); err != nil {
 		return fail("write compact header", err)
 	}
+	written := int64(segHeaderSize)
 	for _, t := range txs {
 		buf, err := encodeRecord(t)
 		if err != nil {
@@ -374,6 +377,7 @@ func (l *Log) Compact(txs []*txn.Transaction) error {
 		if _, err := tmp.Write(buf); err != nil {
 			return fail("write compact record", err)
 		}
+		written += int64(len(buf))
 	}
 	if err := tmp.Sync(); err != nil {
 		return fail("sync compact segment", err)
@@ -410,6 +414,7 @@ func (l *Log) Compact(txs []*txn.Transaction) error {
 	l.f = f
 	l.gen = gen + 1
 	l.n = len(txs)
+	l.bytes = written
 	l.mu.Unlock()
 	old.Close()
 	return nil
@@ -448,6 +453,15 @@ func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.n
+}
+
+// Bytes returns the durable size of the current segment in bytes
+// (header plus every committed record) — the journal's disk footprint,
+// maintained without a stat call so monitoring can poll it freely.
+func (l *Log) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
 }
 
 // Path returns the log's file path.

@@ -86,7 +86,7 @@ func checkAnchorInvariant(t testing.TB, tg *Tangle) {
 		if v.status != StatusConfirmed {
 			t.Fatalf("anchor %s has status %v, want confirmed", id.Short(), v.status)
 		}
-		if _, snap := tg.snapshotted[id]; snap {
+		if tg.wasColdLocked(id) {
 			t.Fatalf("anchor %s is snapshotted", id.Short())
 		}
 	}
@@ -269,7 +269,7 @@ func recountStats(tg *Tangle) Stats {
 	s := Stats{
 		Transactions: len(tg.vertices),
 		Tips:         len(tg.tips),
-		Snapshotted:  len(tg.snapshotted),
+		Snapshotted:  tg.nCold,
 	}
 	for _, v := range tg.vertices {
 		switch v.status {

@@ -49,7 +49,7 @@ func (t *Tangle) resolveConflictLocked(group []hashutil.Hash, now time.Time) []E
 	var winnerID hashutil.Hash
 	snapshotWins := false
 	for _, id := range group {
-		if _, snap := t.snapshotted[id]; snap {
+		if _, live := t.vertices[id]; !live && t.wasColdLocked(id) {
 			snapshotWins = true
 			winnerID = id
 			break

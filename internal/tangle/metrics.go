@@ -25,16 +25,33 @@ type Metrics struct {
 	// because no usable anchor existed (fresh tangle, or anchors all
 	// pruned/rejected).
 	GenesisWalks *metrics.Counter
+
+	// Memory-footprint gauges for the hot/cold split (cold.go).
+	// ResidentVertices is the live in-memory vertex count;
+	// BoundaryRoots the pruned IDs pinned as boundary roots; ColdTotal
+	// the distinct IDs pruned over the node's lifetime (on disk when a
+	// cold store is installed). Flat ResidentVertices and BoundaryRoots
+	// under load with pruning enabled is the bounded-memory invariant.
+	ResidentVertices *metrics.Gauge
+	BoundaryRoots    *metrics.Gauge
+	ColdTotal        *metrics.Gauge
+	// ColdErrors counts cold-index I/O failures (membership checks
+	// degraded to "not cold", or a snapshot round skipped).
+	ColdErrors *metrics.Counter
 }
 
 func newMetrics() Metrics {
 	return Metrics{
-		AnchorHeight:  &metrics.Gauge{},
-		AnchorCount:   &metrics.Gauge{},
-		WalkLength:    &metrics.Gauge{},
-		WalkLengthMax: &metrics.Gauge{},
-		WalkFallbacks: &metrics.Counter{},
-		GenesisWalks:  &metrics.Counter{},
+		AnchorHeight:     &metrics.Gauge{},
+		AnchorCount:      &metrics.Gauge{},
+		WalkLength:       &metrics.Gauge{},
+		WalkLengthMax:    &metrics.Gauge{},
+		WalkFallbacks:    &metrics.Counter{},
+		GenesisWalks:     &metrics.Counter{},
+		ResidentVertices: &metrics.Gauge{},
+		BoundaryRoots:    &metrics.Gauge{},
+		ColdTotal:        &metrics.Gauge{},
+		ColdErrors:       &metrics.Counter{},
 	}
 }
 

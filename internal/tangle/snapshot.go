@@ -12,44 +12,70 @@ import (
 // Local snapshots bound ledger memory — the storage-growth half of the
 // paper's §VIII "storage limitations" problem (the durability half is
 // internal/store). Old, confirmed, fully-approved transactions are
-// dropped from the in-memory DAG; only their 32-byte IDs are retained in
-// a snapshotted set, preserving three safety properties:
+// dropped from the in-memory DAG and move to the cold region (see
+// cold.go): boundary roots stay pinned in memory while everything
+// deeper is remembered only by the store-backed membership index. Three
+// safety properties survive pruning:
 //
 //  1. duplicate suppression — a dropped transaction cannot be re-attached;
 //  2. double-spend finality — a new spend conflicting with a dropped
 //     (confirmed) spender still loses: the spend index outlives the
-//     vertex and a snapshotted group member always wins resolution;
-//  3. lazy-tip hygiene — attaching to a snapshotted parent is rejected
+//     vertex and a cold group member always wins resolution;
+//  3. lazy-tip hygiene — attaching to a pruned parent is rejected
 //     outright (ErrSnapshottedParent): honest devices approve tips,
 //     which are never snapshotted, so only attackers pinning ancient
 //     parents and out-of-date sync peers ever see this error.
 //
-// The trade-off, as with IOTA's local snapshots: a freshly joining node
-// cannot replay pre-snapshot history from a snapshotted peer; it must
-// bootstrap from a full peer (or a snapshot exchange, which this
-// implementation leaves to deployments).
+// A freshly joining node no longer needs a full-history peer: it can
+// seed the boundary roots from a peer's snapshot manifest (see
+// BeginBootstrap and the node-layer bootstrap protocol) and replay only
+// the live region — O(frontier) instead of O(history).
 
 // ErrSnapshottedParent reports an attachment to a pruned parent.
 var ErrSnapshottedParent = errors.New("parent transaction was snapshotted away")
 
 // Snapshot drops confirmed transactions attached before now−keep whose
-// direct approvers are all themselves confirmed or rejected. Genesis and
-// tips are always retained. It returns the number of dropped vertices.
+// direct approvers are all themselves confirmed or rejected. Genesis,
+// tips and authorization lists are always retained. It returns the
+// number of dropped vertices. Equivalent to SnapshotEpoch with a zero
+// interval (node-local cutoff, no cross-node coordination).
 func (t *Tangle) Snapshot(now time.Time, keep time.Duration) int {
+	return t.SnapshotEpoch(now, keep, 0)
+}
+
+// SnapshotEpoch is Snapshot with the cutoff quantized down to a
+// multiple of interval (in absolute time, per time.Time.Truncate), so
+// every node pruning with the same interval cuts at the same settled
+// boundary regardless of when its own compaction loop happens to fire.
+// Coordinated boundaries keep peers' snapshot manifests interchangeable
+// — a bootstrapping node can verify one peer's manifest against
+// another's live region. A zero interval disables quantization.
+//
+// Candidate selection is incremental: the attachment order is scanned
+// from the oldest end and stops at the first vertex attached at or
+// after the cutoff (clock stamps are non-decreasing, so the order is
+// chronological). The cost is O(pre-cutoff prefix), not O(all
+// vertices); the prefix is short in steady state because previous
+// snapshots already emptied it.
+func (t *Tangle) SnapshotEpoch(now time.Time, keep time.Duration, interval time.Duration) int {
 	cutoff := now.Add(-keep)
+	if interval > 0 {
+		cutoff = cutoff.Truncate(interval)
+	}
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
 	var drop []hashutil.Hash
-	for id, v := range t.vertices {
-		if v.status != StatusConfirmed || v.tx.Kind == txn.KindGenesis {
+	for _, id := range t.order {
+		v := t.vertices[id]
+		if !v.attachedAt.Before(cutoff) {
+			break // order is chronological: nothing later qualifies
+		}
+		if v.status != StatusConfirmed || retainedKind(v.tx.Kind) {
 			continue
 		}
 		if _, isTip := t.tips[id]; isTip {
-			continue
-		}
-		if !v.attachedAt.Before(cutoff) {
 			continue
 		}
 		settled := true
@@ -68,24 +94,67 @@ func (t *Tangle) Snapshot(now time.Time, keep time.Duration) int {
 		return 0
 	}
 
+	// Persist membership before mutating: if the cold index cannot
+	// accept the batch, skip this round rather than prune IDs the node
+	// would then forget.
+	if t.cold != nil {
+		if err := t.cold.AddBatch(drop, cutoff); err != nil {
+			t.met.ColdErrors.Inc()
+			return 0
+		}
+	}
+
 	for _, id := range drop {
 		delete(t.vertices, id)
-		t.snapshotted[id] = struct{}{}
+		t.markColdLocked(id)
 		// Every dropped vertex was confirmed; keep the incremental
 		// stats and the anchor invariant (anchors are live) intact.
 		t.nConfirmed--
 		t.dropAnchorLocked(id)
 	}
+	t.nCold += len(drop)
+	t.coldEpoch = cutoff
 
 	// Rebuild the attachment order, kind indexes and first-approval
-	// queue without the dropped vertices.
+	// queue without the dropped vertices, and recompute the boundary
+	// roots: pruned parents still referenced by a live vertex. IDs
+	// whose last live child was dropped this round leave the boundary —
+	// the departed set is persisted (or kept in the fallback) so cold
+	// membership survives the demotion.
+	departed := t.boundary
+	t.boundary = make(map[hashutil.Hash]struct{})
 	retained := t.order[:0]
 	for _, id := range t.order {
-		if _, ok := t.vertices[id]; ok {
-			retained = append(retained, id)
+		v, ok := t.vertices[id]
+		if !ok {
+			continue
+		}
+		retained = append(retained, id)
+		if v.tx.Kind == txn.KindGenesis {
+			continue
+		}
+		for _, pid := range [...]hashutil.Hash{v.tx.Trunk, v.tx.Branch} {
+			if _, live := t.vertices[pid]; !live {
+				t.boundary[pid] = struct{}{}
+				delete(departed, pid)
+			}
 		}
 	}
 	t.order = retained
+	if len(departed) > 0 && t.cold != nil {
+		ids := make([]hashutil.Hash, 0, len(departed))
+		for id := range departed {
+			ids = append(ids, id)
+		}
+		if err := t.cold.AddBatch(ids, cutoff); err != nil {
+			// Membership would be lost on failure: keep the departed
+			// IDs pinned in the boundary instead.
+			t.met.ColdErrors.Inc()
+			for id := range departed {
+				t.boundary[id] = struct{}{}
+			}
+		}
+	}
 	for kind, ids := range t.byKind {
 		kept := ids[:0]
 		for _, id := range ids {
@@ -103,6 +172,7 @@ func (t *Tangle) Snapshot(now time.Time, keep time.Duration) int {
 	}
 	t.approvedOrder = approved
 	t.approvedHead = 0
+	t.updateMemGaugesLocked()
 	return len(drop)
 }
 
@@ -112,16 +182,18 @@ func (t *Tangle) Snapshot(now time.Time, keep time.Duration) int {
 // so when a replayed record's parent is absent the only possible cause
 // is journal compaction after a snapshot — the record sat on the
 // snapshot boundary of the pre-crash node. Restore reconstructs that
-// state: the missing parent's ID enters the snapshotted set (duplicate
-// suppression and ErrSnapshottedParent semantics survive the restart)
-// and the child attaches as a pruned-boundary root, exactly the dangling
-// shape Snapshot leaves behind on a live node.
+// state: the missing parent's ID enters the boundary-root set
+// (duplicate suppression and ErrSnapshottedParent semantics survive the
+// restart) and the child attaches as a pruned-boundary root, exactly
+// the dangling shape Snapshot leaves behind on a live node.
 //
 // Restore is for replaying the node's own trusted journal ONLY. Gossip
 // and sync admission must keep using Attach, where an unknown parent is
 // an ordering problem (defer) and a snapshotted parent a rejection —
 // otherwise a malicious peer could graft orphan subtangles past the
-// parent checks.
+// parent checks. (Bootstrap from a peer's manifest goes through
+// BeginBootstrap, which widens Attach only for the manifest's boundary
+// roots.)
 func (t *Tangle) Restore(tx *txn.Transaction) (Info, error) {
 	t.mu.Lock()
 	info, err := t.restoreLocked(tx)
@@ -137,32 +209,50 @@ func (t *Tangle) restoreLocked(tx *txn.Transaction) (Info, error) {
 	if _, dup := t.vertices[id]; dup {
 		return Info{}, fmt.Errorf("%w: %s", ErrDuplicate, id.Short())
 	}
-	if _, snap := t.snapshotted[id]; snap {
+	if t.wasColdLocked(id) {
 		return Info{}, fmt.Errorf("%w: %s (snapshotted)", ErrDuplicate, id.Short())
 	}
 	trunk := t.vertices[tx.Trunk]
 	branch := t.vertices[tx.Branch]
 	if trunk == nil {
-		t.snapshotted[tx.Trunk] = struct{}{}
+		t.restoreBoundaryLocked(tx.Trunk)
 	}
 	if branch == nil {
-		t.snapshotted[tx.Branch] = struct{}{}
+		t.restoreBoundaryLocked(tx.Branch)
 	}
-	return t.insertLocked(tx, id, trunk, branch), nil
+	info := t.insertLocked(tx, id, trunk, branch)
+	t.updateMemGaugesLocked()
+	return info, nil
 }
 
-// SnapshottedCount returns how many transaction IDs live only in the
-// snapshot set.
+// restoreBoundaryLocked pins a missing replayed parent as a boundary
+// root. nCold counts distinct pruned IDs, so an ID already known cold
+// (second child replayed, or present in a persisted cold index) is not
+// recounted.
+func (t *Tangle) restoreBoundaryLocked(pid hashutil.Hash) {
+	if _, ok := t.boundary[pid]; ok {
+		return
+	}
+	known := t.wasColdLocked(pid)
+	t.boundary[pid] = struct{}{}
+	t.markColdLocked(pid)
+	if !known {
+		t.nCold++
+	}
+}
+
+// SnapshottedCount returns how many distinct transaction IDs have been
+// pruned into the cold region over the node's lifetime.
 func (t *Tangle) SnapshottedCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.snapshotted)
+	return t.nCold
 }
 
-// WasSnapshotted reports whether id was pruned by a local snapshot.
+// WasSnapshotted reports whether id was pruned by a local snapshot (or
+// seeded as a boundary root by bootstrap/restore).
 func (t *Tangle) WasSnapshotted(id hashutil.Hash) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	_, ok := t.snapshotted[id]
-	return ok
+	return t.wasColdLocked(id)
 }

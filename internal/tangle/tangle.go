@@ -139,10 +139,20 @@ type Tangle struct {
 	order      []hashutil.Hash // attachment order, for sync/export
 	byKind     map[txn.Kind][]hashutil.Hash
 	spends     map[txn.SpendKey][]hashutil.Hash
-	// snapshotted holds the IDs of vertices pruned by local snapshots
-	// (see snapshot.go).
-	snapshotted map[hashutil.Hash]struct{}
-	genesis     [2]hashutil.Hash
+	// The cold region left behind by local snapshots (see cold.go and
+	// snapshot.go): boundary holds the pruned IDs still referenced as a
+	// parent by a live vertex (O(frontier)); cold, when installed, is
+	// the store-backed membership index for everything pruned; coldMem
+	// is the exact in-memory fallback used when no cold store exists.
+	// nCold counts distinct pruned IDs (the old snapshotted-map
+	// cardinality); coldEpoch stamps the latest pruning cutoff.
+	boundary      map[hashutil.Hash]struct{}
+	cold          ColdStore
+	coldMem       map[hashutil.Hash]struct{}
+	nCold         int
+	coldEpoch     time.Time
+	bootstrapping bool
+	genesis       [2]hashutil.Hash
 
 	// anchors is the moving confirmed-frontier anchor set: recently
 	// confirmed vertices that weighted walks start from instead of
@@ -233,15 +243,16 @@ func New(cfg Config, managerPub identity.PublicKey, clk clock.Clock) (*Tangle, e
 		seed = 0xB107 // fixed default: reproducible runs
 	}
 	t := &Tangle{
-		cfg:         cfg,
-		clk:         clk,
-		vertices:    make(map[hashutil.Hash]*vertex),
-		tips:        make(map[hashutil.Hash]struct{}),
-		byKind:      make(map[txn.Kind][]hashutil.Hash),
-		spends:      make(map[txn.SpendKey][]hashutil.Hash),
-		snapshotted: make(map[hashutil.Hash]struct{}),
-		seed:        seed,
-		met:         newMetrics(),
+		cfg:      cfg,
+		clk:      clk,
+		vertices: make(map[hashutil.Hash]*vertex),
+		tips:     make(map[hashutil.Hash]struct{}),
+		byKind:   make(map[txn.Kind][]hashutil.Hash),
+		spends:   make(map[txn.SpendKey][]hashutil.Hash),
+		boundary: make(map[hashutil.Hash]struct{}),
+		coldMem:  make(map[hashutil.Hash]struct{}),
+		seed:     seed,
+		met:      newMetrics(),
 	}
 	t.walkers.New = func() any { return t.newWalker() }
 	now := clk.Now()
@@ -386,25 +397,44 @@ func (t *Tangle) attachLocked(tx *txn.Transaction) (Info, error) {
 	if _, dup := t.vertices[id]; dup {
 		return Info{}, fmt.Errorf("%w: %s", ErrDuplicate, id.Short())
 	}
-	if _, snap := t.snapshotted[id]; snap {
+	if t.wasColdLocked(id) {
 		return Info{}, fmt.Errorf("%w: %s (snapshotted)", ErrDuplicate, id.Short())
 	}
 	trunk, ok := t.vertices[tx.Trunk]
 	if !ok {
-		if _, snap := t.snapshotted[tx.Trunk]; snap {
-			return Info{}, fmt.Errorf("%w: trunk %s", ErrSnapshottedParent, tx.Trunk.Short())
+		if !t.bootstrapAttachableLocked(tx.Trunk) {
+			if t.wasColdLocked(tx.Trunk) {
+				return Info{}, fmt.Errorf("%w: trunk %s", ErrSnapshottedParent, tx.Trunk.Short())
+			}
+			return Info{}, fmt.Errorf("%w: trunk %s", ErrUnknownParent, tx.Trunk.Short())
 		}
-		return Info{}, fmt.Errorf("%w: trunk %s", ErrUnknownParent, tx.Trunk.Short())
+		trunk = nil // boundary root during bootstrap: attach without the parent
 	}
 	branch, ok := t.vertices[tx.Branch]
 	if !ok {
-		if _, snap := t.snapshotted[tx.Branch]; snap {
-			return Info{}, fmt.Errorf("%w: branch %s", ErrSnapshottedParent, tx.Branch.Short())
+		if !t.bootstrapAttachableLocked(tx.Branch) {
+			if t.wasColdLocked(tx.Branch) {
+				return Info{}, fmt.Errorf("%w: branch %s", ErrSnapshottedParent, tx.Branch.Short())
+			}
+			return Info{}, fmt.Errorf("%w: branch %s", ErrUnknownParent, tx.Branch.Short())
 		}
-		return Info{}, fmt.Errorf("%w: branch %s", ErrUnknownParent, tx.Branch.Short())
+		branch = nil
 	}
 
-	return t.insertLocked(tx, id, trunk, branch), nil
+	info := t.insertLocked(tx, id, trunk, branch)
+	t.met.ResidentVertices.Set(int64(len(t.vertices)))
+	return info, nil
+}
+
+// bootstrapAttachableLocked reports whether a missing parent may be
+// attached through anyway: only in bootstrap mode, and only when the
+// parent is one of the manifest's seeded boundary roots.
+func (t *Tangle) bootstrapAttachableLocked(pid hashutil.Hash) bool {
+	if !t.bootstrapping {
+		return false
+	}
+	_, ok := t.boundary[pid]
+	return ok
 }
 
 // insertLocked wires a validated transaction into the DAG. trunk or
@@ -695,6 +725,6 @@ func (t *Tangle) StatsNow() Stats {
 		Confirmed:    t.nConfirmed,
 		Rejected:     t.nRejected,
 		Conflicts:    t.nConflicts,
-		Snapshotted:  len(t.snapshotted),
+		Snapshotted:  t.nCold,
 	}
 }
