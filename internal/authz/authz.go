@@ -63,6 +63,14 @@ type Registry struct {
 	appliedAt time.Time
 	devices   map[identity.Address]identity.PublicKey
 	gateways  map[identity.Address]identity.PublicKey
+
+	// Historical list versions for evidence-at-admission checks (see
+	// window.go): sequence → member-set, bounded by maxVersions and the
+	// snapshot-grid PruneVersions. prunedThrough is the floor below
+	// which versions have been discarded.
+	versions      map[uint64]*memberView
+	prunedThrough uint64
+	maxVersions   int
 }
 
 // Registry errors.
@@ -82,9 +90,11 @@ func NewRegistry(manager identity.Address) (*Registry, error) {
 		return nil, ErrNilManagerKey
 	}
 	return &Registry{
-		manager:  manager,
-		devices:  make(map[identity.Address]identity.PublicKey),
-		gateways: make(map[identity.Address]identity.PublicKey),
+		manager:     manager,
+		devices:     make(map[identity.Address]identity.PublicKey),
+		gateways:    make(map[identity.Address]identity.PublicKey),
+		versions:    make(map[uint64]*memberView),
+		maxVersions: DefaultMaxVersions,
 	}, nil
 }
 
@@ -94,47 +104,19 @@ func (r *Registry) Manager() identity.Address { return r.manager }
 // Apply validates and applies an authorization transaction: the issuer
 // must be the pinned manager, the transaction signature must already be
 // verified by the caller (gateways verify before attach), and the list
-// sequence must be newer than any applied.
+// sequence must be newer than any applied. A stale sequence returns
+// ErrStaleList — but the list is still recorded in the historical
+// version window first (it is authoritative for its own sequence);
+// callers that treat stale deliveries as ordinary history should use
+// Observe instead.
 func (r *Registry) Apply(t *txn.Transaction, at time.Time) error {
-	if t.Kind != txn.KindAuthorization {
-		return fmt.Errorf("%w: kind %v", ErrNotAuthList, t.Kind)
-	}
-	if t.Sender() != r.manager {
-		return fmt.Errorf("%w: issuer %s", ErrNotManager, t.Sender().Short())
-	}
-	list, err := DecodeList(t.Payload)
+	applied, list, err := r.observe(t, at)
 	if err != nil {
 		return err
 	}
-
-	devices := make(map[identity.Address]identity.PublicKey, len(list.Devices))
-	for _, hexKey := range list.Devices {
-		pub, err := identity.DecodePublic(hexKey)
-		if err != nil {
-			return fmt.Errorf("%w: device %q: %v", ErrBadListedKey, hexKey, err)
-		}
-		devices[identity.AddressOf(pub)] = pub
+	if !applied {
+		return fmt.Errorf("%w: got %d, applied %d", ErrStaleList, list.Seq, r.Seq())
 	}
-	gateways := make(map[identity.Address]identity.PublicKey, len(list.Gateways))
-	for _, hexKey := range list.Gateways {
-		pub, err := identity.DecodePublic(hexKey)
-		if err != nil {
-			return fmt.Errorf("%w: gateway %q: %v", ErrBadListedKey, hexKey, err)
-		}
-		gateways[identity.AddressOf(pub)] = pub
-	}
-
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.appliedAt.IsZero() && r.seq == 0 {
-		// First list: any sequence accepted.
-	} else if list.Seq <= r.seq {
-		return fmt.Errorf("%w: got %d, applied %d", ErrStaleList, list.Seq, r.seq)
-	}
-	r.seq = list.Seq
-	r.appliedAt = at
-	r.devices = devices
-	r.gateways = gateways
 	return nil
 }
 

@@ -65,7 +65,7 @@ func (r *ScenarioMatrixResult) Render(w io.Writer) error {
 		r.Config.Tier, r.Config.Seed); err != nil {
 		return err
 	}
-	t := &table{header: []string{"scenario", "nodes", "admitted", "durable", "lost", "sync_rounds", "tangle", "restarts", "rejects", "parity", "elapsed_ms"}}
+	t := &table{header: []string{"scenario", "nodes", "admitted", "durable", "lost", "sync_rounds", "tangle", "restarts", "rejects", "stale_auth", "parity", "elapsed_ms"}}
 	for _, row := range r.Rows {
 		parity := "ok"
 		if !row.CreditParityOK {
@@ -81,6 +81,7 @@ func (r *ScenarioMatrixResult) Render(w io.Writer) error {
 			fmt.Sprintf("%d", row.TangleSize),
 			fmt.Sprintf("%d", row.Restarts),
 			fmt.Sprintf("%d", row.Unauthorized),
+			fmt.Sprintf("%d", row.StaleAuthRejects),
 			parity,
 			fmt.Sprintf("%.0f", row.ElapsedMS),
 		)
@@ -90,7 +91,7 @@ func (r *ScenarioMatrixResult) Render(w io.Writer) error {
 
 // CSV writes the table as CSV.
 func (r *ScenarioMatrixResult) CSV(w io.Writer) error {
-	t := &table{header: []string{"scenario", "tier", "seed", "nodes", "submitted", "admitted", "submit_errors", "unauthorized_rejects", "guaranteed_durable", "lost_durable", "converged", "sync_rounds", "tangle_size", "watchdog_restarts", "credit_accounts", "credit_parity_ok", "max_credit_delta", "malicious_events", "elapsed_ms"}}
+	t := &table{header: []string{"scenario", "tier", "seed", "nodes", "submitted", "admitted", "submit_errors", "unauthorized_rejects", "stale_auth_rejects", "guaranteed_durable", "lost_durable", "converged", "sync_rounds", "tangle_size", "watchdog_restarts", "credit_accounts", "credit_parity_ok", "max_credit_delta", "malicious_events", "elapsed_ms"}}
 	for _, row := range r.Rows {
 		t.add(
 			row.Scenario,
@@ -101,6 +102,7 @@ func (r *ScenarioMatrixResult) CSV(w io.Writer) error {
 			fmt.Sprintf("%d", row.Admitted),
 			fmt.Sprintf("%d", row.SubmitErrors),
 			fmt.Sprintf("%d", row.Unauthorized),
+			fmt.Sprintf("%d", row.StaleAuthRejects),
 			fmt.Sprintf("%d", row.Durable),
 			fmt.Sprintf("%d", row.LostDurable),
 			fmt.Sprintf("%t", row.Converged),

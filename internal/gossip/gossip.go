@@ -37,6 +37,15 @@ const (
 	// MsgSnapshotResponse carries the JSON-encoded manifest in
 	// TxData[0].
 	MsgSnapshotResponse
+	// MsgAuthListRequest is the admission-evidence anti-entropy probe:
+	// it asks a peer for the authorization-list transaction with the
+	// sequence carried in Offset (every sequence is ledger-backed and
+	// lists are retained across snapshots, so a gap is always
+	// fillable).
+	MsgAuthListRequest
+	// MsgAuthListResponse returns the matching authorization-list
+	// transaction encodings (empty when the responder lacks it too).
+	MsgAuthListResponse
 )
 
 // String implements fmt.Stringer.
@@ -52,6 +61,10 @@ func (t MsgType) String() string {
 		return "snapshot-request"
 	case MsgSnapshotResponse:
 		return "snapshot-response"
+	case MsgAuthListRequest:
+		return "authlist-request"
+	case MsgAuthListResponse:
+		return "authlist-response"
 	default:
 		return fmt.Sprintf("msgtype(%d)", int(t))
 	}

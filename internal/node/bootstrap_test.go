@@ -71,13 +71,38 @@ func TestMultiGenerationCompactRecovery(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// churn publishes k authorize/deauthorize revision pairs: pressure
+	// on the evidence window, which must stay pinned at its floor across
+	// compactions and reboots no matter how many revisions history holds.
+	churn := func(mgr *node.Manager, k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			key, err := identity.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr.AuthorizeDevice(key.Public(), nil)
+			if _, err := mgr.PublishAuthorization(ctx); err != nil {
+				t.Fatal(err)
+			}
+			mgr.DeauthorizeDevice(key.Public())
+			if _, err := mgr.PublishAuthorization(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
 
 	// Generation 1, then reboot.
 	full, mgr, _ := boot()
+	churn(mgr, 2)
 	post(full, mgr, 30, "gen1")
 	cycle(full)
 	sizeAfter1 := full.Tangle().Size()
 	cold1 := full.Tangle().SnapshottedCount()
+	ev1 := full.MemoryStats().EvidenceVersions
+	if ev1 == 0 || ev1 > 2 {
+		t.Fatalf("evidence window after gen-1 compaction = %d versions, want 1..2", ev1)
+	}
 	if err := full.ClosePersistence(); err != nil {
 		t.Fatal(err)
 	}
@@ -91,12 +116,23 @@ func TestMultiGenerationCompactRecovery(t *testing.T) {
 	if got := full2.Tangle().SnapshottedCount(); got < cold1 {
 		t.Errorf("gen-1 recovery lost cold history: %d < %d", got, cold1)
 	}
+	// Replay re-observes every surviving list with its embedded stamp
+	// and the boot-time prune re-cuts on the snapshot epoch, so the
+	// recovered window is exactly the pre-crash one.
+	if got := full2.MemoryStats().EvidenceVersions; got != ev1 {
+		t.Fatalf("gen-1 recovery evidence window = %d versions, want %d (pre-crash)", got, ev1)
+	}
 
 	// Generation 2 on the recovered node, then reboot again.
+	churn(mgr2, 2)
 	post(full2, mgr2, 30, "gen2")
 	cycle(full2)
 	sizeAfter2 := full2.Tangle().Size()
 	cold2 := full2.Tangle().SnapshottedCount()
+	ev2 := full2.MemoryStats().EvidenceVersions
+	if ev2 != ev1 {
+		t.Fatalf("evidence window grew across generations: %d vs %d — not flat", ev2, ev1)
+	}
 	if cold2 <= cold1 {
 		t.Fatalf("second compaction pruned nothing new: %d vs %d", cold2, cold1)
 	}
@@ -120,6 +156,9 @@ func TestMultiGenerationCompactRecovery(t *testing.T) {
 	}
 	if full3.MemoryStats().ColdIndexBytes == 0 {
 		t.Error("cold index empty after two pruning generations")
+	}
+	if got := full3.MemoryStats().EvidenceVersions; got != ev2 {
+		t.Fatalf("gen-2 recovery evidence window = %d versions, want %d (pre-crash)", got, ev2)
 	}
 	// The twice-recovered node still serves, and credit survives with
 	// incremental/rescan parity.
@@ -170,11 +209,31 @@ func TestSnapshotBootstrapEquivalence(t *testing.T) {
 	}
 	dep.flush(t)
 
-	// Age the deployment well past the keep window.
+	// Age the deployment well past the keep window, with a revoke →
+	// reinstate revision pair mid-history so the authorization epochs a
+	// joiner must reconstruct are non-trivial (three list versions, one
+	// of which excludes device 0).
 	const rounds = 12
 	for r := 0; r < rounds; r++ {
 		clk.Advance(time.Minute)
+		switch r {
+		case 4:
+			dep.mgr.DeauthorizeDevice(devices[0].Key().Public())
+			if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+				t.Fatal(err)
+			}
+			dep.flush(t)
+		case 8:
+			dep.mgr.AuthorizeDevice(devices[0].Key().Public(), devices[0].Key().BoxPublic())
+			if _, err := dep.mgr.PublishAuthorization(ctx); err != nil {
+				t.Fatal(err)
+			}
+			dep.flush(t)
+		}
 		for i, device := range devices {
+			if i == 0 && r >= 4 && r < 8 {
+				continue // revoked for these rounds
+			}
 			if _, err := device.PostReading(ctx, []byte(fmt.Sprintf("r%d-d%d", r, i))); err != nil {
 				t.Fatalf("round %d device %d: %v", r, i, err)
 			}
@@ -273,6 +332,39 @@ func TestSnapshotBootstrapEquivalence(t *testing.T) {
 	for _, tx := range peerTxs {
 		if !replay.Tangle().Contains(tx.ID()) {
 			t.Fatalf("replay joiner missing live tx %s", tx.ID().Short())
+		}
+	}
+
+	// Evidence equivalence: authorization lists are a retained kind, so
+	// both joiners — snapshot-bootstrapped and full-replay — rebuild the
+	// same epoch window as the never-pruned manager: identical registry
+	// sequence and an identical admission verdict for every device at
+	// every possible evidence sequence (0 through one past current).
+	mgrReg := dep.mgr.Node().Registry()
+	curSeq := mgrReg.Seq()
+	if curSeq != 3 {
+		t.Fatalf("manager registry seq = %d, want 3 (initial, revoke, reinstate)", curSeq)
+	}
+	joiners := map[string]*node.FullNode{"snapshot": snap, "replay": replay}
+	for name, joiner := range joiners {
+		if got := joiner.Registry().Seq(); got != curSeq {
+			t.Fatalf("%s joiner registry seq = %d, want %d", name, got, curSeq)
+		}
+		if !joiner.Registry().IsAuthorizedDevice(devices[0].Key().Address()) {
+			t.Fatalf("%s joiner did not reinstate device 0", name)
+		}
+	}
+	for i, device := range devices {
+		addr := device.Key().Address()
+		for ev := uint64(0); ev <= curSeq+1; ev++ {
+			wantV, wantMissing := mgrReg.EvidenceVerdict(addr, ev)
+			for name, joiner := range joiners {
+				gotV, gotMissing := joiner.Registry().EvidenceVerdict(addr, ev)
+				if gotV != wantV || gotMissing != wantMissing {
+					t.Errorf("device %d, evidence %d: %s joiner verdict %v (missing %d) != manager %v (missing %d)",
+						i, ev, name, gotV, gotMissing, wantV, wantMissing)
+				}
+			}
 		}
 	}
 

@@ -1,0 +1,376 @@
+package node_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/b-iot/biot/internal/authz"
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// mineTx grinds the transaction's nonce to the given difficulty. Mine
+// before the first ID()/Encode() (the canonical encoding is cached).
+func mineTx(tx *txn.Transaction, difficulty int) {
+	for tx.Nonce = 0; ; tx.Nonce++ {
+		if txn.PowDigest(tx.Trunk, tx.Branch, tx.Nonce).LeadingZeroBits() >= difficulty {
+			return
+		}
+	}
+}
+
+// craftTx hand-builds a mined, signed transaction with explicit
+// parents — the deterministic replacement for a live submission when a
+// test needs exact tangle shape.
+func craftTx(key *identity.KeyPair, kind txn.Kind, payload []byte, trunk, branch hashutil.Hash, ts time.Time, difficulty int) *txn.Transaction {
+	tx := &txn.Transaction{
+		Trunk:     trunk,
+		Branch:    branch,
+		Timestamp: ts,
+		Kind:      kind,
+		Payload:   payload,
+	}
+	mineTx(tx, difficulty)
+	tx.Sign(key)
+	return tx
+}
+
+func craftAuthTx(t *testing.T, mgrKey *identity.KeyPair, list authz.List, trunk, branch hashutil.Hash, ts time.Time) *txn.Transaction {
+	t.Helper()
+	payload, err := authz.EncodeList(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return craftTx(mgrKey, txn.KindAuthorization, payload, trunk, branch, ts, testParams().MinDifficulty)
+}
+
+// injectedNode is a gateway receiving gossip from a bare injector peer:
+// the injector joins the bus WITHOUT a handler, so the node's reactive
+// lanes back to it (orphan sync, auth-list probes) fail harmlessly and
+// every admission decision is forced from exactly the bytes injected —
+// the deterministic reproduction of an arbitrary relay interleaving.
+type injectedNode struct {
+	n   *node.FullNode
+	inj gossip.Network
+}
+
+func newInjectedNode(t *testing.T, mgrKey *identity.KeyPair, clk clock.Clock, mutate func(*node.FullConfig)) *injectedNode {
+	t.Helper()
+	bus := gossip.NewBus()
+	t.Cleanup(func() { _ = bus.Close() })
+	nodeNet, err := bus.Join("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	injNet, err := bus.Join("inj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := node.FullConfig{
+		Key:        key,
+		Role:       identity.RoleGateway,
+		ManagerPub: mgrKey.Public(),
+		Credit:     testParams(),
+		Clock:      clk,
+		Network:    nodeNet,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := node.NewFull(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &injectedNode{n: n, inj: injNet}
+}
+
+// send injects one gossip batch and waits for its synchronous handling.
+func (in *injectedNode) send(t *testing.T, txs ...*txn.Transaction) {
+	t.Helper()
+	data := make([][]byte, len(txs))
+	for i, tx := range txs {
+		data[i] = tx.Encode()
+	}
+	if _, err := in.inj.Request(context.Background(), "b",
+		gossip.Message{Type: gossip.MsgTransaction, TxData: data}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+}
+
+// TestEvidenceGatePinnedRegression reproduces — deterministically — the
+// orphaned-auth-list interleaving behind the old revocation-storm flake
+// (~8%/run), and proves the evidence-at-admission gate resolves it.
+//
+// The history: list1 authorizes device D; D posts reading T (a child of
+// list1); list2 revokes D; list3 (a child of T) reinstates D. A relay
+// receives the lists AHEAD of T — exactly what gossip reordering or a
+// revocation storm produces. Under the old live-registry gate, T is
+// judged against list2's view, rejected as unauthorized, and list3 —
+// T's descendant — orphans forever: the receiver's registry is stuck
+// one revision behind the manager's. Under the evidence gate, T's
+// admission evidence is list1 (its past cone), D was a member then, so
+// T admits and list3 repairs out of quarantine.
+func TestEvidenceGatePinnedRegression(t *testing.T) {
+	ctx := context.Background()
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+
+	// Build the real history on a standalone manager node A.
+	mgrKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := node.NewFull(node.FullConfig{
+		Key:        mgrKey,
+		Role:       identity.RoleManager,
+		ManagerPub: mgrKey.Public(),
+		Credit:     testParams(),
+		Clock:      clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := node.NewManager(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	device := newTestDevice(t, full)
+	mgr.AuthorizeDevice(device.Key().Public(), device.Key().BoxPublic())
+	if _, err := mgr.PublishAuthorization(ctx); err != nil {
+		t.Fatal(err)
+	}
+	lists := full.Tangle().ByKind(txn.KindAuthorization, 0)
+	if len(lists) != 1 {
+		t.Fatalf("%d authorization lists on the manager, want 1", len(lists))
+	}
+	list1 := lists[0]
+	res, err := device.PostReading(ctx, []byte("reading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reading, err := full.GetTransaction(res.Info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the quiet single-node tangle list1 is the sole tip when the
+	// reading mines, so its past cone pins evidence sequence 1.
+	if reading.Trunk != list1.ID() || reading.Branch != list1.ID() {
+		t.Fatalf("reading parents (%s, %s), want both %s",
+			reading.Trunk, reading.Branch, list1.ID())
+	}
+	// list2 revokes D (whole-state list without it); list3 — approving
+	// the reading — reinstates D. Hand-crafted rather than published so
+	// the parent shape is exact.
+	list2 := craftAuthTx(t, mgrKey, authz.List{Seq: 2},
+		list1.ID(), list1.ID(), clk.Now())
+	list3 := craftAuthTx(t, mgrKey,
+		authz.List{Seq: 3, Devices: []string{identity.EncodePublic(device.Key().Public())}},
+		reading.ID(), list2.ID(), clk.Now())
+
+	// The flaky interleaving: both lists arrive before the reading.
+	deliver := func(in *injectedNode) {
+		in.send(t, list1, list2)
+		in.send(t, list3) // orphan: its parent (the reading) is missing
+		in.send(t, reading)
+	}
+
+	t.Run("evidence-gate", func(t *testing.T) {
+		in := newInjectedNode(t, mgrKey, clk, nil)
+		deliver(in)
+		c := in.n.CountersView()
+		if !in.n.Tangle().Contains(reading.ID()) {
+			t.Error("reading rejected despite valid admission evidence")
+		}
+		if !in.n.Tangle().Contains(list3.ID()) {
+			t.Error("list3 still orphaned after its parent arrived")
+		}
+		if got := in.n.Registry().Seq(); got != 3 {
+			t.Errorf("registry seq = %d, want 3", got)
+		}
+		if !in.n.Registry().IsAuthorizedDevice(device.Key().Address()) {
+			t.Error("device not reinstated")
+		}
+		if got := c.StaleAuthRejects.Value(); got != 0 {
+			t.Errorf("StaleAuthRejects = %d, want 0", got)
+		}
+		if got := c.QuarantineRepairs.Value(); got < 1 {
+			t.Errorf("QuarantineRepairs = %d, want ≥ 1 (list3 must repair)", got)
+		}
+		if got := in.n.QuarantineLen(); got != 0 {
+			t.Errorf("QuarantineLen = %d, want 0", got)
+		}
+	})
+
+	t.Run("pre-fix-gate", func(t *testing.T) {
+		// The same interleaving against the old live-registry check
+		// (DisableAdmissionEvidence) MUST reproduce the flake's failure
+		// shape — this is the proof the pinned history captures the bug.
+		in := newInjectedNode(t, mgrKey, clk, func(cfg *node.FullConfig) {
+			cfg.DisableAdmissionEvidence = true
+		})
+		deliver(in)
+		c := in.n.CountersView()
+		if in.n.Tangle().Contains(reading.ID()) {
+			t.Error("live-registry gate admitted the revoked-sender reading; the flake shape is gone")
+		}
+		if got := in.n.Registry().Seq(); got != 2 {
+			t.Errorf("registry seq = %d, want stuck at 2", got)
+		}
+		if in.n.Registry().IsAuthorizedDevice(device.Key().Address()) {
+			t.Error("device authorized despite the orphaned reinstating list")
+		}
+		if got := c.StaleAuthRejects.Value(); got < 1 {
+			t.Errorf("StaleAuthRejects = %d, want ≥ 1", got)
+		}
+	})
+}
+
+// TestQuarantineBounded pins the quarantine's two bounds: a flood of
+// unresolvable transactions evicts FIFO past the capacity (O(cap)
+// memory under attack), and entries past their TTL are dropped at the
+// next kick instead of waiting forever.
+func TestQuarantineBounded(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	mgrKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := newInjectedNode(t, mgrKey, clk, func(cfg *node.FullConfig) {
+		cfg.QuarantineCap = 4
+		cfg.QuarantineTTL = time.Minute
+	})
+	list1 := craftAuthTx(t, mgrKey,
+		authz.List{Seq: 1, Devices: []string{identity.EncodePublic(devKey.Public())}},
+		genesisIDs(t, in.n)[0], genesisIDs(t, in.n)[1], clk.Now())
+	in.send(t, list1)
+
+	// Ten authorized-sender transactions with fabricated parents: all
+	// structurally valid, none resolvable (the parents do not exist
+	// anywhere), so every one parks.
+	floor := testParams().MinDifficulty
+	for i := 0; i < 10; i++ {
+		var trunk, branch hashutil.Hash
+		trunk[0], trunk[1] = byte(i+1), 0xAA
+		branch[0], branch[1] = byte(i+1), 0xBB
+		in.send(t, craftTx(devKey, txn.KindData, []byte("x"), trunk, branch, clk.Now(), floor))
+	}
+	c := in.n.CountersView()
+	if got := in.n.QuarantineLen(); got != 4 {
+		t.Fatalf("QuarantineLen = %d, want cap 4", got)
+	}
+	if got := c.Quarantined.Value(); got != 10 {
+		t.Errorf("Quarantined = %d, want 10", got)
+	}
+	if got := c.QuarantineDrops.Value(); got != 6 {
+		t.Errorf("QuarantineDrops = %d, want 6 FIFO evictions", got)
+	}
+
+	// Past the TTL, the next kick (here: a valid admission) clears the
+	// survivors as expired.
+	clk.Advance(2 * time.Minute)
+	valid := craftTx(devKey, txn.KindData, []byte("ok"),
+		genesisIDs(t, in.n)[0], genesisIDs(t, in.n)[1], clk.Now(), floor)
+	in.send(t, valid)
+	c = in.n.CountersView()
+	if !in.n.Tangle().Contains(valid.ID()) {
+		t.Fatal("valid transaction rejected")
+	}
+	if got := in.n.QuarantineLen(); got != 0 {
+		t.Errorf("QuarantineLen = %d after TTL expiry, want 0", got)
+	}
+	if got := c.QuarantineDrops.Value(); got != 10 {
+		t.Errorf("QuarantineDrops = %d, want 10 (6 evictions + 4 TTL)", got)
+	}
+	if got := c.StaleAuthRejects.Value(); got != 0 {
+		t.Errorf("StaleAuthRejects = %d, want 0", got)
+	}
+}
+
+// TestRelayRejectCounterParity pins exact-reject accounting across the
+// two inbound verification paths: the batched shared-ladder path and
+// the per-transaction baseline must classify an identical batch — one
+// clean admission, one bad signature, one Sybil — into identical
+// counter deltas, with each reject counted exactly once.
+func TestRelayRejectCounterParity(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	mgrKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sybilKey, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(t *testing.T, disableBatch bool) node.Counters {
+		in := newInjectedNode(t, mgrKey, clk, func(cfg *node.FullConfig) {
+			cfg.DisableBatchVerify = disableBatch
+		})
+		g := genesisIDs(t, in.n)
+		list1 := craftAuthTx(t, mgrKey,
+			authz.List{Seq: 1, Devices: []string{identity.EncodePublic(devKey.Public())}},
+			g[0], g[1], clk.Now())
+		in.send(t, list1)
+
+		floor := testParams().MinDifficulty
+		valid := craftTx(devKey, txn.KindData, []byte("v"), g[0], g[1], clk.Now(), floor)
+		badSig := craftTx(devKey, txn.KindData, []byte("b"), g[0], g[1], clk.Now(), floor)
+		badSig.Signature[0] ^= 0xFF // corrupt BEFORE the encoding caches
+		sybil := craftTx(sybilKey, txn.KindData, []byte("s"), g[0], g[1], clk.Now(), floor)
+		in.send(t, valid, badSig, sybil)
+
+		if !in.n.Tangle().Contains(valid.ID()) {
+			t.Fatal("valid transaction rejected")
+		}
+		return in.n.CountersView()
+	}
+
+	batch := run(t, false)
+	each := run(t, true)
+
+	type row struct {
+		name        string
+		batch, each int64
+		want        int64
+	}
+	for _, r := range []row{
+		{"Accepted", batch.Accepted.Value(), each.Accepted.Value(), 2}, // list1 + valid
+		{"Rejected", batch.Rejected.Value(), each.Rejected.Value(), 1}, // bad signature, once
+		{"Unauthorized", batch.Unauthorized.Value(), each.Unauthorized.Value(), 0},
+		{"StaleAuthRejects", batch.StaleAuthRejects.Value(), each.StaleAuthRejects.Value(), 1}, // the Sybil, once
+		{"Quarantined", batch.Quarantined.Value(), each.Quarantined.Value(), 0},
+	} {
+		if r.batch != r.each {
+			t.Errorf("%s: batch path %d != per-tx path %d", r.name, r.batch, r.each)
+		}
+		if r.batch != r.want {
+			t.Errorf("%s = %d, want exactly %d", r.name, r.batch, r.want)
+		}
+	}
+}
+
+// genesisIDs returns the node's two genesis root IDs.
+func genesisIDs(t *testing.T, n *node.FullNode) [2]hashutil.Hash {
+	t.Helper()
+	roots := n.Tangle().ByKind(txn.KindGenesis, 0)
+	if len(roots) != 2 {
+		t.Fatalf("%d genesis roots, want 2", len(roots))
+	}
+	return [2]hashutil.Hash{roots[0].ID(), roots[1].ID()}
+}

@@ -111,6 +111,22 @@ type FullConfig struct {
 	// It exists as the measured baseline for the latency harness; there
 	// is no reason to set it in a deployment.
 	DisableBatchVerify bool
+
+	// DisableAdmissionEvidence reverts relayed admissions to the old
+	// live-registry authorization check (the sender is judged against
+	// this node's momentary view instead of the list in force when the
+	// transaction was admitted). It exists so the revocation-storm
+	// regression test can reproduce the pre-fix ordering race
+	// deterministically; there is no reason to set it in a deployment.
+	DisableAdmissionEvidence bool
+
+	// QuarantineCap / QuarantineTTL bound the evidence quarantine:
+	// relayed transactions whose admission evidence cannot be resolved
+	// yet (missing auth ancestor or list-sequence gap) park there and
+	// retry when lists arrive. Zero selects the defaults (256 entries,
+	// 30s).
+	QuarantineCap int
+	QuarantineTTL time.Duration
 }
 
 func (c *FullConfig) withDefaults() (FullConfig, error) {
@@ -146,11 +162,26 @@ func (c *FullConfig) withDefaults() (FullConfig, error) {
 }
 
 // Counters exposes a full node's operational counters.
+//
+// The two authorization-reject counters split by edge: Unauthorized
+// counts submission-edge rejects (a light node this gateway turned
+// away) plus forged authorization lists on any path, while
+// StaleAuthRejects counts relay-path rejects — a gossiped or synced
+// transaction whose sender is a member of no list version reachable
+// from its admission evidence. Under the evidence gate an honest
+// deployment keeps StaleAuthRejects at zero even through revocation
+// storms; a nonzero value means a genuine Sybil relay (or a peer so
+// far ahead that pruning outran the evidence window).
 type Counters struct {
 	Accepted          *metrics.Counter
 	Rejected          *metrics.Counter
 	RateLimited       *metrics.Counter
 	Unauthorized      *metrics.Counter
+	StaleAuthRejects  *metrics.Counter
+	Quarantined       *metrics.Counter
+	QuarantineDrops   *metrics.Counter
+	QuarantineRepairs *metrics.Counter
+	AuthListProbes    *metrics.Counter
 	GossipIn          *metrics.Counter
 	GossipOut         *metrics.Counter
 	JournalErrors     *metrics.Counter
@@ -178,6 +209,13 @@ type FullNode struct {
 	// skip the repeated signature work).
 	verified  *verifiedCache
 	verifySem chan struct{}
+
+	// quar parks relayed transactions whose admission evidence is not
+	// resolvable yet; kickMu makes the retry loop single-flight (a kick
+	// triggered from inside a kick — an auth list attaching during
+	// repair — is skipped, and the outer loop's progress pass re-drains).
+	quar   *quarantine
+	kickMu sync.Mutex
 
 	pendingMu sync.Mutex
 	pending   map[hashutil.Hash]*txn.Transaction // transfers awaiting confirmation
@@ -241,6 +279,11 @@ func NewFull(cfg FullConfig) (*FullNode, error) {
 			Rejected:          &metrics.Counter{},
 			RateLimited:       &metrics.Counter{},
 			Unauthorized:      &metrics.Counter{},
+			StaleAuthRejects:  &metrics.Counter{},
+			Quarantined:       &metrics.Counter{},
+			QuarantineDrops:   &metrics.Counter{},
+			QuarantineRepairs: &metrics.Counter{},
+			AuthListProbes:    &metrics.Counter{},
 			GossipIn:          &metrics.Counter{},
 			GossipOut:         &metrics.Counter{},
 			JournalErrors:     &metrics.Counter{},
@@ -249,6 +292,7 @@ func NewFull(cfg FullConfig) (*FullNode, error) {
 		pipeline:   newPipelineMetrics(),
 		verified:   newVerifiedCache(verifiedCacheSize),
 		verifySem:  newVerifySem(),
+		quar:       newQuarantine(conf.QuarantineCap, conf.QuarantineTTL),
 		pending:    make(map[hashutil.Hash]*txn.Transaction),
 		limiter:    make(map[identity.Address]*rateWindow),
 		syncCursor: make(map[string]uint64),
@@ -630,14 +674,23 @@ func (n *FullNode) attachVerified(t *txn.Transaction, now time.Time, journal boo
 	// credit ledger, not by rejecting the (already attached) evidence.
 	n.checkQuality(t, info.ID, now)
 
-	// Authorization lists take effect once attached.
+	// Authorization lists take effect once attached. Observe rather
+	// than Apply: a list older than the current view is not an error on
+	// a relay path — it still records into the evidence window (the
+	// whole point of retaining versions), it just does not move the
+	// live view backward. Like the credit record above, the window
+	// entry is stamped with the clamped EMBEDDED timestamp, so journal
+	// replay and catch-up sync prune the window identically to the
+	// nodes that saw the list live. A newly observed list may also be
+	// exactly what a quarantined transaction was waiting for.
 	if t.Kind == txn.KindAuthorization {
-		if err := n.registry.Apply(t, now); err != nil {
-			// The list is on-ledger but not applicable (e.g. stale
-			// sequence); ledger state is unaffected.
+		if _, err := n.registry.Observe(t, recordAt); err != nil {
+			// The list is on-ledger but invalid (undecodable, forged
+			// issuer); ledger state is unaffected.
 			n.counters.Rejected.Inc()
-			return info, fmt.Errorf("apply authorization list: %w", err)
+			return info, fmt.Errorf("observe authorization list: %w", err)
 		}
+		n.kickQuarantine(now)
 	}
 
 	n.counters.Accepted.Inc()
@@ -686,6 +739,20 @@ func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Messag
 			Total:  uint64(total),
 			More:   len(page) == syncPageSize,
 		}, nil
+	case gossip.MsgAuthListRequest:
+		// Anti-entropy probe for the evidence window: return the
+		// authorization-list transaction(s) with the requested sequence
+		// (msg.Offset). Lists are retained across snapshots, so any
+		// sequence this node ever admitted is servable.
+		var data [][]byte
+		for _, t := range n.tangle.ByKind(txn.KindAuthorization, 0) {
+			list, err := authz.DecodeList(t.Payload)
+			if err != nil || list.Seq != msg.Offset {
+				continue
+			}
+			data = append(data, t.Encode())
+		}
+		return &gossip.Message{Type: gossip.MsgAuthListResponse, TxData: data}, nil
 	case gossip.MsgSnapshotRequest:
 		data, err := json.Marshal(n.SnapshotManifest())
 		if err != nil {
@@ -746,8 +813,34 @@ func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]by
 	var attached []*txn.Transaction
 	defer func() { n.journalBatch(attached) }()
 
+	// gate takes the authoritative evidence-at-admission verdict just
+	// before attach (DESIGN.md §15): a definitive Unauthorized is a
+	// Sybil and is dropped; Unresolved (the evidence scan hit a
+	// list-sequence gap) parks in quarantine until the missing list
+	// arrives. Both count as failed so syncFrom keeps the page dirty.
+	// Returns true when the caller should proceed to attach.
 	var orphans []*txn.Transaction
+	gate := func(t *txn.Transaction) bool {
+		verdict, missing, ok := n.relayAuthVerdict(t)
+		if !ok {
+			return true // parents unattached: attach will orphan it
+		}
+		switch verdict {
+		case authz.VerdictUnauthorized:
+			n.counters.StaleAuthRejects.Inc()
+			failed++
+			return false
+		case authz.VerdictUnresolved:
+			n.parkQuarantine(ctx, from, t, missing, now)
+			failed++
+			return false
+		}
+		return true
+	}
 	attach := func(t *txn.Transaction) {
+		if !gate(t) {
+			return
+		}
 		if _, err := n.attachVerified(t, now, false); err != nil {
 			if errors.Is(err, tangle.ErrUnknownParent) {
 				orphans = append(orphans, t)
@@ -783,6 +876,14 @@ func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]by
 	}
 
 	if len(orphans) == 0 || !allowSync {
+		// Orphans on a no-sync path (sync pages themselves) park rather
+		// than drop: the missing parent is usually later in the same
+		// sync, and a kick then repairs them without waiting for the
+		// dirty page to be re-offered.
+		for _, t := range orphans {
+			n.parkQuarantine(ctx, from, t, 0, now)
+		}
+		n.kickQuarantine(now)
 		return failed + len(orphans)
 	}
 	// Missing parents: pull what we lack from the sender — once for the
@@ -793,16 +894,173 @@ func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]by
 		if n.tangle.Contains(t.ID()) {
 			continue
 		}
+		if !gate(t) {
+			continue
+		}
 		if _, err := n.attachVerified(t, now, false); err != nil {
-			if !errors.Is(err, tangle.ErrDuplicate) {
+			if errors.Is(err, tangle.ErrUnknownParent) {
+				// Still unresolvable after the sync round-trip: park it
+				// instead of dropping — its descendants are likely right
+				// behind it, and dropping is the orphan cascade behind
+				// the old revocation-storm flake.
+				n.parkQuarantine(ctx, from, t, 0, now)
+				failed++
+			} else if !errors.Is(err, tangle.ErrDuplicate) {
 				failed++
 			}
 		} else {
 			attached = append(attached, t)
 		}
 	}
+	n.kickQuarantine(now)
 	return failed
 }
+
+// relayAuthVerdict takes the evidence-at-admission authorization
+// verdict for one RELAYED transaction (DESIGN.md §15). The evidence is
+// the highest authorization-list sequence in the transaction's past
+// cone — the membership state its admitting gateway could have judged
+// it against — and the sender is accepted if it is a member of ANY
+// retained list version from that sequence forward (or of the current
+// view). Judging against history instead of this node's momentary
+// registry is what makes relay admission order-independent: a
+// revocation arriving before an older, still-valid reading no longer
+// rejects the reading and orphans its descendants.
+//
+// Returns ok=false when the verdict cannot be taken at all because a
+// parent is unattached (the caller falls through to the orphan path).
+// missing is the first unobserved list sequence when the verdict is
+// Unresolved — the anti-entropy probe target.
+func (n *FullNode) relayAuthVerdict(t *txn.Transaction) (verdict authz.Verdict, missing uint64, ok bool) {
+	if t.Kind == txn.KindAuthorization || t.Kind == txn.KindGenesis {
+		return authz.VerdictAuthorized, 0, true
+	}
+	if n.cfg.DisableAdmissionEvidence {
+		// Pre-evidence behaviour: judge the sender against the live
+		// registry (the ordering race the regression test pins).
+		s := t.Sender()
+		if n.registry.IsAuthorizedDevice(s) || n.registry.IsGateway(s) {
+			return authz.VerdictAuthorized, 0, true
+		}
+		return authz.VerdictUnauthorized, 0, true
+	}
+	seq, haveParents := n.tangle.EvidenceSeq(t.Trunk, t.Branch)
+	if !haveParents {
+		return authz.VerdictUnresolved, 0, false
+	}
+	verdict, missing = n.registry.EvidenceVerdict(t.Sender(), seq)
+	return verdict, missing, true
+}
+
+// parkQuarantine parks one unresolvable relayed transaction and, when
+// the block is a known list-sequence gap, probes the relaying peer for
+// the missing list immediately.
+func (n *FullNode) parkQuarantine(ctx context.Context, from string, t *txn.Transaction, missingSeq uint64, now time.Time) {
+	fresh, evicted := n.quar.park(t, from, missingSeq, now)
+	if fresh {
+		n.counters.Quarantined.Inc()
+	}
+	if evicted > 0 {
+		n.counters.QuarantineDrops.Add(int64(evicted))
+	}
+	if missingSeq > 0 {
+		n.probeAuthList(ctx, from, missingSeq)
+	}
+}
+
+// kickQuarantine retries every parked transaction — called whenever new
+// evidence can have arrived (an authorization list attached, a batch
+// completed). Single-flight: a nested kick (an auth list attaching
+// during a repair) is skipped, and the outer loop's progress pass
+// re-drains, so nothing is missed. Repairs can cascade — an attached
+// entry may be the missing parent of another — hence the loop until a
+// full pass makes no progress.
+func (n *FullNode) kickQuarantine(now time.Time) {
+	if n.quar.size() == 0 {
+		return
+	}
+	if !n.kickMu.TryLock() {
+		return
+	}
+	defer n.kickMu.Unlock()
+	var attached []*txn.Transaction
+	for {
+		progress := false
+		for _, e := range n.quar.drain() {
+			if n.tangle.Contains(e.tx.ID()) {
+				continue // repaired by another path meanwhile
+			}
+			if now.After(e.deadline) {
+				n.counters.QuarantineDrops.Inc()
+				continue
+			}
+			verdict, missing, ok := n.relayAuthVerdict(e.tx)
+			if ok && verdict == authz.VerdictUnauthorized {
+				n.counters.StaleAuthRejects.Inc()
+				continue
+			}
+			if ok && verdict == authz.VerdictUnresolved {
+				e.missingSeq = missing
+				n.quar.repark(e)
+				continue
+			}
+			if _, err := n.attachVerified(e.tx, now, false); err != nil {
+				if errors.Is(err, tangle.ErrUnknownParent) {
+					n.quar.repark(e)
+				} else if !errors.Is(err, tangle.ErrDuplicate) {
+					n.counters.QuarantineDrops.Inc()
+				}
+				continue
+			}
+			attached = append(attached, e.tx)
+			n.counters.QuarantineRepairs.Inc()
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	n.journalBatch(attached)
+}
+
+// probeAuthList asks peer for the authorization list with the given
+// sequence and folds a valid reply into the evidence window. This is
+// targeted anti-entropy: the normal sync lane still delivers the list
+// transaction for the ledger; the probe just un-blocks evidence
+// verdicts without waiting for a full sync round.
+func (n *FullNode) probeAuthList(ctx context.Context, peer string, seq uint64) {
+	if n.cfg.Network == nil || peer == "" || seq == 0 {
+		return
+	}
+	n.counters.AuthListProbes.Inc()
+	reply, err := n.cfg.Network.Request(ctx, peer, gossip.Message{
+		Type:   gossip.MsgAuthListRequest,
+		Offset: seq,
+	})
+	if err != nil || reply.Type != gossip.MsgAuthListResponse {
+		return
+	}
+	now := n.cfg.Clock.Now()
+	for _, raw := range reply.TxData {
+		t, err := txn.Decode(raw)
+		if err != nil || t.Kind != txn.KindAuthorization {
+			continue
+		}
+		if t.VerifyBasic() != nil || t.Sender() != n.registry.Manager() {
+			continue
+		}
+		recordAt := t.Timestamp
+		if recordAt.After(now) {
+			recordAt = now
+		}
+		_, _ = n.registry.Observe(t, recordAt)
+	}
+	n.kickQuarantine(now)
+}
+
+// QuarantineLen reports how many relayed transactions are currently
+// parked awaiting evidence.
+func (n *FullNode) QuarantineLen() int { return n.quar.size() }
 
 const (
 	// syncPageSize bounds how many transactions a single ExportRange

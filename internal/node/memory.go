@@ -22,6 +22,12 @@ type MemoryStats struct {
 	// ColdIndexBytes is the on-disk size of the pruned-ID index (0 when
 	// memory-only).
 	ColdIndexBytes int64 `json:"cold_index_bytes"`
+	// EvidenceVersions is the authorization-list versions retained in
+	// the admission-evidence window (bounded by cap + epoch pruning).
+	EvidenceVersions int `json:"evidence_versions"`
+	// QuarantineLen is the number of relayed transactions parked
+	// awaiting admission evidence (bounded by QuarantineCap).
+	QuarantineLen int `json:"quarantine_len"`
 	// HeapInuse is the Go runtime's in-use heap, process-wide.
 	HeapInuse uint64 `json:"heap_inuse_bytes"`
 }
@@ -32,6 +38,8 @@ func (n *FullNode) MemoryStats() MemoryStats {
 		ResidentVertices: n.tangle.Size(),
 		BoundaryRoots:    n.tangle.BoundaryCount(),
 		SnapshottedIDs:   n.tangle.SnapshottedCount(),
+		EvidenceVersions: n.registry.VersionsRetained(),
+		QuarantineLen:    n.quar.size(),
 	}
 	n.pendingMu.Lock()
 	if n.journal != nil {

@@ -96,6 +96,14 @@ func (n *FullNode) EnablePersistenceFS(fs chaos.FS, path string) (replayed int, 
 				len(deferredOrphans), tangle.ErrUnknownParent)
 		}
 	}
+	// Re-prune the evidence window to the persisted snapshot epoch:
+	// replay re-observes every journaled list, and without this a
+	// restart would resurrect versions the pre-crash node had already
+	// pruned — the window must be a function of durable state, not of
+	// restart count, for its memory bound to hold across reboots.
+	if epoch := coldIdx.Epoch(); !epoch.IsZero() {
+		n.registry.PruneVersions(epoch, evidenceMinVersions)
+	}
 	log.SetBatchConfig(store.BatchConfig{
 		MaxBatch: n.cfg.JournalMaxBatch,
 		MaxDelay: n.cfg.JournalMaxDelay,
@@ -203,8 +211,11 @@ func (n *FullNode) replayTransaction(t *txn.Transaction, generation uint64) erro
 	}
 	n.engine.Ledger().RecordTransaction(t.Sender(), info.ID, 1, t.Timestamp)
 	if t.Kind == txn.KindAuthorization {
-		// Stale lists are fine during replay — the newest wins.
-		_ = n.registry.Apply(t, t.Timestamp)
+		// Observe, not Apply: stale lists are fine during replay — the
+		// newest wins the live view — and every valid list records into
+		// the evidence window so replayed nodes take the same admission
+		// verdicts as the nodes that saw the lists live.
+		_, _ = n.registry.Observe(t, t.Timestamp)
 	}
 	// Quality punishments re-derive deterministically from the replayed
 	// data stream (the validator's per-device history rebuilds in log
@@ -236,8 +247,24 @@ func (n *FullNode) Compact(keep time.Duration) (tangleDropped, creditDropped int
 	}
 	tangleDropped = n.tangle.SnapshotEpoch(now, keep, n.cfg.SnapshotEpoch)
 	creditDropped = n.engine.Ledger().Prune(now, keep)
+	// The evidence window prunes on the SAME quantized cutoff as the
+	// tangle snapshot: list versions older than the epoch boundary can
+	// only be evidence for transactions the snapshot already folded
+	// away. Keeping the grids aligned is also what makes the window
+	// reconstructible — replay re-observes the journal's lists and
+	// re-prunes to the persisted epoch, landing on the identical set.
+	cutoff := now.Add(-keep)
+	if n.cfg.SnapshotEpoch > 0 {
+		cutoff = cutoff.Truncate(n.cfg.SnapshotEpoch)
+	}
+	n.registry.PruneVersions(cutoff, evidenceMinVersions)
 	return tangleDropped, creditDropped
 }
+
+// evidenceMinVersions is the floor PruneVersions keeps regardless of
+// age: the current list plus its predecessor, so a verdict straddling
+// the newest revision never hits a gap.
+const evidenceMinVersions = 2
 
 // CompactJournal rewrites the journal to exactly the tangle's current
 // contents (write-temp/fsync/atomic-rename; see store.Compact). Run it

@@ -1,0 +1,133 @@
+package node
+
+import (
+	"sync"
+	"time"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Quarantine-and-repair lane for relayed transactions whose admission
+// evidence cannot be resolved yet (DESIGN.md §15): a sync or gossip
+// transaction whose authorization ancestor has not attached, or whose
+// evidence scan hits a list-sequence gap, parks here instead of being
+// dropped — dropping it would orphan its descendants, which is exactly
+// the interleaving behind the old revocation-storm flake. Entries are
+// retried whenever an authorization list lands (kickQuarantine) and
+// expire on a per-entry TTL; the map is capacity-bounded with FIFO
+// eviction, so a hostile flood of unresolvable transactions costs
+// O(cap) memory and nothing more.
+
+const (
+	// defaultQuarantineCap bounds parked entries.
+	defaultQuarantineCap = 256
+	// defaultQuarantineTTL is how long an entry may wait for its
+	// missing evidence before being dropped (sync re-offers it later if
+	// it ever resolves).
+	defaultQuarantineTTL = 30 * time.Second
+)
+
+// quarEntry is one parked transaction.
+type quarEntry struct {
+	tx *txn.Transaction
+	// from is the peer that relayed it (the anti-entropy probe target).
+	from string
+	// missingSeq is the first unobserved list sequence blocking the
+	// evidence verdict; 0 when the block is an unattached parent.
+	missingSeq uint64
+	// deadline is the entry's TTL expiry.
+	deadline time.Time
+}
+
+// quarantine is the bounded parking lot. Safe for concurrent use.
+type quarantine struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	entries map[hashutil.Hash]*quarEntry
+	order   []hashutil.Hash // FIFO insertion order for capacity eviction
+}
+
+func newQuarantine(capacity int, ttl time.Duration) *quarantine {
+	if capacity <= 0 {
+		capacity = defaultQuarantineCap
+	}
+	if ttl <= 0 {
+		ttl = defaultQuarantineTTL
+	}
+	return &quarantine{
+		cap:     capacity,
+		ttl:     ttl,
+		entries: make(map[hashutil.Hash]*quarEntry, capacity),
+	}
+}
+
+// park inserts (or refreshes) an entry. fresh reports whether the
+// transaction was not already parked; evicted is how many oldest
+// entries were displaced to stay under capacity.
+func (q *quarantine) park(t *txn.Transaction, from string, missingSeq uint64, now time.Time) (fresh bool, evicted int) {
+	id := t.ID()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e, ok := q.entries[id]; ok {
+		// Already parked: refresh the blocking reason but keep the
+		// original deadline — re-offers must not extend a stay forever.
+		e.missingSeq = missingSeq
+		e.from = from
+		return false, 0
+	}
+	q.entries[id] = &quarEntry{tx: t, from: from, missingSeq: missingSeq, deadline: now.Add(q.ttl)}
+	q.order = append(q.order, id)
+	for len(q.entries) > q.cap {
+		victim := q.order[0]
+		q.order = q.order[1:]
+		if _, ok := q.entries[victim]; ok {
+			delete(q.entries, victim)
+			evicted++
+		}
+	}
+	return true, evicted
+}
+
+// repark reinserts a drained entry, preserving its original deadline.
+func (q *quarantine) repark(e *quarEntry) {
+	id := e.tx.ID()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.entries[id]; ok {
+		return
+	}
+	q.entries[id] = e
+	q.order = append(q.order, id)
+	for len(q.entries) > q.cap {
+		victim := q.order[0]
+		q.order = q.order[1:]
+		delete(q.entries, victim)
+	}
+}
+
+// drain removes and returns every parked entry in FIFO order.
+func (q *quarantine) drain() []*quarEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.entries) == 0 {
+		return nil
+	}
+	out := make([]*quarEntry, 0, len(q.entries))
+	for _, id := range q.order {
+		if e, ok := q.entries[id]; ok {
+			out = append(out, e)
+		}
+	}
+	q.entries = make(map[hashutil.Hash]*quarEntry, q.cap)
+	q.order = q.order[:0]
+	return out
+}
+
+// size reports the number of parked entries.
+func (q *quarantine) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}

@@ -20,8 +20,12 @@ import (
 const verifiedCacheSize = 8192
 
 // verifiedCache is a small mutex-guarded LRU set of transaction IDs
-// whose structural, signature, authorization and PoW checks already
-// passed on this node.
+// whose structural, signature and relay-PoW checks already passed on
+// this node. Membership does NOT cache an authorization verdict: the
+// evidence-at-admission gate is re-evaluated at the attach stage on
+// every attempt (it is monotone — a cached Authorized can only stay
+// authorized — but an Unresolved entry must keep retrying as lists
+// arrive).
 type verifiedCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -72,7 +76,10 @@ func newVerifySem() chan struct{} {
 }
 
 // verifyCached runs the full inbound verification for one transaction,
-// short-circuiting through the verified-ID LRU on gossip echoes.
+// short-circuiting through the verified-ID LRU on gossip echoes. It
+// performs exactly the batch path's checks in the same order —
+// precheckInbound (structure, evidence gate, relay PoW floor) then the
+// Ed25519 signature — so the two paths count rejections identically.
 func (n *FullNode) verifyCached(t *txn.Transaction, now time.Time) error {
 	id := t.ID()
 	if n.verified.Contains(id) {
@@ -80,11 +87,12 @@ func (n *FullNode) verifyCached(t *txn.Transaction, now time.Time) error {
 		return nil
 	}
 	start := time.Now()
-	err := n.verifyIdentity(t)
+	err := n.precheckInbound(t)
 	if err == nil {
-		// Relayed work is checked against the floor, not this node's
-		// credit view — see verifyRelayDifficulty.
-		err = n.verifyRelayDifficulty(t)
+		if serr := identity.Verify(t.Issuer, t.SigningBytes(), t.Signature); serr != nil {
+			n.counters.Rejected.Inc()
+			err = serr
+		}
 	}
 	n.pipeline.VerifyLatency.Observe(time.Since(start))
 	if err == nil {
@@ -200,22 +208,29 @@ func (n *FullNode) verifyInboundBatch(txs []*txn.Transaction, now time.Time) []*
 }
 
 // precheckInbound runs every relay-admission check except the
-// signature: structure, authorization, and the relay PoW floor. It
-// mirrors verifyIdentity + verifyRelayDifficulty with the Ed25519
-// verification factored out for batch settlement.
+// signature: structure, the evidence-at-admission authorization gate,
+// and the relay PoW floor — the Ed25519 verification is factored out
+// for batch settlement.
+//
+// The authorization gate here is advisory DoS protection, not the
+// decision: only a DEFINITIVE Unauthorized verdict (the sender is a
+// member of no retained list version reachable from the transaction's
+// evidence — a Sybil) rejects early, sparing the signature work.
+// Authorized and Unresolved both continue; the authoritative verdict
+// is re-taken at the attach stage, where an Unresolved transaction
+// parks in quarantine instead of being dropped.
 func (n *FullNode) precheckInbound(t *txn.Transaction) error {
 	if err := t.VerifyStructure(); err != nil {
 		n.counters.Rejected.Inc()
 		return err
 	}
-	sender := t.Sender()
 	if t.Kind == txn.KindAuthorization {
-		if sender != n.registry.Manager() {
+		if t.Sender() != n.registry.Manager() {
 			n.counters.Unauthorized.Inc()
 			return authz.ErrNotManager
 		}
-	} else if !n.registry.IsAuthorizedDevice(sender) && !n.registry.IsGateway(sender) {
-		n.counters.Unauthorized.Inc()
+	} else if verdict, _, ok := n.relayAuthVerdict(t); ok && verdict == authz.VerdictUnauthorized {
+		n.counters.StaleAuthRejects.Inc()
 		return ErrUnauthorizedDevice
 	}
 	return n.verifyRelayDifficulty(t)

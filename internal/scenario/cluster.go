@@ -404,6 +404,16 @@ func (c *Cluster) HealAll(ctx context.Context) error {
 	return nil
 }
 
+// staleAuthRejects sums the relay-path authorization-reject counter
+// across every live full node.
+func (c *Cluster) staleAuthRejects() int64 {
+	var total int64
+	for _, n := range c.fulls() {
+		total += n.CountersView().StaleAuthRejects.Value()
+	}
+	return total
+}
+
 // fulls returns every live full node, manager first.
 func (c *Cluster) fulls() []*node.FullNode {
 	out := []*node.FullNode{c.MgrNode}

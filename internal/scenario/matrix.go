@@ -184,13 +184,33 @@ func revocationStorm(tier Tier) Spec {
 			return fmt.Errorf("authorization gate rejected %d submissions, want exactly %d",
 				r.Unauthorized, expectRejects)
 		}
-		reg := c.fulls()[0].Registry()
-		for d, dev := range c.Devices {
-			if !reg.IsAuthorizedDevice(dev.Key.Address()) {
-				return fmt.Errorf("device %d still revoked after the storm", d)
+		// The evidence-at-admission gate makes relay admission
+		// order-independent, so a storm of revocations and
+		// reinstatements must produce ZERO relay-path rejects — the old
+		// live-registry gate flaked here (~8%/run) when a revocation
+		// list overtook an older still-valid reading in the gossip
+		// order and orphaned the reading's descendants.
+		if r.StaleAuthRejects != 0 {
+			return fmt.Errorf("%d relay-path authorization rejects; the evidence gate requires 0",
+				r.StaleAuthRejects)
+		}
+		mgrSeq := c.MgrNode.Registry().Seq()
+		for i, n := range c.fulls() {
+			if seq := n.Registry().Seq(); seq != mgrSeq {
+				return fmt.Errorf("full node %d registry at list seq %d, manager at %d (orphaned auth list)",
+					i, seq, mgrSeq)
+			}
+			for d, dev := range c.Devices {
+				if !n.Registry().IsAuthorizedDevice(dev.Key.Address()) {
+					return fmt.Errorf("device %d still revoked on full node %d after the storm", d, i)
+				}
+			}
+			if q := n.QuarantineLen(); q != 0 {
+				return fmt.Errorf("full node %d still holds %d quarantined transactions after healing", i, q)
 			}
 		}
-		r.Notes = fmt.Sprintf("%d revocation rejects, all reinstated", r.Unauthorized)
+		r.Notes = fmt.Sprintf("%d revocation rejects, 0 stale-gate, all registries at seq %d, all reinstated",
+			r.Unauthorized, mgrSeq)
 		return nil
 	}
 	return spec

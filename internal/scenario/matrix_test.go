@@ -80,6 +80,46 @@ func TestScenarioMatrixLong(t *testing.T) {
 	runMatrix(t, TierLong)
 }
 
+// TestRevocationStormFlakeSweep replays the revocation-storm cell at
+// many DISTINCT seeds — the cell that used to flake ~8%/run when relay
+// admission was judged against the live registry instead of admission
+// evidence. Five seeds ride in the ordinary suite as a smoke test;
+// make test-flake raises it to 60 via BIOT_FLAKE_RUNS, which at the old
+// flake rate had >99% probability of reproducing at least one failure.
+// Every run must also finish with zero relay-path authorization
+// rejects: the fix is only credible if the storm produces NO stale-gate
+// activity at all, not merely a recovered registry.
+func TestRevocationStormFlakeSweep(t *testing.T) {
+	runs := 5
+	if env := os.Getenv("BIOT_FLAKE_RUNS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("BIOT_FLAKE_RUNS: bad value %q", env)
+		}
+		runs = v
+	}
+	base := scenarioSeed(t)
+	for i := 0; i < runs; i++ {
+		seed := base + int64(i)
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			// A fresh Spec per run: the storm hooks close over mutable
+			// per-run state (revocation rotation, expected rejects).
+			spec, ok := SpecByName("revocation-storm", TierCI)
+			if !ok {
+				t.Fatal("revocation-storm missing from the matrix")
+			}
+			res, err := Run(context.Background(), spec, seed)
+			if err != nil {
+				t.Fatalf("[rerun with BIOT_SCENARIO_SEED=%d] %v\nrow: %+v", seed, err, res)
+			}
+			if res.StaleAuthRejects != 0 {
+				t.Fatalf("[seed %d] %d stale-gate rejects, want 0", seed, res.StaleAuthRejects)
+			}
+		})
+	}
+}
+
 // TestSpecByName pins the registry surface the soak test and the
 // bench experiment depend on.
 func TestSpecByName(t *testing.T) {

@@ -114,6 +114,10 @@ type Result struct {
 	Admitted     int64 `json:"admitted"`
 	SubmitErrors int64 `json:"submit_errors"`
 	Unauthorized int64 `json:"unauthorized_rejects"`
+	// StaleAuthRejects sums the fleet's relay-path authorization
+	// rejects. Under the evidence-at-admission gate it must be zero in
+	// every Sybil-free scenario — including revocation storms.
+	StaleAuthRejects int64 `json:"stale_auth_rejects"`
 
 	Durable     int  `json:"guaranteed_durable"`
 	LostDurable int  `json:"lost_durable"`
@@ -160,6 +164,7 @@ func Run(ctx context.Context, spec Spec, seed int64) (res Result, err error) {
 		res.Admitted = c.admitted.Load()
 		res.SubmitErrors = c.submitErrors.Load()
 		res.Unauthorized = c.unauthorized.Load()
+		res.StaleAuthRejects = c.staleAuthRejects()
 		res.Restarts = c.totalRestarts()
 	}
 

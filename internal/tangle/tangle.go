@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/b-iot/biot/internal/authz"
 	"github.com/b-iot/biot/internal/clock"
 	"github.com/b-iot/biot/internal/hashutil"
 	"github.com/b-iot/biot/internal/identity"
@@ -109,6 +110,13 @@ type vertex struct {
 	// mark is the epoch stamp used by propagateWeightLocked to detect
 	// already-visited vertices without allocating a per-attach set.
 	mark uint64
+	// authSeq is the admission evidence: the highest authorization-list
+	// sequence in this vertex's past cone, maintained incrementally as
+	// max(parent authSeqs) — plus the vertex's own decoded sequence when
+	// it IS an authorization list. Boundary-rooted vertices (restore,
+	// bootstrap) under-approximate toward 0, which is safe: evidence
+	// only widens the membership scan (see authz.EvidenceVerdict).
+	authSeq uint64
 }
 
 // Info is the public view of a vertex.
@@ -437,6 +445,44 @@ func (t *Tangle) bootstrapAttachableLocked(pid hashutil.Hash) bool {
 	return ok
 }
 
+// EvidenceSeq derives the admission evidence a transaction with the
+// given parents would carry: the highest authorization-list sequence
+// in its past cone (the max of the parents' own evidence). ok is false
+// when a parent is neither attached nor a bootstrap boundary root —
+// the transaction is an orphan and its evidence cannot be resolved
+// yet. Boundary roots contribute 0 (a safe under-approximation: it can
+// only widen the membership scan, never narrow it).
+func (t *Tangle) EvidenceSeq(trunk, branch hashutil.Hash) (seq uint64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, pid := range [...]hashutil.Hash{trunk, branch} {
+		v, live := t.vertices[pid]
+		if !live {
+			if t.bootstrapAttachableLocked(pid) {
+				continue // boundary root: pre-epoch history, evidence 0
+			}
+			return 0, false
+		}
+		if v.authSeq > seq {
+			seq = v.authSeq
+		}
+	}
+	return seq, true
+}
+
+// AuthSeqOf reports the attached vertex's admission evidence (the
+// highest authorization-list sequence in its past cone); ok is false
+// for unknown IDs.
+func (t *Tangle) AuthSeqOf(id hashutil.Hash) (seq uint64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.vertices[id]
+	if !ok {
+		return 0, false
+	}
+	return v.authSeq, true
+}
+
 // insertLocked wires a validated transaction into the DAG. trunk or
 // branch may be nil on the Restore path only, meaning that parent was
 // folded away by a pre-crash snapshot: the vertex attaches as a
@@ -456,12 +502,25 @@ func (t *Tangle) insertLocked(tx *txn.Transaction, id hashutil.Hash, trunk, bran
 	if branch != nil && branch.height > height {
 		height = branch.height
 	}
+	authSeq := uint64(0)
+	if trunk != nil {
+		authSeq = trunk.authSeq
+	}
+	if branch != nil && branch.authSeq > authSeq {
+		authSeq = branch.authSeq
+	}
+	if tx.Kind == txn.KindAuthorization {
+		if list, err := authz.DecodeList(tx.Payload); err == nil && list.Seq > authSeq {
+			authSeq = list.Seq
+		}
+	}
 	v := &vertex{
 		tx:         tx.Clone(),
 		id:         id,
 		status:     StatusPending,
 		attachedAt: now,
 		height:     height + 1,
+		authSeq:    authSeq,
 	}
 	t.vertices[id] = v
 	t.order = append(t.order, id)
