@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-chaos test-scenarios test-scenarios-long test-flake race cover bench bench-gossip bench-store bench-scenarios bench-latency bench-mem bench-all figures examples fuzz clean
+.PHONY: all build vet test test-short test-chaos test-scenarios test-scenarios-long test-flake test-shard race cover bench bench-gossip bench-store bench-scenarios bench-latency bench-mem bench-shard bench-all figures examples fuzz clean
 
 all: build vet test
 
@@ -27,6 +27,7 @@ test: vet
 	$(GO) run ./cmd/biot-bench -fig store -quick
 	$(GO) run ./cmd/biot-bench -fig latency -quick
 	$(GO) run ./cmd/biot-bench -fig mem -quick
+	$(GO) run ./cmd/biot-bench -fig shard -quick
 	$(GO) test -run 'TestWirePathAllocationBudget|TestSteadyStateZeroAlloc' -count=1 ./internal/txn/
 	$(GO) test -race -run 'TestResidentVerticesStayBounded' -count=1 ./internal/tangle/
 
@@ -58,6 +59,17 @@ test-flake:
 # The scenario matrix at the 100+-node tier (111 nodes per cell).
 test-scenarios-long:
 	BIOT_SCENARIO_LONG=1 $(GO) test -race -run TestScenarioMatrixLong -count=1 -timeout 30m -v ./internal/scenario/
+
+# The sharded two-tier topology suite, race-enabled: the node-level
+# two-shard convergence/leakage property, the multi-region roam
+# scenario (device carries credit across regions, border gateway
+# crash-reboots mid-run, zero durable loss), and the keyfile identity
+# round trip. A failing scenario prints its seed; replay with
+# BIOT_SCENARIO_SEED=<seed> make test-shard.
+test-shard:
+	$(GO) test -race -run 'TestShardedRegionsConvergeWithoutLeakage' -count=1 -v ./internal/node/
+	$(GO) test -race -run 'TestMultiRegionRoam' -count=1 -v ./internal/scenario/
+	$(GO) test -race -run 'TestKeyfileRoundTripsAcrossSupervisorRestart' -count=1 ./cmd/biot-node/
 
 # Fast feedback loop: no race detector, skip the long soak/stress tests.
 test-short:
@@ -114,6 +126,14 @@ bench-latency:
 bench-mem:
 	$(GO) run ./cmd/biot-bench -fig mem -json BENCH_mem.json
 
+# The sharded-topology scaling figure alone (regenerates
+# BENCH_shard.json): aggregate admitted tx/s at 1..4 region gateways
+# with a fixed per-disk fsync latency as the bottleneck; the run
+# fails unless 4 gateways deliver ≥0.8× the ideal 4×-baseline line
+# with convergence, leakage, and credit-parity gates all green.
+bench-shard:
+	$(GO) run ./cmd/biot-bench -fig shard -json BENCH_shard.json
+
 # Regenerate every committed BENCH_*.json snapshot in one sweep.
 bench-all:
 	$(GO) run ./cmd/biot-bench -fig tangle -json BENCH_tangle.json
@@ -123,6 +143,7 @@ bench-all:
 	$(GO) run ./cmd/biot-bench -fig scenarios -json BENCH_scenarios.json
 	$(GO) run ./cmd/biot-bench -fig latency -json BENCH_latency.json
 	$(GO) run ./cmd/biot-bench -fig mem -json BENCH_mem.json
+	$(GO) run ./cmd/biot-bench -fig shard -json BENCH_shard.json
 
 # Regenerate every paper figure with full (Pi-emulated) parameters.
 figures:

@@ -22,6 +22,7 @@
 //	biot-bench -fig scenarios          # 100+-node scenario-matrix survival table
 //	biot-bench -fig latency            # open-loop admission-latency sweep
 //	biot-bench -fig mem                # bounded-memory ledger + snapshot join time
+//	biot-bench -fig shard              # sharded multi-gateway aggregate scaling
 //	biot-bench -fig 9 -csv out.csv     # also write CSV
 //	biot-bench -fig pipeline -json BENCH_pipeline.json
 package main
@@ -44,7 +45,7 @@ type renderable interface {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, tangle, gossip, chaos, store, scenarios, latency, mem, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 8a, 8b, 9, 10, security, throughput, keydist, pipeline, tangle, gossip, chaos, store, scenarios, latency, mem, shard, all")
 	quick := flag.Bool("quick", false, "CI-scale parameters (smaller sweeps, no device emulation)")
 	csvPath := flag.String("csv", "", "also write the result as CSV to this file (single figure only)")
 	jsonPath := flag.String("json", "", "also write the result as JSON to this file (single figure only; figures that support it)")
@@ -65,7 +66,7 @@ func run(fig string, quick bool, csvPath, jsonPath string) error {
 	ctx := context.Background()
 	figs := []string{fig}
 	if fig == "all" {
-		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline", "tangle", "gossip", "chaos", "store", "scenarios", "latency", "mem"}
+		figs = []string{"7", "8a", "8b", "9", "10", "security", "throughput", "keydist", "scale", "lazyresist", "lambda", "pipeline", "tangle", "gossip", "chaos", "store", "scenarios", "latency", "mem", "shard"}
 		if csvPath != "" {
 			return fmt.Errorf("-csv requires a single figure")
 		}
@@ -203,6 +204,12 @@ func runOne(ctx context.Context, fig string, quick bool) (renderable, error) {
 			cfg = experiments.QuickMemBenchConfig()
 		}
 		return experiments.RunMemBench(ctx, cfg)
+	case "shard":
+		cfg := experiments.DefaultShardBenchConfig()
+		if quick {
+			cfg = experiments.QuickShardBenchConfig()
+		}
+		return experiments.RunShardBench(ctx, cfg)
 	case "scale":
 		cfg := experiments.DefaultScalabilityConfig()
 		if quick {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/b-iot/biot/internal/identity"
+)
+
+// loadOrCreateKey gives a node a durable identity. The file holds the
+// hex-encoded 32-byte identity seed — the whole secret — so it is
+// written 0600 and refused when some other user could read it. A
+// missing file means first boot: generate, persist, proceed. Every
+// later boot (including a supervisor restart after a crash) derives
+// the same address, which is what lets the journal's foreign-log check
+// accept the node's own history back.
+func loadOrCreateKey(path string) (*identity.KeyPair, error) {
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if info, err := os.Stat(path); err == nil && info.Mode().Perm()&0o077 != 0 {
+			return nil, fmt.Errorf("keyfile %s is group/world accessible (%v); chmod 600 it", path, info.Mode().Perm())
+		}
+		seed, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil {
+			return nil, fmt.Errorf("keyfile %s is not hex: %w", path, err)
+		}
+		key, err := identity.FromSeed(seed)
+		if err != nil {
+			return nil, fmt.Errorf("keyfile %s: %w", path, err)
+		}
+		return key, nil
+	case os.IsNotExist(err):
+		key, err := identity.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("generate node account: %w", err)
+		}
+		encoded := hex.EncodeToString(key.Seed()) + "\n"
+		if err := os.WriteFile(path, []byte(encoded), 0o600); err != nil {
+			return nil, fmt.Errorf("persist keyfile: %w", err)
+		}
+		return key, nil
+	default:
+		return nil, fmt.Errorf("read keyfile: %w", err)
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+)
+
+// TestKeyfileRoundTripsAcrossSupervisorRestart pins the -keyfile
+// contract: the first boot mints an identity into a 0600 file, and
+// every later boot — here a full supervisor stop/start against the
+// node's own journal — derives the same address, so the journal's
+// foreign-log check accepts the history back and replays it.
+func TestKeyfileRoundTripsAcrossSupervisorRestart(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "node.key")
+	journal := filepath.Join(dir, "node.journal")
+
+	key, err := loadOrCreateKey(keyPath)
+	if err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	info, err := os.Stat(keyPath)
+	if err != nil {
+		t.Fatalf("keyfile not persisted: %v", err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Fatalf("keyfile mode %v, want 0600", perm)
+	}
+
+	// Boot a supervised manager with the persisted identity and commit
+	// some history to the journal.
+	boot := func(key *identity.KeyPair) *node.Supervisor {
+		t.Helper()
+		sup, err := node.NewSupervisor(node.SupervisorConfig{
+			Build: func() (*node.FullNode, error) {
+				return node.NewFull(node.FullConfig{
+					Key:        key,
+					Role:       identity.RoleManager,
+					ManagerPub: key.Public(),
+				})
+			},
+			PersistPath: journal,
+		})
+		if err != nil {
+			t.Fatalf("supervisor: %v", err)
+		}
+		if err := sup.Start(); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+		return sup
+	}
+	sup := boot(key)
+	mgr, err := node.NewManager(sup.Node())
+	if err != nil {
+		t.Fatal(err)
+	}
+	device, err := identity.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.AuthorizeDevice(device.Public(), device.BoxPublic())
+	if _, err := mgr.PublishAuthorization(context.Background()); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	addr := sup.Node().Address()
+	if err := sup.Stop(context.Background()); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	// The restart path: reload the identity from disk, reboot, and the
+	// node must be the same account with its history replayed.
+	reloaded, err := loadOrCreateKey(keyPath)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if reloaded.Address() != key.Address() {
+		t.Fatalf("keyfile changed identity: %s vs %s", reloaded.Address().Hex(), addr.Hex())
+	}
+	sup2 := boot(reloaded)
+	defer sup2.Stop(context.Background())
+	if got := sup2.Node().Address(); got != addr {
+		t.Fatalf("rebooted node address %s, want %s", got.Hex(), addr.Hex())
+	}
+	if replayed := sup2.Health().Replayed; replayed == 0 {
+		t.Fatal("journal replayed nothing: the reloaded identity was not accepted as the log's owner")
+	}
+
+	// A different keyfile is a different account: the contract is the
+	// file, not the path's first caller.
+	other, err := loadOrCreateKey(filepath.Join(dir, "other.key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Address() == key.Address() {
+		t.Fatal("distinct keyfiles minted the same identity")
+	}
+
+	// Tampered or exposed files are refused outright.
+	if err := os.WriteFile(filepath.Join(dir, "bad.key"), []byte("not-hex\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadOrCreateKey(filepath.Join(dir, "bad.key")); err == nil {
+		t.Fatal("non-hex keyfile accepted")
+	}
+	if err := os.Chmod(keyPath, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadOrCreateKey(keyPath); err == nil {
+		t.Fatal("world-readable keyfile accepted")
+	}
+}

@@ -46,29 +46,37 @@ func main() {
 
 func run() error {
 	var (
-		role         = flag.String("role", "gateway", "node role: manager or gateway")
-		rpcAddr      = flag.String("rpc", "127.0.0.1:14265", "RESTful API listen address")
-		gossipAddr   = flag.String("gossip", "127.0.0.1:15600", "gossip listen address")
-		peers        = flag.String("peers", "", "comma-separated gossip addresses of peer full nodes")
-		managerPub   = flag.String("manager-pub", "", "hex manager public key (required for gateways)")
-		authorize    = flag.String("authorize", "", "comma-separated hex device public keys to authorize (manager only)")
-		difficulty   = flag.Int("difficulty", 11, "initial PoW difficulty D0")
-		rateLimit    = flag.Int("rate-limit", 50, "per-device submissions per second (0 = unlimited)")
-		persistPath  = flag.String("persist", "", "transaction log path; the ledger survives restarts when set")
-		journalBatch = flag.Int("journal-batch", 0, "max admitted records per journal fsync (0 = store default, 1 = fsync per record)")
-		journalDelay = flag.Duration("journal-delay", 0, "how long the journal commit leader lingers for a fuller batch (0 = flush immediately)")
-		withQuality  = flag.Bool("quality", false, "enable sensor data quality control on plaintext readings")
-		snapshotKeep = flag.Duration("snapshot-keep", 0, "compact the ledger periodically, keeping this much history (0 = never)")
+		role             = flag.String("role", "gateway", "node role: manager or gateway")
+		rpcAddr          = flag.String("rpc", "127.0.0.1:14265", "RESTful API listen address")
+		gossipAddr       = flag.String("gossip", "127.0.0.1:15600", "gossip listen address")
+		peers            = flag.String("peers", "", "comma-separated gossip addresses of peer full nodes")
+		managerPub       = flag.String("manager-pub", "", "hex manager public key (required for gateways)")
+		authorize        = flag.String("authorize", "", "comma-separated hex device public keys to authorize (manager only)")
+		difficulty       = flag.Int("difficulty", 11, "initial PoW difficulty D0")
+		rateLimit        = flag.Int("rate-limit", 50, "per-device submissions per second (0 = unlimited)")
+		persistPath      = flag.String("persist", "", "transaction log path; the ledger survives restarts when set")
+		journalBatch     = flag.Int("journal-batch", 0, "max admitted records per journal fsync (0 = store default, 1 = fsync per record)")
+		journalDelay     = flag.Duration("journal-delay", 0, "how long the journal commit leader lingers for a fuller batch (0 = flush immediately)")
+		withQuality      = flag.Bool("quality", false, "enable sensor data quality control on plaintext readings")
+		snapshotKeep     = flag.Duration("snapshot-keep", 0, "compact the ledger periodically, keeping this much history (0 = never)")
 		snapshotInterval = flag.Duration("snapshot-interval", 0, "quantize compaction cutoffs to this epoch so all gateways cut at the same boundary (0 = unaligned)")
-		keyfile      = flag.String("keyfile", "", "not yet supported; reserved for persisted node identity")
+		keyfile          = flag.String("keyfile", "", "persisted node identity: hex seed file, created 0600 on first boot")
+		shard            = flag.Uint("shard", 0, "tangle namespace this gateway admits device traffic into (0 = single-tier)")
+		backboneAddr     = flag.String("backbone", "", "inter-gateway backbone listen address (empty = no backbone tier)")
+		backbonePeers    = flag.String("backbone-peers", "", "comma-separated backbone addresses of other region gateways / the manager")
 	)
 	flag.Parse()
-	if *keyfile != "" {
-		return errors.New("-keyfile persistence is not implemented; node identity is ephemeral")
+	if *backbonePeers != "" && *backboneAddr == "" {
+		return errors.New("-backbone-peers requires -backbone")
 	}
 
-	key, err := identity.Generate()
-	if err != nil {
+	var key *identity.KeyPair
+	var err error
+	if *keyfile != "" {
+		if key, err = loadOrCreateKey(*keyfile); err != nil {
+			return err
+		}
+	} else if key, err = identity.Generate(); err != nil {
 		return fmt.Errorf("generate node account: %w", err)
 	}
 
@@ -107,6 +115,18 @@ func run() error {
 		if *withQuality {
 			validator = quality.NewValidator(nil)
 		}
+		var backbone gossip.Network
+		if *backboneAddr != "" {
+			bb, err := gossip.ListenTCP(*backboneAddr)
+			if err != nil {
+				net.Close()
+				return nil, fmt.Errorf("backbone listener: %w", err)
+			}
+			for _, p := range splitList(*backbonePeers) {
+				bb.AddPeer(p)
+			}
+			backbone = bb
+		}
 		full, err := node.NewFull(node.FullConfig{
 			Key:        key,
 			Role:       nodeRole,
@@ -117,11 +137,17 @@ func run() error {
 			RateWindow: time.Second,
 			Quality:    validator,
 
+			ShardID:  uint32(*shard),
+			Backbone: backbone,
+
 			JournalMaxBatch: *journalBatch,
 			JournalMaxDelay: *journalDelay,
 			SnapshotEpoch:   *snapshotInterval,
 		})
 		if err != nil {
+			if backbone != nil {
+				backbone.Close()
+			}
 			net.Close()
 			return nil, err
 		}
@@ -157,6 +183,13 @@ func run() error {
 	fmt.Printf("  public key:  %s\n", hex.EncodeToString(key.Public()))
 	fmt.Printf("  rpc:         http://%s\n", *rpcAddr)
 	fmt.Printf("  gossip:      %s (peers: %s)\n", full.Network().Self(), *peers)
+	if *keyfile != "" {
+		fmt.Printf("  identity:    %s (persisted)\n", *keyfile)
+	}
+	if *backboneAddr != "" {
+		fmt.Printf("  backbone:    %s shard %d (peers: %s)\n",
+			full.Backbone().Self(), *shard, *backbonePeers)
+	}
 	if *persistPath != "" {
 		fmt.Printf("  persisted:   %s (%d records replayed)\n",
 			*persistPath, sup.Health().Replayed)
@@ -202,6 +235,28 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
+
+	// Sharded tier: reconcile control-plane history and credit digests
+	// over the backbone on the default cadence. The loop re-resolves the
+	// node each tick so it follows watchdog restarts transparently.
+	if *backboneAddr != "" {
+		reconcileCtx, stopReconcile := context.WithCancel(context.Background())
+		defer stopReconcile()
+		go func() {
+			ticker := time.NewTicker(2 * time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-reconcileCtx.Done():
+					return
+				case <-ticker.C:
+					if n := sup.Node(); n != nil {
+						n.Reconcile(reconcileCtx)
+					}
+				}
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

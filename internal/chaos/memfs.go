@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // MemFS is an in-memory filesystem with an explicit durability model,
@@ -43,8 +44,9 @@ type MemFS struct {
 	crashAt int // 1-based op index that crashes the disk; 0 = never
 	crashed bool
 
-	syncErr  error // one-shot injected Sync failure
-	writeErr error // one-shot injected Write failure
+	syncErr   error         // one-shot injected Sync failure
+	writeErr  error         // one-shot injected Write failure
+	syncDelay time.Duration // modelled fsync latency; 0 = instant
 }
 
 // memFile is one file: its durable bytes plus the pending (unsynced)
@@ -100,6 +102,20 @@ func (fs *MemFS) Crashed() bool {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.crashed
+}
+
+// SetSyncDelay models a disk with a fixed flush latency: every
+// subsequent Sync occupies the disk for d before the data is durable,
+// and the disk serves nothing else meanwhile — fsyncs against one
+// MemFS serialize, exactly like a single physical write head. The
+// group-commit journal amortizes the delay across a batch, so with
+// concurrent writers a deployment's throughput becomes
+// batch-size/delay per disk: the knob that lets benchmarks model a
+// storage-bound gateway on a machine with any core count.
+func (fs *MemFS) SetSyncDelay(d time.Duration) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.syncDelay = d
 }
 
 // InjectSyncError makes the next Sync on any file fail with err
@@ -446,6 +462,12 @@ func (h *memHandle) Sync() error {
 	if serr := h.fs.syncErr; serr != nil {
 		h.fs.syncErr = nil
 		return serr
+	}
+	if d := h.fs.syncDelay; d > 0 {
+		// Deliberately slept under fs.mu: a flushing disk serves no
+		// other operation, so concurrent syncs (and writes) queue
+		// behind the head just as they would on hardware.
+		time.Sleep(d)
 	}
 	h.f.durable = append([]byte(nil), h.f.data...)
 	h.f.pending = nil

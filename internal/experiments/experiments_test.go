@@ -524,3 +524,52 @@ func TestLatencyBenchSweep(t *testing.T) {
 		t.Error("empty config accepted")
 	}
 }
+
+// TestShardBenchSweep smoke-tests the sharded-topology scaling sweep
+// at CI scale: every cell's correctness gates (control-namespace
+// convergence, zero cross-shard leakage, credit agreement and oracle
+// parity) must hold even where the throughput headline is not gated.
+func TestShardBenchSweep(t *testing.T) {
+	cfg := QuickShardBenchConfig()
+	res, err := RunShardBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(cfg.Gateways) {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), len(cfg.Gateways))
+	}
+	for _, c := range res.Cells {
+		if want := c.Gateways * cfg.Devices * cfg.Ops; c.Admitted != want {
+			t.Errorf("%d gateways: admitted %d, want %d", c.Gateways, c.Admitted, want)
+		}
+		if !c.Converged || !c.NoLeakage {
+			t.Errorf("%d gateways: converged=%v leakage-free=%v", c.Gateways, c.Converged, c.NoLeakage)
+		}
+		if !c.CreditAgree || !c.CreditParity {
+			t.Errorf("%d gateways: credit agree=%v parity=%v", c.Gateways, c.CreditAgree, c.CreditParity)
+		}
+		for si, size := range c.ShardSizes {
+			if want := cfg.Devices * cfg.Ops; size != want {
+				t.Errorf("%d gateways: shard %d holds %d vertices, want %d", c.Gateways, si+1, size, want)
+			}
+		}
+		if c.Gateways > 1 && c.BackbonePages == 0 {
+			t.Errorf("%d gateways: no backbone sync pages pulled", c.Gateways)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil || buf.Len() == 0 {
+		t.Fatalf("render: %v (%d bytes)", err, buf.Len())
+	}
+	buf.Reset()
+	if err := res.CSV(&buf); err != nil || !strings.Contains(buf.String(), "backbone_sync_pages") {
+		t.Fatalf("csv: %v", err)
+	}
+	buf.Reset()
+	if err := res.JSON(&buf); err != nil || !strings.Contains(buf.String(), "scaling") {
+		t.Fatalf("json: %v", err)
+	}
+	if _, err := RunShardBench(context.Background(), ShardBenchConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}

@@ -1,0 +1,532 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/b-iot/biot/internal/chaos"
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+)
+
+// ShardBenchConfig parameterizes the sharded-topology scaling
+// benchmark (DESIGN.md §16). Each cell deploys N region gateways
+// behind one backbone: every gateway admits its own devices into its
+// own tangle namespace and journals to its own disk, so the only
+// shared medium is the backbone's control-plane and credit-digest
+// reconciliation. The disk is the bottleneck by construction — every
+// gateway's journal flushes through a MemFS with a fixed fsync
+// latency — so a single gateway's admission rate is pinned at
+// roughly batch/SyncDelay and the question the benchmark answers is
+// whether N gateways deliver N times that, i.e. whether admission is
+// actually shard-parallel or secretly serialized through shared
+// state. Disk waits overlap across gateways regardless of host core
+// count, which keeps the cell honest on small CI machines.
+type ShardBenchConfig struct {
+	// Gateways lists the topology sizes swept; the first entry is the
+	// baseline the ideal line is extrapolated from.
+	Gateways []int
+	// Devices is the light-node count per gateway; each posts
+	// closed-loop.
+	Devices int
+	// Ops is the readings each device submits.
+	Ops int
+	// SyncDelay is the modelled per-fsync disk latency — the
+	// serialized resource that bounds one gateway's throughput.
+	SyncDelay time.Duration
+	// Difficulty is the initial PoW difficulty (credit lowers it).
+	Difficulty int
+	// ScaleFloor is the headline gate: aggregate throughput at the
+	// largest size must be at least ScaleFloor × the ideal N × baseline
+	// line. Zero disables the gate (quick mode).
+	ScaleFloor float64
+	// Seed drives the per-gateway disks.
+	Seed int64
+}
+
+// DefaultShardBenchConfig is the acceptance-snapshot scale
+// (BENCH_shard.json): 1→4 gateways, aggregate ≥ 0.8× ideal at 4.
+func DefaultShardBenchConfig() ShardBenchConfig {
+	return ShardBenchConfig{
+		Gateways:   []int{1, 2, 4},
+		Devices:    6,
+		Ops:        30,
+		SyncDelay:  5 * time.Millisecond,
+		Difficulty: 4,
+		ScaleFloor: 0.8,
+		Seed:       0x5A4D,
+	}
+}
+
+// QuickShardBenchConfig is a CI-friendly reduction (no headline gate:
+// loaded CI machines make wall-clock ratios unreliable).
+func QuickShardBenchConfig() ShardBenchConfig {
+	return ShardBenchConfig{
+		Gateways:   []int{1, 2},
+		Devices:    3,
+		Ops:        8,
+		SyncDelay:  2 * time.Millisecond,
+		Difficulty: 4,
+		Seed:       0x5A4D,
+	}
+}
+
+// ShardCell is one topology size's measurement plus the correctness
+// gates that make the throughput claim meaningful: the cell only
+// counts if the shards also reconciled.
+type ShardCell struct {
+	// Gateways and Devices describe the cell (Devices is per gateway).
+	Gateways int `json:"gateways"`
+	Devices  int `json:"devices_per_gateway"`
+	// Admitted is total transactions admitted across all gateways;
+	// ElapsedMs the wall-clock load window.
+	Admitted  int     `json:"admitted"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Throughput is aggregate admitted tx/s; PerGateway divides by N.
+	Throughput float64 `json:"throughput_tps"`
+	PerGateway float64 `json:"per_gateway_tps"`
+	// Ideal is Gateways × the baseline cell's per-gateway rate;
+	// Scaling is Throughput/Ideal (1.0 = perfectly linear).
+	Ideal   float64 `json:"ideal_tps"`
+	Scaling float64 `json:"scaling"`
+	// ControlSize is the (globally replicated) namespace-0 size after
+	// reconciliation; ShardSizes the per-gateway data namespaces.
+	ControlSize int   `json:"control_namespace_size"`
+	ShardSizes  []int `json:"shard_sizes"`
+	// BackbonePages counts scoped sync pages pulled over the backbone.
+	BackbonePages int64 `json:"backbone_sync_pages"`
+	// Converged: every full (manager + gateways) holds the identical
+	// control namespace. NoLeakage: no gateway holds a foreign
+	// region's data vertices, and the manager holds none at all.
+	Converged bool `json:"converged"`
+	NoLeakage bool `json:"no_leakage"`
+	// CreditAgree: after reconciliation every full derives the same
+	// credit for every device, including devices of other regions.
+	// CreditParity: on every full, incremental credit matches the
+	// RescanCredit oracle for every known account.
+	CreditAgree  bool `json:"credit_agree"`
+	CreditParity bool `json:"credit_parity"`
+}
+
+// ShardSummary is the headline.
+type ShardSummary struct {
+	// BaselineTPS is the single-gateway aggregate rate.
+	BaselineTPS float64 `json:"baseline_tps"`
+	// AggregateTPS and IdealTPS are the largest cell's measured and
+	// N×baseline rates; Scaling their ratio.
+	AggregateTPS float64 `json:"aggregate_tps"`
+	IdealTPS     float64 `json:"ideal_tps"`
+	Scaling      float64 `json:"scaling"`
+	// Pass: Scaling ≥ the configured floor and every cell's
+	// correctness gates held.
+	Pass bool `json:"pass"`
+}
+
+// ShardBenchResult is the full sweep.
+type ShardBenchResult struct {
+	Config  ShardBenchConfig `json:"config"`
+	Cells   []ShardCell      `json:"cells"`
+	Summary ShardSummary     `json:"summary"`
+}
+
+// shardCellDeps is one cell's deployment: a manager on the backbone,
+// N single-gateway regions (each gateway owns namespace i+1, its own
+// regional bus, and its own delayed disk), and N×Devices light nodes.
+type shardCellDeps struct {
+	backbone *gossip.Bus
+	regional []*gossip.Bus
+	clk      *clock.Virtual
+	mgr      *node.Manager
+	mgrFull  *node.FullNode
+	gateways []*node.FullNode
+	devices  [][]*node.LightNode // [gateway][device]
+}
+
+func (d *shardCellDeps) close() {
+	for _, gw := range d.gateways {
+		_ = gw.ClosePersistence()
+		gw.Close()
+	}
+	if d.mgrFull != nil {
+		d.mgrFull.Close()
+	}
+	for _, b := range d.regional {
+		b.Close()
+	}
+	if d.backbone != nil {
+		d.backbone.Close()
+	}
+}
+
+func buildShardCell(ctx context.Context, cfg ShardBenchConfig, n int) (*shardCellDeps, error) {
+	d := &shardCellDeps{
+		backbone: gossip.NewBus(),
+		clk:      clock.NewVirtual(time.Unix(1_700_000_000, 0)),
+	}
+	params := core.DefaultParams()
+	params.InitialDifficulty = cfg.Difficulty
+	params.MinDifficulty = 1
+	params.MaxDifficulty = cfg.Difficulty + 6
+
+	mgrKey, err := identity.Generate()
+	if err != nil {
+		return d, err
+	}
+	mgrNet, err := d.backbone.Join("manager")
+	if err != nil {
+		return d, err
+	}
+	d.mgrFull, err = node.NewFull(node.FullConfig{
+		Key:        mgrKey,
+		Role:       identity.RoleManager,
+		ManagerPub: mgrKey.Public(),
+		Credit:     params,
+		Clock:      d.clk,
+		Network:    mgrNet,
+	})
+	if err != nil {
+		return d, err
+	}
+	if d.mgr, err = node.NewManager(d.mgrFull); err != nil {
+		return d, err
+	}
+
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("gw-%d", i)
+		bus := gossip.NewBus()
+		d.regional = append(d.regional, bus)
+		regNet, err := bus.Join(name)
+		if err != nil {
+			return d, err
+		}
+		bbNet, err := d.backbone.Join(name)
+		if err != nil {
+			return d, err
+		}
+		key, err := identity.Generate()
+		if err != nil {
+			return d, err
+		}
+		gw, err := node.NewFull(node.FullConfig{
+			Key:        key,
+			Role:       identity.RoleGateway,
+			ManagerPub: mgrKey.Public(),
+			Credit:     params,
+			Clock:      d.clk,
+			Network:    regNet,
+			Backbone:   bbNet,
+			ShardID:    uint32(i + 1),
+		})
+		if err != nil {
+			return d, err
+		}
+		d.gateways = append(d.gateways, gw)
+
+		fs := chaos.NewMemFS(cfg.Seed + int64(i))
+		fs.SetSyncDelay(cfg.SyncDelay)
+		if _, err := gw.EnablePersistenceFS(fs, name+".journal"); err != nil {
+			return d, fmt.Errorf("%s journal: %w", name, err)
+		}
+
+		var regionDevices []*node.LightNode
+		for j := 0; j < cfg.Devices; j++ {
+			dkey, err := identity.Generate()
+			if err != nil {
+				return d, err
+			}
+			device, err := node.NewLight(node.LightConfig{
+				Key:     dkey,
+				Gateway: gw,
+				Clock:   d.clk,
+			})
+			if err != nil {
+				return d, err
+			}
+			regionDevices = append(regionDevices, device)
+			d.mgr.AuthorizeDevice(dkey.Public(), dkey.BoxPublic())
+		}
+		d.devices = append(d.devices, regionDevices)
+	}
+
+	// Distribute the authorization list: the manager broadcasts on the
+	// backbone, then each gateway pulls the control namespace so even a
+	// gateway that missed the push converges before load starts.
+	if _, err := d.mgr.PublishAuthorization(ctx); err != nil {
+		return d, err
+	}
+	if err := d.mgrFull.FlushBroadcast(ctx); err != nil {
+		return d, err
+	}
+	for _, gw := range d.gateways {
+		gw.Reconcile(ctx)
+	}
+	return d, nil
+}
+
+// runShardCell loads one topology size and returns its measurement.
+func runShardCell(ctx context.Context, cfg ShardBenchConfig, n int) (ShardCell, error) {
+	d, err := buildShardCell(ctx, cfg, n)
+	if err != nil {
+		d.close()
+		return ShardCell{}, err
+	}
+	defer d.close()
+
+	cell := ShardCell{Gateways: n, Devices: cfg.Devices}
+
+	// Closed-loop load: every device posts Ops readings back-to-back;
+	// PostReading returns only after the admitting gateway's journal
+	// reports the record durable, so the device's cadence is gated by
+	// its gateway's disk — the contended resource under test.
+	errs := make(chan error, n*cfg.Devices)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for gi := range d.devices {
+		for di, device := range d.devices[gi] {
+			wg.Add(1)
+			go func(gi, di int, device *node.LightNode) {
+				defer wg.Done()
+				for op := 0; op < cfg.Ops; op++ {
+					d.clk.Advance(time.Millisecond)
+					payload := []byte(fmt.Sprintf("g%d-d%d-op%d", gi, di, op))
+					if _, err := device.PostReading(ctx, payload); err != nil {
+						errs <- fmt.Errorf("gateway %d device %d op %d: %w", gi, di, op, err)
+						return
+					}
+				}
+			}(gi, di, device)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return cell, err
+	}
+
+	cell.Admitted = n * cfg.Devices * cfg.Ops
+	cell.ElapsedMs = float64(elapsed.Microseconds()) / 1e3
+	if elapsed > 0 {
+		cell.Throughput = float64(cell.Admitted) / elapsed.Seconds()
+		cell.PerGateway = cell.Throughput / float64(n)
+	}
+
+	// Reconcile the shards: two rounds carry control-plane history and
+	// credit digests across every backbone pair (gateway↔gateway needs
+	// the transitive hop through round two), then the manager folds the
+	// gateways' digests into its own view.
+	d.clk.Advance(time.Second)
+	for round := 0; round < 2; round++ {
+		for _, gw := range d.gateways {
+			gw.Reconcile(ctx)
+		}
+		d.mgrFull.Reconcile(ctx)
+	}
+
+	fulls := append([]*node.FullNode{d.mgrFull}, d.gateways...)
+
+	// Convergence: an identical control namespace everywhere.
+	ref := controlIDs(d.mgrFull)
+	cell.ControlSize = len(ref)
+	cell.Converged = true
+	for _, f := range fulls[1:] {
+		got := controlIDs(f)
+		if len(got) != len(ref) {
+			cell.Converged = false
+			break
+		}
+		for id := range ref {
+			if !got[id] {
+				cell.Converged = false
+				break
+			}
+		}
+	}
+
+	// Leakage: each gateway's data lives in its own namespace only.
+	cell.NoLeakage = true
+	for gi, gw := range d.gateways {
+		own := uint32(gi + 1)
+		cell.ShardSizes = append(cell.ShardSizes, gw.Tangle().ShardSize(own))
+		for _, s := range gw.Tangle().Shards() {
+			if s != 0 && s != own {
+				cell.NoLeakage = false
+			}
+		}
+		cell.BackbonePages += gw.MemoryStats().BackboneSyncPages
+	}
+	for _, s := range d.mgrFull.Tangle().Shards() {
+		if s != 0 {
+			cell.NoLeakage = false
+		}
+	}
+
+	// Credit: reconciliation must leave every full agreeing on every
+	// device — including devices that never touched it — and every
+	// full's incremental ledger matching its own rescan oracle.
+	now := d.clk.Now()
+	cell.CreditAgree = true
+	for gi := range d.devices {
+		for _, device := range d.devices[gi] {
+			home := d.gateways[gi].Engine().Ledger().CreditOf(device.Address(), now)
+			if home.CrP <= 0 {
+				cell.CreditAgree = false
+			}
+			for _, f := range fulls {
+				got := f.Engine().Ledger().CreditOf(device.Address(), now)
+				if math.Abs(got.Cr-home.Cr) > 1e-9 || math.Abs(got.CrP-home.CrP) > 1e-9 ||
+					math.Abs(got.CrN-home.CrN) > 1e-9 {
+					cell.CreditAgree = false
+				}
+			}
+		}
+	}
+	cell.CreditParity = true
+	for _, f := range fulls {
+		ledger := f.Engine().Ledger()
+		for _, addr := range ledger.Nodes() {
+			inc, oracle := ledger.CreditOf(addr, now), ledger.RescanCredit(addr, now)
+			for _, pair := range [][2]float64{
+				{inc.Cr, oracle.Cr}, {inc.CrP, oracle.CrP}, {inc.CrN, oracle.CrN},
+			} {
+				rel := math.Abs(pair[0]-pair[1]) / (1 + math.Abs(pair[0]) + math.Abs(pair[1]))
+				if rel > 1e-9 {
+					cell.CreditParity = false
+				}
+			}
+		}
+	}
+	return cell, nil
+}
+
+// controlIDs is the namespace-0 vertex set of one full node.
+func controlIDs(f *node.FullNode) map[hashutil.Hash]bool {
+	tg := f.Tangle()
+	out := make(map[hashutil.Hash]bool)
+	for _, id := range tg.OrderedShardIDs(0, 0, tg.ShardSize(0)) {
+		out[id] = true
+	}
+	return out
+}
+
+// RunShardBench sweeps the topology sizes and gates the headline.
+func RunShardBench(ctx context.Context, cfg ShardBenchConfig) (*ShardBenchResult, error) {
+	if len(cfg.Gateways) == 0 || cfg.Devices < 1 || cfg.Ops < 1 {
+		return nil, fmt.Errorf("shard bench workload too small")
+	}
+	res := &ShardBenchResult{Config: cfg}
+	for _, n := range cfg.Gateways {
+		if n < 1 {
+			return nil, fmt.Errorf("gateway count %d", n)
+		}
+		cell, err := runShardCell(ctx, cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("%d gateways: %w", n, err)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+
+	base := res.Cells[0].PerGateway
+	gatesOK := true
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		c.Ideal = base * float64(c.Gateways)
+		if c.Ideal > 0 {
+			c.Scaling = c.Throughput / c.Ideal
+		}
+		if !c.Converged || !c.NoLeakage || !c.CreditAgree || !c.CreditParity {
+			gatesOK = false
+		}
+	}
+	last := res.Cells[len(res.Cells)-1]
+	res.Summary = ShardSummary{
+		BaselineTPS:  res.Cells[0].Throughput,
+		AggregateTPS: last.Throughput,
+		IdealTPS:     last.Ideal,
+		Scaling:      last.Scaling,
+		Pass:         gatesOK && last.Scaling >= cfg.ScaleFloor,
+	}
+	if !gatesOK {
+		return res, fmt.Errorf("a correctness gate failed: %+v", res.Cells)
+	}
+	if cfg.ScaleFloor > 0 && last.Scaling < cfg.ScaleFloor {
+		return res, fmt.Errorf("aggregate throughput %.0f tx/s is %.2f× the %d-gateway ideal %.0f tx/s (floor %.2f)",
+			last.Throughput, last.Scaling, last.Gateways, last.Ideal, cfg.ScaleFloor)
+	}
+	return res, nil
+}
+
+// Render writes the sweep as an aligned table.
+func (r *ShardBenchResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Sharded-topology scaling — %d devices/gateway × %d ops, %v fsync per gateway disk\n",
+		r.Config.Devices, r.Config.Ops, r.Config.SyncDelay); err != nil {
+		return err
+	}
+	t := &table{header: []string{"gateways", "admitted", "elapsed_ms", "agg_tps", "per_gw_tps", "scaling", "control", "shards", "converged", "no_leak", "credit_agree", "credit_parity"}}
+	for _, c := range r.Cells {
+		t.add(
+			fmt.Sprintf("%d", c.Gateways),
+			fmt.Sprintf("%d", c.Admitted),
+			fmt.Sprintf("%.1f", c.ElapsedMs),
+			fmt.Sprintf("%.0f", c.Throughput),
+			fmt.Sprintf("%.0f", c.PerGateway),
+			fmt.Sprintf("%.2fx", c.Scaling),
+			fmt.Sprintf("%d", c.ControlSize),
+			fmt.Sprintf("%v", c.ShardSizes),
+			fmt.Sprintf("%v", c.Converged),
+			fmt.Sprintf("%v", c.NoLeakage),
+			fmt.Sprintf("%v", c.CreditAgree),
+			fmt.Sprintf("%v", c.CreditParity),
+		)
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"\nHeadline: %d gateways deliver %.0f tx/s aggregate vs %.0f ideal (%.2fx, floor %.2f) — pass=%v\n",
+		r.Cells[len(r.Cells)-1].Gateways, r.Summary.AggregateTPS, r.Summary.IdealTPS,
+		r.Summary.Scaling, r.Config.ScaleFloor, r.Summary.Pass)
+	return err
+}
+
+// CSV writes one row per cell.
+func (r *ShardBenchResult) CSV(w io.Writer) error {
+	t := &table{header: []string{"gateways", "devices_per_gateway", "admitted", "elapsed_ms", "throughput_tps", "per_gateway_tps", "ideal_tps", "scaling", "control_namespace_size", "backbone_sync_pages", "converged", "no_leakage", "credit_agree", "credit_parity"}}
+	for _, c := range r.Cells {
+		t.add(
+			fmt.Sprintf("%d", c.Gateways),
+			fmt.Sprintf("%d", c.Devices),
+			fmt.Sprintf("%d", c.Admitted),
+			fmt.Sprintf("%.3f", c.ElapsedMs),
+			fmt.Sprintf("%.3f", c.Throughput),
+			fmt.Sprintf("%.3f", c.PerGateway),
+			fmt.Sprintf("%.3f", c.Ideal),
+			fmt.Sprintf("%.4f", c.Scaling),
+			fmt.Sprintf("%d", c.ControlSize),
+			fmt.Sprintf("%d", c.BackbonePages),
+			fmt.Sprintf("%v", c.Converged),
+			fmt.Sprintf("%v", c.NoLeakage),
+			fmt.Sprintf("%v", c.CreditAgree),
+			fmt.Sprintf("%v", c.CreditParity),
+		)
+	}
+	return t.csv(w)
+}
+
+// JSON writes the machine-readable snapshot (BENCH_shard.json in the
+// Makefile's bench-shard target).
+func (r *ShardBenchResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -16,7 +16,7 @@ import (
 //
 // Layout (all integers are minimally encoded uvarints):
 //
-//	magic 0xB1 0x07 | version 0x02 | type | txCount | {len | bytes}* | haveCount | {32-byte hash}* | offset | total | more
+//	magic 0xB1 0x07 | version 0x03 | type | txCount | {len | bytes}* | haveCount | {32-byte hash}* | offset | total | more | shard | scoped
 //
 // The codec is bijective on its accepted set: any input DecodeMessage
 // accepts re-encodes to the identical byte string. That property is
@@ -26,7 +26,7 @@ import (
 const (
 	encMagic0  = 0xB1
 	encMagic1  = 0x07
-	encVersion = 0x02
+	encVersion = 0x03
 
 	// MaxMessageBytes bounds one datagram: framing rejects anything
 	// larger before buffering it (flood defense on the TCP transport).
@@ -41,7 +41,7 @@ var (
 
 // EncodeMessage renders msg in the canonical binary form.
 func EncodeMessage(msg Message) []byte {
-	size := 3 + binary.MaxVarintLen64*5
+	size := 3 + binary.MaxVarintLen64*7
 	for _, tx := range msg.TxData {
 		size += binary.MaxVarintLen64 + len(tx)
 	}
@@ -66,6 +66,12 @@ func EncodeMessage(msg Message) []byte {
 		more = 1
 	}
 	out = binary.AppendUvarint(out, more)
+	out = binary.AppendUvarint(out, msg.Shard)
+	scoped := uint64(0)
+	if msg.Scoped {
+		scoped = 1
+	}
+	out = binary.AppendUvarint(out, scoped)
 	return out
 }
 
@@ -166,13 +172,32 @@ func DecodeMessage(data []byte) (Message, error) {
 		return Message{}, err
 	}
 	rest = rest[n:]
-	// more is a canonical boolean and the message ends here; anything
-	// else breaks the one-input-one-encoding bijection.
+	// more is a canonical boolean; anything else breaks the
+	// one-input-one-encoding bijection.
 	if more > 1 {
 		return Message{}, fmt.Errorf("%w: non-boolean more flag", ErrBadMessage)
+	}
+	shard, n, err := uvarint(rest)
+	if err != nil {
+		return Message{}, err
+	}
+	rest = rest[n:]
+	scoped, n, err := uvarint(rest)
+	if err != nil {
+		return Message{}, err
+	}
+	rest = rest[n:]
+	if scoped > 1 {
+		return Message{}, fmt.Errorf("%w: non-boolean scoped flag", ErrBadMessage)
+	}
+	// An unscoped message has no namespace, so a nonzero shard there
+	// would give one logical message two encodings; reject it to keep
+	// the codec canonical.
+	if scoped == 0 && shard != 0 {
+		return Message{}, fmt.Errorf("%w: shard set on unscoped message", ErrBadMessage)
 	}
 	if len(rest) != 0 {
 		return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(rest))
 	}
-	return Message{Type: MsgType(typ), TxData: txData, Have: have, Offset: offset, Total: total, More: more == 1}, nil
+	return Message{Type: MsgType(typ), TxData: txData, Have: have, Offset: offset, Total: total, More: more == 1, Shard: shard, Scoped: scoped == 1}, nil
 }

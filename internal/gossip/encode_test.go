@@ -18,6 +18,11 @@ func sampleMessages() []Message {
 		{Type: MsgSyncRequest, Have: []hashutil.Hash{hashutil.Sum([]byte("c"))}, Offset: 4096},
 		{Type: MsgSyncResponse, TxData: [][]byte{{9}}, Offset: 4352, Total: 1 << 33, More: true},
 		{Type: MsgSyncResponse, Offset: 1, Total: 1},
+		{Type: MsgTransaction, TxData: [][]byte{{4, 5}}, Shard: 3, Scoped: true},
+		{Type: MsgSyncRequest, Have: []hashutil.Hash{hashutil.Sum([]byte("d"))}, Offset: 16, Shard: 0, Scoped: true},
+		{Type: MsgSyncResponse, TxData: [][]byte{{6}}, Offset: 1, Total: 9, More: true, Shard: 1 << 20, Scoped: true},
+		{Type: MsgCreditRequest, Offset: 128, Shard: 2, Scoped: true},
+		{Type: MsgCreditResponse, TxData: [][]byte{[]byte(`{"accounts":[]}`)}, Total: 5, Shard: 2, Scoped: true},
 	}
 }
 
@@ -33,6 +38,9 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 		}
 		if got.Offset != msg.Offset || got.Total != msg.Total || got.More != msg.More {
 			t.Fatalf("case %d: paging fields mismatch: %+v vs %+v", i, got, msg)
+		}
+		if got.Shard != msg.Shard || got.Scoped != msg.Scoped {
+			t.Fatalf("case %d: shard fields mismatch: %+v vs %+v", i, got, msg)
 		}
 		for j := range msg.TxData {
 			if !bytes.Equal(got.TxData[j], msg.TxData[j]) {
@@ -67,6 +75,8 @@ func TestMessageDecodeRejects(t *testing.T) {
 		{"non-minimal varint", []byte{encMagic0, encMagic1, encVersion, 0x81, 0x00, 0x00, 0x00}},
 		{"missing paging fields", EncodeMessage(Message{Type: MsgSyncResponse})[:5]},
 		{"non-boolean more flag", append(EncodeMessage(Message{Type: MsgSyncRequest})[:8], 0x02)},
+		{"non-boolean scoped flag", append(EncodeMessage(Message{Type: MsgSyncRequest})[:10], 0x02)},
+		{"shard set on unscoped message", append(append(EncodeMessage(Message{Type: MsgSyncRequest})[:9], 0x01), 0x00)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

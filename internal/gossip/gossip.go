@@ -46,6 +46,13 @@ const (
 	// MsgAuthListResponse returns the matching authorization-list
 	// transaction encodings (empty when the responder lacks it too).
 	MsgAuthListResponse
+	// MsgCreditRequest asks a backbone peer for one page of its credit
+	// digest: Offset is the requester's cursor into the responder's
+	// account order.
+	MsgCreditRequest
+	// MsgCreditResponse carries one JSON-encoded core.CreditDigest page
+	// in TxData[0]; Offset/Total/More page exactly like sync responses.
+	MsgCreditResponse
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +72,10 @@ func (t MsgType) String() string {
 		return "authlist-request"
 	case MsgAuthListResponse:
 		return "authlist-response"
+	case MsgCreditRequest:
+		return "credit-request"
+	case MsgCreditResponse:
+		return "credit-response"
 	default:
 		return fmt.Sprintf("msgtype(%d)", int(t))
 	}
@@ -90,6 +101,17 @@ type Message struct {
 	Total uint64 `json:"total,omitempty"`
 	// More reports that the responder has pages beyond Offset.
 	More bool `json:"more,omitempty"`
+	// Shard is the tangle namespace the message is scoped to when
+	// Scoped is set: transaction batches carry the namespace their
+	// TxData belongs to, and scoped sync requests/responses page one
+	// namespace's attachment order instead of the whole ledger.
+	// Namespace 0 is the control plane (genesis, authorization lists),
+	// namespaces >= 1 are region data shards.
+	Shard uint64 `json:"shard,omitempty"`
+	// Scoped distinguishes a namespace-scoped message from a legacy
+	// whole-ledger one. An unscoped message must carry Shard == 0 (the
+	// codec enforces this, keeping the encoding canonical).
+	Scoped bool `json:"scoped,omitempty"`
 }
 
 // Handler is implemented by the full-node layer to consume gossip.

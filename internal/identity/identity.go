@@ -95,6 +95,32 @@ func GenerateFrom(r io.Reader) (*KeyPair, error) {
 	return &KeyPair{pub: pub, priv: priv, box: box, addr: AddressOf(pub)}, nil
 }
 
+// SeedSize is the length of the entropy seed an account derives from.
+const SeedSize = ed25519.SeedSize
+
+// FromSeed reconstructs the account deterministically derived from a
+// 32-byte seed — the durable form of an identity. Seed/FromSeed
+// round-trip: a node that persists its seed resumes the same address,
+// signing key, and ECIES key after a restart.
+func FromSeed(seed []byte) (*KeyPair, error) {
+	if len(seed) != SeedSize {
+		return nil, fmt.Errorf("identity seed is %d bytes, want %d", len(seed), SeedSize)
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+	box, err := deriveBoxKey(priv.Seed())
+	if err != nil {
+		return nil, err
+	}
+	return &KeyPair{pub: pub, priv: priv, box: box, addr: AddressOf(pub)}, nil
+}
+
+// Seed returns the account's entropy seed (a copy). It is the
+// account's whole secret: treat it like the private key.
+func (k *KeyPair) Seed() []byte {
+	return append([]byte(nil), k.priv.Seed()...)
+}
+
 // AddressOf derives the account address for a public key.
 func AddressOf(pub PublicKey) Address {
 	return hashutil.Sum(pub)

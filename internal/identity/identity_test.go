@@ -253,3 +253,38 @@ func TestECIESLargePlaintext(t *testing.T) {
 		t.Error("large plaintext round trip mismatch")
 	}
 }
+
+// TestFromSeedRoundTrip: Seed/FromSeed reconstruct the whole account —
+// signing key, ECIES key, and address — which is what lets a node
+// persist its identity in a keyfile and resume it after a restart.
+func TestFromSeedRoundTrip(t *testing.T) {
+	k := mustKey(t)
+	k2, err := FromSeed(k.Seed())
+	if err != nil {
+		t.Fatalf("from seed: %v", err)
+	}
+	if !bytes.Equal(k2.Public(), k.Public()) {
+		t.Error("public key changed through the seed round trip")
+	}
+	if k2.Address() != k.Address() {
+		t.Error("address changed through the seed round trip")
+	}
+	if !bytes.Equal(k2.BoxPublic(), k.BoxPublic()) {
+		t.Error("ECIES key changed through the seed round trip")
+	}
+	msg := []byte("seed round trip")
+	if err := Verify(k.Public(), msg, k2.Sign(msg)); err != nil {
+		t.Errorf("restored key's signature rejected: %v", err)
+	}
+	// The seed is a copy: mutating it must not corrupt the account.
+	seed := k.Seed()
+	for i := range seed {
+		seed[i] = 0
+	}
+	if err := Verify(k.Public(), msg, k.Sign(msg)); err != nil {
+		t.Errorf("account corrupted by seed mutation: %v", err)
+	}
+	if _, err := FromSeed(seed[:16]); err == nil {
+		t.Error("short seed accepted")
+	}
+}

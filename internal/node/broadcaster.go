@@ -117,6 +117,7 @@ type broadcaster struct {
 	pipeline  PipelineMetrics
 	maxBatch  int
 	peerQueue int
+	shard     uint32 // stamped on outgoing MsgTransaction batches
 
 	intake   chan broadcastItem
 	reserved atomic.Int64 // slots promised to in-flight admissions
@@ -138,7 +139,7 @@ type peerSender struct {
 	queue chan broadcastItem
 }
 
-func newBroadcaster(net gossip.Network, counters Counters, pipeline PipelineMetrics, queue, peerQueue, maxBatch int) *broadcaster {
+func newBroadcaster(net gossip.Network, counters Counters, pipeline PipelineMetrics, queue, peerQueue, maxBatch int, shard uint32) *broadcaster {
 	if queue <= 0 {
 		queue = defaultBroadcastQueue
 	}
@@ -154,6 +155,7 @@ func newBroadcaster(net gossip.Network, counters Counters, pipeline PipelineMetr
 		pipeline:  pipeline,
 		maxBatch:  maxBatch,
 		peerQueue: peerQueue,
+		shard:     shard,
 		intake:    make(chan broadcastItem, queue),
 		senders:   make(map[string]*peerSender),
 	}
@@ -342,6 +344,8 @@ func (b *broadcaster) send(peer string, batch [][]byte) {
 	_, err := b.net.Request(context.Background(), peer, gossip.Message{
 		Type:   gossip.MsgTransaction,
 		TxData: batch,
+		Shard:  uint64(b.shard),
+		Scoped: true,
 	})
 	b.pipeline.BroadcastLatency.Observe(time.Since(start))
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/b-iot/biot/internal/authz"
@@ -63,8 +64,25 @@ type FullConfig struct {
 	// Clock is the time source; nil selects the real clock.
 	Clock clock.Clock
 	// Network attaches the node to the gossip fabric; nil runs the node
-	// standalone (single-gateway deployments, unit tests).
+	// standalone (single-gateway deployments, unit tests). In a sharded
+	// deployment this is the REGION-LOCAL fabric: the gateways admitting
+	// into the same data namespace.
 	Network gossip.Network
+
+	// ShardID is the tangle namespace this gateway admits light-node
+	// data traffic into (see DESIGN.md §16). Zero — the default — keeps
+	// the single-region deployment: data shares namespace 0 with the
+	// control plane. Control-plane kinds (genesis, authorization lists,
+	// key distribution) always land in namespace 0 regardless.
+	ShardID uint32
+	// Backbone attaches the node to the inter-gateway backbone — the
+	// second tier of a sharded deployment. Reconcile pages the control
+	// namespace and the credit digests of every backbone peer; nil
+	// disables cross-shard reconciliation.
+	Backbone gossip.Network
+	// ReconcileInterval paces RunReconcileLoop; zero selects the
+	// default (2s).
+	ReconcileInterval time.Duration
 
 	// RateLimit bounds per-device submissions per RateWindow — the DDoS
 	// backstop behind the authorization check. Zero disables limiting.
@@ -186,6 +204,12 @@ type Counters struct {
 	GossipOut         *metrics.Counter
 	JournalErrors     *metrics.Counter
 	QualityViolations *metrics.Counter
+	// Backbone reconciliation: scoped control-plane pages pulled from
+	// backbone peers, and remote credit records/events folded into the
+	// local ledger.
+	BackboneSyncPages  *metrics.Counter
+	CreditTxsMerged    *metrics.Counter
+	CreditEventsMerged *metrics.Counter
 }
 
 // FullNode is a gateway or manager. Safe for concurrent use: Submit may
@@ -227,9 +251,15 @@ type FullNode struct {
 	limiter   map[identity.Address]*rateWindow
 
 	// syncMu guards the per-peer sync cursors: how far into each peer's
-	// attachment order this node has already paged.
+	// attachment order this node has already paged. Scoped (per-shard)
+	// cursors share the map under a "peer#shard" key.
 	syncMu     sync.Mutex
 	syncCursor map[string]uint64
+
+	// lastReconcile is the unix-nano stamp of the last completed
+	// backbone reconciliation round (0 = never); MemoryStats derives
+	// the operator-facing reconcile lag from it.
+	lastReconcile atomic.Int64
 }
 
 type rateWindow struct {
@@ -275,19 +305,22 @@ func NewFull(cfg FullConfig) (*FullNode, error) {
 		registry: registry,
 		tokens:   ledger.New(),
 		counters: Counters{
-			Accepted:          &metrics.Counter{},
-			Rejected:          &metrics.Counter{},
-			RateLimited:       &metrics.Counter{},
-			Unauthorized:      &metrics.Counter{},
-			StaleAuthRejects:  &metrics.Counter{},
-			Quarantined:       &metrics.Counter{},
-			QuarantineDrops:   &metrics.Counter{},
-			QuarantineRepairs: &metrics.Counter{},
-			AuthListProbes:    &metrics.Counter{},
-			GossipIn:          &metrics.Counter{},
-			GossipOut:         &metrics.Counter{},
-			JournalErrors:     &metrics.Counter{},
-			QualityViolations: &metrics.Counter{},
+			Accepted:           &metrics.Counter{},
+			Rejected:           &metrics.Counter{},
+			RateLimited:        &metrics.Counter{},
+			Unauthorized:       &metrics.Counter{},
+			StaleAuthRejects:   &metrics.Counter{},
+			Quarantined:        &metrics.Counter{},
+			QuarantineDrops:    &metrics.Counter{},
+			QuarantineRepairs:  &metrics.Counter{},
+			AuthListProbes:     &metrics.Counter{},
+			GossipIn:           &metrics.Counter{},
+			GossipOut:          &metrics.Counter{},
+			JournalErrors:      &metrics.Counter{},
+			QualityViolations:  &metrics.Counter{},
+			BackboneSyncPages:  &metrics.Counter{},
+			CreditTxsMerged:    &metrics.Counter{},
+			CreditEventsMerged: &metrics.Counter{},
 		},
 		pipeline:   newPipelineMetrics(),
 		verified:   newVerifiedCache(verifiedCacheSize),
@@ -300,8 +333,13 @@ func NewFull(cfg FullConfig) (*FullNode, error) {
 	tg.Observe(tangle.ObserverFunc(n.onTangleEvent))
 	if conf.Network != nil {
 		n.bcast = newBroadcaster(conf.Network, n.counters, n.pipeline,
-			conf.BroadcastQueue, conf.BroadcastPeerQueue, conf.BroadcastBatch)
+			conf.BroadcastQueue, conf.BroadcastPeerQueue, conf.BroadcastBatch, conf.ShardID)
 		conf.Network.SetHandler(gossip.HandlerFunc(n.handleGossip))
+	}
+	if conf.Backbone != nil {
+		// The backbone serves the same protocol (scoped sync pages,
+		// credit digests, snapshot manifests) through the same handler.
+		conf.Backbone.SetHandler(gossip.HandlerFunc(n.handleGossip))
 	}
 	return n, nil
 }
@@ -498,6 +536,11 @@ func (n *FullNode) Pipeline() PipelineMetrics { return n.pipeline }
 // graceful stop, and before the node when simulating a crash.
 func (n *FullNode) Network() gossip.Network { return n.cfg.Network }
 
+// Backbone returns the node's inter-gateway backbone attachment (nil
+// for single-tier deployments). Like Network, the Supervisor closes it
+// during teardown so a rebuilt node can rejoin under the same name.
+func (n *FullNode) Backbone() gossip.Network { return n.cfg.Backbone }
+
 // TransportHealthy reports the broadcast pipeline can still fan out:
 // true for standalone nodes (nothing to fail) and for networked nodes
 // whose pipeline has not been closed.
@@ -607,7 +650,20 @@ func (n *FullNode) admit(ctx context.Context, t *txn.Transaction, local bool) (t
 		return tangle.Info{}, err
 	}
 	n.pipeline.AdmitLatency.Observe(time.Since(admitStart))
-	return n.attachVerified(t, now, true)
+	return n.attachVerified(t, now, true, n.cfg.ShardID)
+}
+
+// shardFor routes a transaction kind to its tangle namespace: data and
+// transfer traffic goes to the hinted region shard, every control-plane
+// kind (genesis, authorization lists, key distribution) to the globally
+// replicated namespace 0.
+func shardFor(kind txn.Kind, hint uint32) uint32 {
+	switch kind {
+	case txn.KindData, txn.KindTransfer:
+		return hint
+	default:
+		return 0
+	}
 }
 
 // attachVerified is the pipeline's serialized tail: it assumes the
@@ -620,7 +676,12 @@ func (n *FullNode) admit(ctx context.Context, t *txn.Transaction, local bool) (t
 // resolves — the chaos soak's zero-admitted-loss invariant), while the
 // relayed path passes false and journals its whole batch with one
 // AppendBatch afterwards.
-func (n *FullNode) attachVerified(t *txn.Transaction, now time.Time, journal bool) (tangle.Info, error) {
+//
+// shardHint is the data namespace the transaction lands in when it is
+// region traffic (shardFor routes control kinds to namespace 0): the
+// node's own shard at the submission edge, the batch's declared shard
+// on the relay path.
+func (n *FullNode) attachVerified(t *txn.Transaction, now time.Time, journal bool, shardHint uint32) (tangle.Info, error) {
 	sender := t.Sender()
 	attachStart := time.Now()
 
@@ -655,7 +716,7 @@ func (n *FullNode) attachVerified(t *txn.Transaction, now time.Time, journal boo
 	}
 	n.engine.Ledger().RecordTransaction(sender, t.ID(), 1, recordAt)
 
-	info, err := n.tangle.Attach(t)
+	info, err := n.tangle.AttachShard(t, shardFor(t.Kind, shardHint))
 	if err != nil {
 		if !errors.Is(err, tangle.ErrDuplicate) {
 			// A duplicate keeps its (idempotent) record; anything else
@@ -709,7 +770,14 @@ func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Messag
 	n.counters.GossipIn.Inc()
 	switch msg.Type {
 	case gossip.MsgTransaction:
-		n.admitGossipBatch(context.Background(), from, msg.TxData, true)
+		// A scoped batch declares the namespace its data traffic belongs
+		// to; legacy unscoped batches come from same-region peers and
+		// default to this node's own shard.
+		hint := n.cfg.ShardID
+		if msg.Scoped {
+			hint = uint32(msg.Shard)
+		}
+		n.admitGossipBatch(context.Background(), from, msg.TxData, true, hint)
 		return &gossip.Message{}, nil
 	case gossip.MsgSyncRequest:
 		have := make(map[hashutil.Hash]struct{}, len(msg.Have))
@@ -717,15 +785,28 @@ func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Messag
 			have[id] = struct{}{}
 		}
 		// One page per request: the requester's cursor (msg.Offset)
-		// walks our attachment order, so response size — like request
-		// size — stays constant no matter how large the ledger grows,
-		// and serving a sync holds the tangle read lock for one page.
-		total := n.tangle.Size()
+		// walks our attachment order — the whole ledger's, or one
+		// namespace's when the request is scoped — so response size,
+		// like request size, stays constant no matter how large the
+		// ledger grows, and serving a sync holds the tangle read lock
+		// for one page.
+		var total int
+		var page []*txn.Transaction
+		shard := uint32(msg.Shard)
+		if msg.Scoped {
+			total = n.tangle.ShardSize(shard)
+		} else {
+			total = n.tangle.Size()
+		}
 		off := total
 		if msg.Offset < uint64(total) {
 			off = int(msg.Offset)
 		}
-		page := n.tangle.ExportRange(off, syncPageSize)
+		if msg.Scoped {
+			page = n.tangle.ExportShardRange(shard, off, syncPageSize)
+		} else {
+			page = n.tangle.ExportRange(off, syncPageSize)
+		}
 		data := make([][]byte, 0, len(page))
 		for _, t := range page {
 			if _, known := have[t.ID()]; !known {
@@ -738,7 +819,11 @@ func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Messag
 			Offset: uint64(off + len(page)),
 			Total:  uint64(total),
 			More:   len(page) == syncPageSize,
+			Shard:  msg.Shard,
+			Scoped: msg.Scoped,
 		}, nil
+	case gossip.MsgCreditRequest:
+		return n.serveCreditPage(msg)
 	case gossip.MsgAuthListRequest:
 		// Anti-entropy probe for the evidence window: return the
 		// authorization-list transaction(s) with the requested sequence
@@ -786,7 +871,7 @@ func (n *FullNode) handleGossip(from string, msg gossip.Message) (*gossip.Messag
 // rejected today — typically because this node's credit view lags and
 // the difficulty check disagrees — may verify cleanly once more of the
 // ledger has arrived, so its page must be re-offered by a later sync.
-func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]byte, allowSync bool) (failed int) {
+func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]byte, allowSync bool, shard uint32) (failed int) {
 	now := n.cfg.Clock.Now()
 	seen := make(map[hashutil.Hash]struct{}, len(raw))
 	txs := make([]*txn.Transaction, 0, len(raw))
@@ -831,7 +916,7 @@ func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]by
 			failed++
 			return false
 		case authz.VerdictUnresolved:
-			n.parkQuarantine(ctx, from, t, missing, now)
+			n.parkQuarantine(ctx, from, t, missing, now, shard)
 			failed++
 			return false
 		}
@@ -841,7 +926,7 @@ func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]by
 		if !gate(t) {
 			return
 		}
-		if _, err := n.attachVerified(t, now, false); err != nil {
+		if _, err := n.attachVerified(t, now, false, shard); err != nil {
 			if errors.Is(err, tangle.ErrUnknownParent) {
 				orphans = append(orphans, t)
 			} else if !errors.Is(err, tangle.ErrDuplicate) {
@@ -881,7 +966,7 @@ func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]by
 		// sync, and a kick then repairs them without waiting for the
 		// dirty page to be re-offered.
 		for _, t := range orphans {
-			n.parkQuarantine(ctx, from, t, 0, now)
+			n.parkQuarantine(ctx, from, t, 0, now, shard)
 		}
 		n.kickQuarantine(now)
 		return failed + len(orphans)
@@ -897,13 +982,13 @@ func (n *FullNode) admitGossipBatch(ctx context.Context, from string, raw [][]by
 		if !gate(t) {
 			continue
 		}
-		if _, err := n.attachVerified(t, now, false); err != nil {
+		if _, err := n.attachVerified(t, now, false, shard); err != nil {
 			if errors.Is(err, tangle.ErrUnknownParent) {
 				// Still unresolvable after the sync round-trip: park it
 				// instead of dropping — its descendants are likely right
 				// behind it, and dropping is the orphan cascade behind
 				// the old revocation-storm flake.
-				n.parkQuarantine(ctx, from, t, 0, now)
+				n.parkQuarantine(ctx, from, t, 0, now, shard)
 				failed++
 			} else if !errors.Is(err, tangle.ErrDuplicate) {
 				failed++
@@ -955,8 +1040,8 @@ func (n *FullNode) relayAuthVerdict(t *txn.Transaction) (verdict authz.Verdict, 
 // parkQuarantine parks one unresolvable relayed transaction and, when
 // the block is a known list-sequence gap, probes the relaying peer for
 // the missing list immediately.
-func (n *FullNode) parkQuarantine(ctx context.Context, from string, t *txn.Transaction, missingSeq uint64, now time.Time) {
-	fresh, evicted := n.quar.park(t, from, missingSeq, now)
+func (n *FullNode) parkQuarantine(ctx context.Context, from string, t *txn.Transaction, missingSeq uint64, now time.Time, shard uint32) {
+	fresh, evicted := n.quar.park(t, from, missingSeq, now, shard)
 	if fresh {
 		n.counters.Quarantined.Inc()
 	}
@@ -1004,7 +1089,7 @@ func (n *FullNode) kickQuarantine(now time.Time) {
 				n.quar.repark(e)
 				continue
 			}
-			if _, err := n.attachVerified(e.tx, now, false); err != nil {
+			if _, err := n.attachVerified(e.tx, now, false, e.shard); err != nil {
 				if errors.Is(err, tangle.ErrUnknownParent) {
 					n.quar.repark(e)
 				} else if !errors.Is(err, tangle.ErrDuplicate) {
@@ -1129,7 +1214,7 @@ func (n *FullNode) syncFrom(ctx context.Context, peer string) {
 			continue
 		}
 		n.pipeline.SyncPages.Inc()
-		if n.admitGossipBatch(ctx, peer, reply.TxData, false) > 0 {
+		if n.admitGossipBatch(ctx, peer, reply.TxData, false, n.cfg.ShardID) > 0 {
 			// The page had admissions we could not complete — usually a
 			// difficulty check against a still-stale credit view, or an
 			// orphan whose parent lives on another peer. The in-call

@@ -28,6 +28,22 @@ type MemoryStats struct {
 	// QuarantineLen is the number of relayed transactions parked
 	// awaiting admission evidence (bounded by QuarantineCap).
 	QuarantineLen int `json:"quarantine_len"`
+	// ShardResidents is the per-namespace split of ResidentVertices
+	// (shard ID → live vertices). A single-region deployment shows only
+	// namespace 0; a region whose foreign-shard count grows is admitting
+	// roamed traffic.
+	ShardResidents map[uint32]int `json:"shard_residents,omitempty"`
+	// ReconcileLagMS is the time since the last completed backbone
+	// reconciliation round, in milliseconds; -1 when no round has
+	// completed (single-region deployments, or a backbone that never
+	// connected — the alerting condition).
+	ReconcileLagMS int64 `json:"reconcile_lag_ms"`
+	// BackboneSyncPages counts scoped control-plane pages pulled over
+	// the backbone; CreditTxsMerged / CreditEventsMerged count remote
+	// credit records folded into the local ledger. All cumulative.
+	BackboneSyncPages  int64 `json:"backbone_sync_pages"`
+	CreditTxsMerged    int64 `json:"credit_txs_merged"`
+	CreditEventsMerged int64 `json:"credit_events_merged"`
 	// HeapInuse is the Go runtime's in-use heap, process-wide.
 	HeapInuse uint64 `json:"heap_inuse_bytes"`
 }
@@ -35,11 +51,19 @@ type MemoryStats struct {
 // MemoryStats returns the node's current memory footprint.
 func (n *FullNode) MemoryStats() MemoryStats {
 	ms := MemoryStats{
-		ResidentVertices: n.tangle.Size(),
-		BoundaryRoots:    n.tangle.BoundaryCount(),
-		SnapshottedIDs:   n.tangle.SnapshottedCount(),
-		EvidenceVersions: n.registry.VersionsRetained(),
-		QuarantineLen:    n.quar.size(),
+		ResidentVertices:   n.tangle.Size(),
+		BoundaryRoots:      n.tangle.BoundaryCount(),
+		SnapshottedIDs:     n.tangle.SnapshottedCount(),
+		EvidenceVersions:   n.registry.VersionsRetained(),
+		QuarantineLen:      n.quar.size(),
+		ShardResidents:     n.tangle.ResidentByShard(),
+		ReconcileLagMS:     -1,
+		BackboneSyncPages:  n.counters.BackboneSyncPages.Value(),
+		CreditTxsMerged:    n.counters.CreditTxsMerged.Value(),
+		CreditEventsMerged: n.counters.CreditEventsMerged.Value(),
+	}
+	if lag, ok := n.ReconcileLag(); ok {
+		ms.ReconcileLagMS = lag.Milliseconds()
 	}
 	n.pendingMu.Lock()
 	if n.journal != nil {

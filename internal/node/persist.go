@@ -189,7 +189,11 @@ func (n *FullNode) replayTransaction(t *txn.Transaction, generation uint64) erro
 		n.pending[t.ID()] = t.Clone()
 		n.pendingMu.Unlock()
 	}
-	info, err := n.tangle.Attach(t)
+	// The journal does not record shards; re-derive the namespace from
+	// the kind and this gateway's own region, exactly as live admission
+	// of a local submission would.
+	shard := shardFor(t.Kind, n.cfg.ShardID)
+	info, err := n.tangle.AttachShard(t, shard)
 	if generation > 0 &&
 		(errors.Is(err, tangle.ErrUnknownParent) || errors.Is(err, tangle.ErrSnapshottedParent)) {
 		// The journal is written in attachment order and recovery only
@@ -201,7 +205,7 @@ func (n *FullNode) replayTransaction(t *txn.Transaction, generation uint64) erro
 		// segment was never compacted, so there an absent parent keeps
 		// meaning what it always did — a foreign or corrupt log — and
 		// aborts the open.
-		info, err = n.tangle.Restore(t)
+		info, err = n.tangle.RestoreShard(t, shard)
 	}
 	if err != nil {
 		n.pendingMu.Lock()

@@ -36,6 +36,9 @@ type quarEntry struct {
 	// missingSeq is the first unobserved list sequence blocking the
 	// evidence verdict; 0 when the block is an unattached parent.
 	missingSeq uint64
+	// shard is the namespace hint the transaction arrived with, so a
+	// later kick attaches it into the same shard its relay targeted.
+	shard uint32
 	// deadline is the entry's TTL expiry.
 	deadline time.Time
 }
@@ -66,7 +69,7 @@ func newQuarantine(capacity int, ttl time.Duration) *quarantine {
 // park inserts (or refreshes) an entry. fresh reports whether the
 // transaction was not already parked; evicted is how many oldest
 // entries were displaced to stay under capacity.
-func (q *quarantine) park(t *txn.Transaction, from string, missingSeq uint64, now time.Time) (fresh bool, evicted int) {
+func (q *quarantine) park(t *txn.Transaction, from string, missingSeq uint64, now time.Time, shard uint32) (fresh bool, evicted int) {
 	id := t.ID()
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -75,9 +78,10 @@ func (q *quarantine) park(t *txn.Transaction, from string, missingSeq uint64, no
 		// original deadline — re-offers must not extend a stay forever.
 		e.missingSeq = missingSeq
 		e.from = from
+		e.shard = shard
 		return false, 0
 	}
-	q.entries[id] = &quarEntry{tx: t, from: from, missingSeq: missingSeq, deadline: now.Add(q.ttl)}
+	q.entries[id] = &quarEntry{tx: t, from: from, missingSeq: missingSeq, shard: shard, deadline: now.Add(q.ttl)}
 	q.order = append(q.order, id)
 	for len(q.entries) > q.cap {
 		victim := q.order[0]

@@ -1,0 +1,213 @@
+package node
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/b-iot/biot/internal/core"
+	"github.com/b-iot/biot/internal/gossip"
+)
+
+// Two-tier sharded deployment (DESIGN.md §16). Region-local gateway
+// clusters admit light-node traffic against their own tangle namespace
+// and their own credit view; the inter-gateway backbone reconciles the
+// shards. Reconciliation is two pulls per backbone peer:
+//
+//   - a scoped sync of namespace 0, so control-plane history (genesis,
+//     authorization lists, key distribution) replicates globally while
+//     each region's data namespace stays region-local, and
+//   - a paged credit-digest exchange, so a device roaming between
+//     regions carries its earned credit — and therefore its PoW
+//     difficulty — instead of being re-issued the newcomer penalty.
+//
+// Both lanes reuse the regional machinery: scoped sync pages flow
+// through the same cursor logic as syncFrom (cursors keyed
+// "peer#shard"), and digest merges route through the credit ledger's
+// own idempotent mutation paths, so reconciling twice moves nothing.
+
+const (
+	// creditPageAccounts bounds one credit-digest page.
+	creditPageAccounts = 64
+	// defaultReconcileInterval paces RunReconcileLoop when the config
+	// leaves ReconcileInterval zero.
+	defaultReconcileInterval = 2 * time.Second
+)
+
+// ShardID returns the data namespace this gateway admits into.
+func (n *FullNode) ShardID() uint32 { return n.cfg.ShardID }
+
+// serveCreditPage answers one MsgCreditRequest: a bounded page of this
+// node's credit state, address-ordered, JSON-encoded in TxData[0].
+func (n *FullNode) serveCreditPage(msg gossip.Message) (*gossip.Message, error) {
+	now := n.cfg.Clock.Now()
+	page, next, total, more := n.engine.Ledger().DigestPage(int(msg.Offset), creditPageAccounts, now, 0)
+	data, err := json.Marshal(page)
+	if err != nil {
+		return nil, fmt.Errorf("encode credit digest: %w", err)
+	}
+	return &gossip.Message{
+		Type:   gossip.MsgCreditResponse,
+		TxData: [][]byte{data},
+		Offset: uint64(next),
+		Total:  uint64(total),
+		More:   more,
+	}, nil
+}
+
+// scopedCursorKey names the persisted sync cursor for one (peer, shard)
+// pair; unscoped cursors keep using the bare peer name.
+func scopedCursorKey(peer string, shard uint32) string {
+	return fmt.Sprintf("%s#%d", peer, shard)
+}
+
+// syncShardFrom pulls one namespace from one peer over net, admitting
+// in order — the scoped twin of syncFrom. The cursor walks the PEER'S
+// per-shard attachment order and persists under "peer#shard", so a
+// steady-state reconcile only pages the namespace's new tail.
+func (n *FullNode) syncShardFrom(ctx context.Context, net gossip.Network, peer string, shard uint32) {
+	if net == nil {
+		return
+	}
+	key := scopedCursorKey(peer, shard)
+	cursor := n.cursorFor(key)
+	clean := true
+	for page := 0; page < maxSyncPages; page++ {
+		if ctx.Err() != nil {
+			return
+		}
+		reply, err := net.Request(ctx, peer, gossip.Message{
+			Type:   gossip.MsgSyncRequest,
+			Have:   n.recentHave(),
+			Offset: cursor,
+			Shard:  uint64(shard),
+			Scoped: true,
+		})
+		if err != nil || reply.Type != gossip.MsgSyncResponse {
+			return
+		}
+		if reply.Total < cursor {
+			// The peer's namespace shrank past our cursor (restart or
+			// snapshot compaction): rewind and re-page.
+			cursor = 0
+			clean = true
+			n.setCursor(key, 0)
+			continue
+		}
+		n.counters.BackboneSyncPages.Inc()
+		if n.admitGossipBatch(ctx, peer, reply.TxData, false, shard) > 0 {
+			// Dirty page: keep the persisted cursor at it so the next
+			// reconcile round re-offers it (see syncFrom).
+			clean = false
+		}
+		if reply.Offset <= cursor {
+			return // no forward progress: a confused peer must not spin us
+		}
+		cursor = reply.Offset
+		if clean {
+			n.setCursor(key, cursor)
+		}
+		if !reply.More {
+			return
+		}
+	}
+}
+
+// pullCreditFrom pages the peer's full credit digest and merges it.
+// Digest pages always restart from offset 0: the account set mutates
+// between rounds (admissions, pruning), and merging is idempotent, so
+// re-shipping a window of bounded pages is cheaper than tracking a
+// cursor that can silently skip accounts sorted behind it.
+func (n *FullNode) pullCreditFrom(ctx context.Context, net gossip.Network, peer string) core.MergeStats {
+	var st core.MergeStats
+	if net == nil {
+		return st
+	}
+	for offset, page := uint64(0), 0; page < maxSyncPages; page++ {
+		if ctx.Err() != nil {
+			return st
+		}
+		reply, err := net.Request(ctx, peer, gossip.Message{
+			Type:   gossip.MsgCreditRequest,
+			Offset: offset,
+		})
+		if err != nil || reply.Type != gossip.MsgCreditResponse || len(reply.TxData) == 0 {
+			return st
+		}
+		var digest core.CreditDigest
+		if json.Unmarshal(reply.TxData[0], &digest) != nil {
+			return st
+		}
+		s := n.engine.Ledger().Merge(digest)
+		st.TxsMerged += s.TxsMerged
+		st.EventsMerged += s.EventsMerged
+		if !reply.More || reply.Offset <= offset {
+			return st
+		}
+		offset = reply.Offset
+	}
+	return st
+}
+
+// Reconcile runs one round: for every backbone peer, pull the control
+// namespace (scoped sync) and the credit digest; then pull credit
+// digests from regional peers too. The regional pull matters because
+// merged remote credit is ledger-only state — it rides no transaction,
+// so the regional sync lanes never carry it; without the pull, credit
+// a border gateway merged over the backbone would stay stuck there
+// instead of reaching the region's other gateways. No-op when the node
+// has neither fabric. Safe to call concurrently with admissions.
+func (n *FullNode) Reconcile(ctx context.Context) {
+	bb, reg := n.cfg.Backbone, n.cfg.Network
+	if bb == nil && reg == nil {
+		return
+	}
+	if bb != nil {
+		for _, peer := range bb.Peers() {
+			n.syncShardFrom(ctx, bb, peer, 0)
+			st := n.pullCreditFrom(ctx, bb, peer)
+			n.counters.CreditTxsMerged.Add(int64(st.TxsMerged))
+			n.counters.CreditEventsMerged.Add(int64(st.EventsMerged))
+		}
+	}
+	if reg != nil {
+		for _, peer := range reg.Peers() {
+			st := n.pullCreditFrom(ctx, reg, peer)
+			n.counters.CreditTxsMerged.Add(int64(st.TxsMerged))
+			n.counters.CreditEventsMerged.Add(int64(st.EventsMerged))
+		}
+	}
+	n.lastReconcile.Store(n.cfg.Clock.Now().UnixNano())
+}
+
+// RunReconcileLoop reconciles on the configured cadence until ctx is
+// cancelled. Gateways in a sharded deployment run it as a background
+// goroutine next to the supervisor's compaction loop.
+func (n *FullNode) RunReconcileLoop(ctx context.Context) {
+	interval := n.cfg.ReconcileInterval
+	if interval <= 0 {
+		interval = defaultReconcileInterval
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			n.Reconcile(ctx)
+		}
+	}
+}
+
+// ReconcileLag reports the time since the last completed backbone
+// round; ok is false when no round has completed yet (or the node has
+// no backbone).
+func (n *FullNode) ReconcileLag() (lag time.Duration, ok bool) {
+	at := n.lastReconcile.Load()
+	if at == 0 {
+		return 0, false
+	}
+	return n.cfg.Clock.Now().Sub(time.Unix(0, at)), true
+}

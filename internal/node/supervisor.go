@@ -187,6 +187,9 @@ func (s *Supervisor) startLocked() error {
 			if net := n.Network(); net != nil {
 				_ = net.Close()
 			}
+			if bb := n.Backbone(); bb != nil {
+				_ = bb.Close()
+			}
 			return fmt.Errorf("supervised persistence: %w", err)
 		}
 		s.replayed = replayed
@@ -220,6 +223,9 @@ func (s *Supervisor) teardownLocked(ctx context.Context, graceful bool) {
 			_ = net.Close()
 		}
 		_ = n.Close()
+	}
+	if bb := n.Backbone(); bb != nil {
+		_ = bb.Close()
 	}
 	if s.cfg.PersistPath != "" {
 		_ = n.ClosePersistence()

@@ -1,0 +1,624 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/b-iot/biot/internal/chaos"
+	"github.com/b-iot/biot/internal/clock"
+	"github.com/b-iot/biot/internal/gossip"
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/identity"
+	"github.com/b-iot/biot/internal/node"
+	"github.com/b-iot/biot/internal/tangle"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Multi-region harness for the two-tier sharded topology (DESIGN.md
+// §16): the manager and each region's border gateway sit on a backbone
+// bus, every region runs its own regional bus, and each region's
+// gateways admit light-node data traffic into the region's own tangle
+// namespace. The single-bus Cluster's convergence assertion (every
+// full node holds the identical tangle) is deliberately FALSE here —
+// data namespaces must NOT replicate across regions — so regional
+// deployments get their own cluster type with sharding-aware
+// assertions: per-region convergence, global control-plane
+// convergence, zero cross-shard leakage, zero durable loss, and
+// credit carried across device roams.
+
+// RegionSpec sizes a multi-region deployment.
+type RegionSpec struct {
+	// Name identifies the run in test names and result rows.
+	Name string
+	// Regions is the region (= data shard) count; region r admits into
+	// namespace r+1.
+	Regions int
+	// GatewaysPerRegion is the regional cluster size; gateway 0 of each
+	// region is the border gateway, additionally attached to the
+	// backbone.
+	GatewaysPerRegion int
+	// DevicesPerRegion is the light-node population bound to each
+	// region at start (devices can roam later).
+	DevicesPerRegion int
+	// PerPhase is submissions per device per traffic round.
+	PerPhase int
+	// ReconcileInterval is passed through to the nodes (the scenario
+	// drives Reconcile explicitly, so this only matters if a test also
+	// starts RunReconcileLoop).
+	ReconcileInterval time.Duration
+	// Tangle overrides the ledger config; zero selects node defaults.
+	Tangle tangle.Config
+}
+
+// RegionHandle is one region of the deployment.
+type RegionHandle struct {
+	// Shard is the region's data namespace (region index + 1).
+	Shard uint32
+	// Bus is the region-local gossip fabric.
+	Bus *gossip.Bus
+	// Gateways are the region's supervised gateways; index 0 is the
+	// border gateway (also on the backbone).
+	Gateways []*GatewayHandle
+}
+
+// RegionDevice is one device bound to the deployment through a
+// cross-region roaming delegate.
+type RegionDevice struct {
+	Light *node.LightNode
+	Key   *identity.KeyPair
+	roam  *regionRoam
+}
+
+// Location reports the (region, gateway) the device currently talks to.
+func (d *RegionDevice) Location() (region, gateway int) {
+	return int(d.roam.region.Load()), int(d.roam.gw.Load())
+}
+
+// regionRoam routes a device's gateway calls to whichever regional
+// gateway the scenario currently binds it to, through that gateway's
+// supervisor delegate so restarts re-resolve.
+type regionRoam struct {
+	c      *RegionCluster
+	region atomic.Int32
+	gw     atomic.Int32
+}
+
+var _ node.Gateway = (*regionRoam)(nil)
+
+func (r *regionRoam) handle() *GatewayHandle {
+	return r.c.Regions[r.region.Load()].Gateways[r.gw.Load()]
+}
+func (r *regionRoam) gateway() node.Gateway { return r.handle().Sup.Gateway() }
+
+func (r *regionRoam) TipsForApproval() (hashutil.Hash, hashutil.Hash, error) {
+	return r.gateway().TipsForApproval()
+}
+func (r *regionRoam) DifficultyFor(addr identity.Address) int {
+	return r.gateway().DifficultyFor(addr)
+}
+func (r *regionRoam) GetTransaction(id hashutil.Hash) (*txn.Transaction, error) {
+	return r.gateway().GetTransaction(id)
+}
+func (r *regionRoam) Submit(ctx context.Context, t *txn.Transaction) (tangle.Info, error) {
+	return r.gateway().Submit(ctx, t)
+}
+func (r *regionRoam) TransactionsByKind(kind txn.Kind, offset int) ([]*txn.Transaction, error) {
+	return r.gateway().TransactionsByKind(kind, offset)
+}
+
+// RegionCluster is one running multi-region deployment.
+type RegionCluster struct {
+	Spec RegionSpec
+	Seed int64
+
+	Clk      *clock.Virtual
+	Backbone *gossip.Bus
+	Mgr      *node.Manager
+	MgrNode  *node.FullNode
+	Regions  []*RegionHandle
+	Devices  []*RegionDevice
+
+	phase atomic.Int64
+
+	// mustHave maps a guaranteed-durable transaction ID to the region
+	// it was admitted in — the region whose namespace must retain it.
+	mustMu   sync.Mutex
+	mustHave map[string]int
+
+	submitted    atomic.Int64
+	admitted     atomic.Int64
+	submitErrors atomic.Int64
+}
+
+// NewRegionCluster builds and starts the deployment: manager on the
+// backbone, Regions × GatewaysPerRegion supervised gateways journaling
+// to fault-injectable in-memory disks, DevicesPerRegion devices per
+// region, all authorized and the initial list published.
+func NewRegionCluster(spec RegionSpec, seed int64) (*RegionCluster, error) {
+	c := &RegionCluster{
+		Spec:     spec,
+		Seed:     seed,
+		Clk:      clock.NewVirtual(time.Unix(1_700_000_000, 0)),
+		Backbone: gossip.NewBus(),
+		mustHave: make(map[string]int),
+	}
+	fail := func(err error) (*RegionCluster, error) {
+		c.Close()
+		return nil, err
+	}
+
+	mgrKey, err := identity.Generate()
+	if err != nil {
+		return fail(err)
+	}
+	mgrNet, err := c.Backbone.Join("mgr")
+	if err != nil {
+		return fail(err)
+	}
+	c.MgrNode, err = node.NewFull(node.FullConfig{
+		Key:        mgrKey,
+		Role:       identity.RoleManager,
+		ManagerPub: mgrKey.Public(),
+		Credit:     scenarioParams(),
+		Tangle:     spec.Tangle,
+		Clock:      c.Clk,
+		Network:    mgrNet,
+	})
+	if err != nil {
+		return fail(fmt.Errorf("manager node: %w", err))
+	}
+	c.Mgr, err = node.NewManager(c.MgrNode)
+	if err != nil {
+		return fail(err)
+	}
+
+	for r := 0; r < spec.Regions; r++ {
+		reg := &RegionHandle{Shard: uint32(r + 1), Bus: gossip.NewBus()}
+		c.Regions = append(c.Regions, reg)
+		for gi := 0; gi < spec.GatewaysPerRegion; gi++ {
+			gwKey, err := identity.Generate()
+			if err != nil {
+				return fail(err)
+			}
+			g := &GatewayHandle{
+				Name:  fmt.Sprintf("r%d-gw%d", r, gi),
+				Key:   gwKey,
+				Disk:  chaos.NewMemFS(seed + int64(r*100+gi)),
+				Clock: chaos.NewSkewClock(c.Clk, 0, seed+1000+int64(r*100+gi)),
+			}
+			border := gi == 0
+			netSeed := seed + 5000 + int64(r*100+gi)
+			sup, err := node.NewSupervisor(node.SupervisorConfig{
+				Build: func() (*node.FullNode, error) {
+					peer, err := reg.Bus.Join(g.Name)
+					if err != nil {
+						return nil, err
+					}
+					fn := chaos.NewFaultyNetwork(peer, chaos.NetFaults{}, netSeed)
+					fn.SetFaults(g.setNetwork(fn))
+					cfg := node.FullConfig{
+						Key:               gwKey,
+						Role:              identity.RoleGateway,
+						ManagerPub:        mgrKey.Public(),
+						Credit:            scenarioParams(),
+						Tangle:            spec.Tangle,
+						Clock:             g.Clock,
+						Network:           fn,
+						ShardID:           reg.Shard,
+						ReconcileInterval: spec.ReconcileInterval,
+					}
+					if border {
+						bb, err := c.Backbone.Join(g.Name)
+						if err != nil {
+							fn.Close()
+							return nil, err
+						}
+						cfg.Backbone = bb
+					}
+					n, err := node.NewFull(cfg)
+					if err != nil {
+						fn.Close()
+						return nil, err
+					}
+					return n, nil
+				},
+				PersistPath:   g.Name + ".journal",
+				FS:            g.Disk,
+				WatchInterval: 10 * time.Millisecond,
+				BackoffBase:   5 * time.Millisecond,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			g.Sup = sup
+			if err := sup.Start(); err != nil {
+				return fail(fmt.Errorf("start %s: %v", g.Name, err))
+			}
+			reg.Gateways = append(reg.Gateways, g)
+		}
+
+		for d := 0; d < spec.DevicesPerRegion; d++ {
+			key, err := identity.Generate()
+			if err != nil {
+				return fail(err)
+			}
+			roam := &regionRoam{c: c}
+			roam.region.Store(int32(r))
+			roam.gw.Store(int32(d % spec.GatewaysPerRegion))
+			light, err := node.NewLight(node.LightConfig{
+				Key:     key,
+				Gateway: roam,
+				Clock:   c.Clk,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			c.Devices = append(c.Devices, &RegionDevice{Light: light, Key: key, roam: roam})
+			c.Mgr.AuthorizeDevice(key.Public(), key.BoxPublic())
+		}
+	}
+
+	ctx := context.Background()
+	if _, err := c.Mgr.PublishAuthorization(ctx); err != nil {
+		return fail(fmt.Errorf("publish authorization: %w", err))
+	}
+	if err := c.MgrNode.FlushBroadcast(ctx); err != nil {
+		return fail(err)
+	}
+	return c, nil
+}
+
+// Close tears the deployment down.
+func (c *RegionCluster) Close() {
+	ctx := context.Background()
+	for _, reg := range c.Regions {
+		for _, g := range reg.Gateways {
+			if g.Sup != nil {
+				_ = g.Sup.Stop(ctx)
+			}
+		}
+	}
+	if c.MgrNode != nil {
+		_ = c.MgrNode.Close()
+	}
+	for _, reg := range c.Regions {
+		if reg.Bus != nil {
+			_ = reg.Bus.Close()
+		}
+	}
+	if c.Backbone != nil {
+		_ = c.Backbone.Close()
+	}
+}
+
+// fulls returns every live full node: manager first, then gateways in
+// region order.
+func (c *RegionCluster) fulls() []*node.FullNode {
+	out := []*node.FullNode{c.MgrNode}
+	for _, reg := range c.Regions {
+		for _, g := range reg.Gateways {
+			if n := g.Sup.Node(); n != nil {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// MoveDevice roams device d to (region, gateway): IoT mobility across
+// coverage areas and administrative regions. Call between rounds.
+func (c *RegionCluster) MoveDevice(d, region, gateway int) {
+	c.Devices[d].roam.region.Store(int32(region))
+	c.Devices[d].roam.gw.Store(int32(gateway))
+}
+
+// Traffic runs one round: every device posts PerPhase readings
+// concurrently to its current gateway. With faultsActive, submission
+// failures are counted only; otherwise they abort the round. A
+// transaction enters the zero-loss obligation — tagged with the region
+// it was admitted in — iff its submit succeeded on a node instance
+// whose journal was still verifiably healthy afterwards.
+func (c *RegionCluster) Traffic(ctx context.Context, faultsActive bool) error {
+	phase := c.phase.Add(1)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(c.Devices))
+	for d, dev := range c.Devices {
+		wg.Add(1)
+		go func(d int, dev *RegionDevice) {
+			defer wg.Done()
+			for i := 0; i < c.Spec.PerPhase; i++ {
+				region, _ := dev.Location()
+				sup := dev.roam.handle().Sup
+				before := sup.Node()
+				c.submitted.Add(1)
+				res, err := dev.Light.PostReading(ctx,
+					[]byte(fmt.Sprintf("%s p%d d%d i%d", c.Spec.Name, phase, d, i)))
+				if err != nil {
+					c.submitErrors.Add(1)
+					if !faultsActive {
+						errs <- fmt.Errorf("clean phase %d device %d: %w", phase, d, err)
+						return
+					}
+					continue
+				}
+				c.admitted.Add(1)
+				after := sup.Node()
+				if before != nil && before == after && after.JournalHealthy() {
+					c.mustMu.Lock()
+					c.mustHave[res.Info.ID.String()] = region
+					c.mustMu.Unlock()
+				}
+			}
+		}(d, dev)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// ReconcileAll flushes every node's fan-out, then runs one Reconcile
+// round on every gateway (border gateways pull the backbone, every
+// gateway spreads credit regionally).
+func (c *RegionCluster) ReconcileAll(ctx context.Context) error {
+	for _, n := range c.fulls() {
+		if err := n.FlushBroadcast(ctx); err != nil {
+			return err
+		}
+	}
+	for _, reg := range c.Regions {
+		for _, g := range reg.Gateways {
+			if n := g.Sup.Node(); n != nil {
+				n.Reconcile(ctx)
+			}
+		}
+	}
+	return nil
+}
+
+// shardSet collects one namespace's resident IDs on a node.
+func shardSet(n *node.FullNode, shard uint32) map[string]bool {
+	set := make(map[string]bool)
+	for _, id := range n.Tangle().OrderedShardIDs(shard, 0, math.MaxInt32) {
+		set[id.String()] = true
+	}
+	return set
+}
+
+// Converge drives regional syncs and backbone reconciliation to a
+// sharded fixpoint: the control namespace identical on every full
+// node, and each region's data namespace identical across that
+// region's gateways. It returns the rounds taken and whether the
+// fixpoint was reached.
+func (c *RegionCluster) Converge(ctx context.Context) (rounds int, converged bool, err error) {
+	alive := c.fulls()
+	want := 1 + c.Spec.Regions*c.Spec.GatewaysPerRegion
+	if len(alive) != want {
+		return 0, false, fmt.Errorf("only %d/%d full nodes alive", len(alive), want)
+	}
+	const maxRounds = 40
+	for rounds = 1; rounds <= maxRounds; rounds++ {
+		if err := c.ReconcileAll(ctx); err != nil {
+			return rounds, false, err
+		}
+		for _, reg := range c.Regions {
+			for _, g := range reg.Gateways {
+				if n := g.Sup.Node(); n != nil {
+					n.SyncAll(ctx)
+				}
+			}
+		}
+		if c.atFixpoint() {
+			return rounds, true, nil
+		}
+	}
+	return maxRounds, false, nil
+}
+
+func (c *RegionCluster) atFixpoint() bool {
+	ref := shardSet(c.MgrNode, 0)
+	for _, reg := range c.Regions {
+		var regional map[string]bool
+		for gi, g := range reg.Gateways {
+			n := g.Sup.Node()
+			if n == nil {
+				return false
+			}
+			if !equalSets(ref, shardSet(n, 0)) {
+				return false
+			}
+			if gi == 0 {
+				regional = shardSet(n, reg.Shard)
+			} else if !equalSets(regional, shardSet(n, reg.Shard)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkZeroLoss verifies every guaranteed-durable transaction is still
+// resident in the namespace of the region that admitted it (call
+// after Converge, so one gateway per region speaks for all).
+func (c *RegionCluster) checkZeroLoss() (durable, lost int) {
+	regional := make([]map[string]bool, len(c.Regions))
+	for r, reg := range c.Regions {
+		regional[r] = shardSet(reg.Gateways[0].Sup.Node(), reg.Shard)
+	}
+	c.mustMu.Lock()
+	defer c.mustMu.Unlock()
+	for id, r := range c.mustHave {
+		if !regional[r][id] {
+			lost++
+		}
+	}
+	return len(c.mustHave), lost
+}
+
+// checkNoLeakage verifies data-namespace isolation: no gateway holds a
+// single vertex of another region's shard, and the manager holds no
+// data shard at all.
+func (c *RegionCluster) checkNoLeakage() error {
+	for _, reg := range c.Regions {
+		if n := c.MgrNode.Tangle().ShardSize(reg.Shard); n != 0 {
+			return fmt.Errorf("manager holds %d vertices of shard %d", n, reg.Shard)
+		}
+		for _, other := range c.Regions {
+			if other.Shard == reg.Shard {
+				continue
+			}
+			for gi, g := range reg.Gateways {
+				n := g.Sup.Node()
+				if n == nil {
+					continue
+				}
+				if got := n.Tangle().ShardSize(other.Shard); got != 0 {
+					return fmt.Errorf("region %d gateway %d holds %d vertices of foreign shard %d",
+						reg.Shard-1, gi, got, other.Shard)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkCreditParity compares every full node's incremental credit
+// against its RescanCredit oracle for every known account.
+func (c *RegionCluster) checkCreditParity() (accounts int, maxDelta float64, ok bool) {
+	now := c.Clk.Now()
+	ok = true
+	const eps = 1e-9
+	for i, n := range c.fulls() {
+		ledger := n.Engine().Ledger()
+		addrs := ledger.Nodes()
+		if i == 0 {
+			accounts = len(addrs)
+		}
+		for _, addr := range addrs {
+			oracle := ledger.RescanCredit(addr, now)
+			got := ledger.CreditOf(addr, now)
+			for _, pair := range [][2]float64{
+				{got.CrP, oracle.CrP}, {got.CrN, oracle.CrN}, {got.Cr, oracle.Cr},
+			} {
+				rel := math.Abs(pair[0]-pair[1]) / (1 + math.Abs(pair[0]) + math.Abs(pair[1]))
+				if rel > maxDelta {
+					maxDelta = rel
+				}
+				if rel > eps {
+					ok = false
+				}
+			}
+		}
+	}
+	return accounts, maxDelta, ok
+}
+
+// WaitReady blocks until every supervisor reports ready (watchdog
+// restarts included) or the deadline passes.
+func (c *RegionCluster) WaitReady() error {
+	deadline := time.Now().Add(15 * time.Second)
+	for _, reg := range c.Regions {
+		for _, g := range reg.Gateways {
+			for !g.Sup.Ready() {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("%s never became ready: %+v", g.Name, g.Sup.Health())
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	return nil
+}
+
+// RegionResult is a multi-region run's machine-readable outcome row
+// (the shard experiment embeds it per cell).
+type RegionResult struct {
+	Name              string `json:"name"`
+	Seed              int64  `json:"seed"`
+	Regions           int    `json:"regions"`
+	GatewaysPerRegion int    `json:"gateways_per_region"`
+	Devices           int    `json:"devices"`
+
+	Submitted    int64 `json:"submitted"`
+	Admitted     int64 `json:"admitted"`
+	SubmitErrors int64 `json:"submit_errors"`
+
+	Durable     int  `json:"guaranteed_durable"`
+	LostDurable int  `json:"lost_durable"`
+	Converged   bool `json:"converged"`
+	SyncRounds  int  `json:"sync_rounds"`
+
+	ControlSize    int     `json:"control_namespace_size"`
+	ShardSizes     []int   `json:"shard_sizes"`
+	CreditAccounts int     `json:"credit_accounts"`
+	CreditParityOK bool    `json:"credit_parity_ok"`
+	MaxCreditDelta float64 `json:"max_credit_delta"`
+	Restarts       int64   `json:"watchdog_restarts"`
+}
+
+// Finish converges the cluster and fills + enforces the sharded
+// assertions: fixpoint reached, zero durable loss, zero cross-shard
+// leakage, credit parity on every node. The row is filled as far as
+// the run got even on failure.
+func (c *RegionCluster) Finish(ctx context.Context) (RegionResult, error) {
+	res := RegionResult{
+		Name:              c.Spec.Name,
+		Seed:              c.Seed,
+		Regions:           c.Spec.Regions,
+		GatewaysPerRegion: c.Spec.GatewaysPerRegion,
+		Devices:           len(c.Devices),
+		Submitted:         c.submitted.Load(),
+		Admitted:          c.admitted.Load(),
+		SubmitErrors:      c.submitErrors.Load(),
+	}
+	for _, reg := range c.Regions {
+		for _, g := range reg.Gateways {
+			res.Restarts += g.Sup.Restarts()
+		}
+	}
+	rounds, converged, err := c.Converge(ctx)
+	res.SyncRounds, res.Converged = rounds, converged
+	if err != nil {
+		return res, err
+	}
+	if !converged {
+		return res, fmt.Errorf("regions did not reach the sharded fixpoint within %d rounds", rounds)
+	}
+	res.ControlSize = c.MgrNode.Tangle().ShardSize(0)
+	for _, reg := range c.Regions {
+		res.ShardSizes = append(res.ShardSizes, reg.Gateways[0].Sup.Node().Tangle().ShardSize(reg.Shard))
+	}
+	res.Durable, res.LostDurable = c.checkZeroLoss()
+	if res.LostDurable > 0 {
+		return res, fmt.Errorf("%d of %d guaranteed-durable transactions lost",
+			res.LostDurable, res.Durable)
+	}
+	if err := c.checkNoLeakage(); err != nil {
+		return res, err
+	}
+	res.CreditAccounts, res.MaxCreditDelta, res.CreditParityOK = c.checkCreditParity()
+	if !res.CreditParityOK {
+		return res, fmt.Errorf("incremental credit diverged from the RescanCredit oracle (max rel delta %.3g)",
+			res.MaxCreditDelta)
+	}
+	return res, nil
+}
+
+// errGatewayDown is returned by helpers that need a live node.
+var errGatewayDown = errors.New("gateway has no live node")
+
+// BorderNode returns region r's border gateway node.
+func (c *RegionCluster) BorderNode(r int) (*node.FullNode, error) {
+	n := c.Regions[r].Gateways[0].Sup.Node()
+	if n == nil {
+		return nil, errGatewayDown
+	}
+	return n, nil
+}

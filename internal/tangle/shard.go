@@ -1,0 +1,112 @@
+package tangle
+
+import (
+	"sort"
+
+	"github.com/b-iot/biot/internal/hashutil"
+	"github.com/b-iot/biot/internal/txn"
+)
+
+// Shard namespaces partition the attachment order, not the DAG: every
+// vertex is tagged with the namespace it was admitted into (0 = control
+// plane: genesis and authorization lists, globally replicated; >= 1 =
+// region data shards), and each namespace keeps its own attachment
+// order so the cursor-paged sync protocol can page one region's history
+// without walking the others. Approval edges freely cross namespaces —
+// a data transaction may approve a control-plane tip — so confirmation
+// weight and conflict resolution stay global.
+
+// ShardOf returns the namespace the attached vertex was admitted into;
+// ok is false for unknown IDs.
+func (t *Tangle) ShardOf(id hashutil.Hash) (shard uint32, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.vertices[id]
+	if !ok {
+		return 0, false
+	}
+	return v.shard, true
+}
+
+// ShardSize returns the number of resident vertices in the namespace.
+func (t *Tangle) ShardSize(shard uint32) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.shardOrder[shard])
+}
+
+// Shards returns the namespaces with at least one resident vertex, in
+// ascending order.
+func (t *Tangle) Shards() []uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]uint32, 0, len(t.shardOrder))
+	for s, ids := range t.shardOrder {
+		if len(ids) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ResidentByShard returns the resident vertex count per namespace
+// (namespaces with zero residents are omitted).
+func (t *Tangle) ResidentByShard() map[uint32]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[uint32]int, len(t.shardOrder))
+	for s, ids := range t.shardOrder {
+		if len(ids) > 0 {
+			out[s] = len(ids)
+		}
+	}
+	return out
+}
+
+// ExportShardRange returns up to limit transactions starting at index
+// from of the namespace's attachment order — the shard-scoped analogue
+// of ExportRange, with the same paging tolerance: a snapshot between
+// pages compacts the order and consumers repair via dedup on attach.
+func (t *Tangle) ExportShardRange(shard uint32, from, limit int) []*txn.Transaction {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := t.shardOrder[shard]
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(ids) || limit <= 0 {
+		return nil
+	}
+	end := from + limit
+	if end > len(ids) {
+		end = len(ids)
+	}
+	out := make([]*txn.Transaction, 0, end-from)
+	for _, id := range ids[from:end] {
+		out = append(out, t.vertices[id].tx.Clone())
+	}
+	return out
+}
+
+// OrderedShardIDs returns up to limit attached transaction IDs starting
+// at index from of the namespace's attachment order — the ID-only
+// companion of ExportShardRange.
+func (t *Tangle) OrderedShardIDs(shard uint32, from, limit int) []hashutil.Hash {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := t.shardOrder[shard]
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(ids) || limit <= 0 {
+		return nil
+	}
+	end := from + limit
+	if end > len(ids) {
+		end = len(ids)
+	}
+	out := make([]hashutil.Hash, end-from)
+	copy(out, ids[from:end])
+	return out
+}

@@ -164,6 +164,15 @@ func (t *Tangle) SnapshotEpoch(now time.Time, keep time.Duration, interval time.
 		}
 		t.byKind[kind] = kept
 	}
+	for shard, ids := range t.shardOrder {
+		kept := ids[:0]
+		for _, id := range ids {
+			if _, ok := t.vertices[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		t.shardOrder[shard] = kept
+	}
 	approved := t.approvedOrder[:0]
 	for _, id := range t.approvedOrder[t.approvedHead:] {
 		if _, ok := t.vertices[id]; ok {
@@ -195,8 +204,16 @@ func (t *Tangle) SnapshotEpoch(now time.Time, keep time.Duration, interval time.
 // BeginBootstrap, which widens Attach only for the manifest's boundary
 // roots.)
 func (t *Tangle) Restore(tx *txn.Transaction) (Info, error) {
+	return t.RestoreShard(tx, 0)
+}
+
+// RestoreShard is Restore with the vertex tagged into the given tangle
+// namespace (journal records carry no shard tag, so the replay layer
+// re-derives the namespace from the transaction kind and the node's
+// own shard assignment).
+func (t *Tangle) RestoreShard(tx *txn.Transaction, shard uint32) (Info, error) {
 	t.mu.Lock()
-	info, err := t.restoreLocked(tx)
+	info, err := t.restoreLocked(tx, shard)
 	t.mu.Unlock()
 	if err == nil {
 		t.deliverPending()
@@ -204,7 +221,7 @@ func (t *Tangle) Restore(tx *txn.Transaction) (Info, error) {
 	return info, err
 }
 
-func (t *Tangle) restoreLocked(tx *txn.Transaction) (Info, error) {
+func (t *Tangle) restoreLocked(tx *txn.Transaction, shard uint32) (Info, error) {
 	id := tx.ID()
 	if _, dup := t.vertices[id]; dup {
 		return Info{}, fmt.Errorf("%w: %s", ErrDuplicate, id.Short())
@@ -220,7 +237,7 @@ func (t *Tangle) restoreLocked(tx *txn.Transaction) (Info, error) {
 	if branch == nil {
 		t.restoreBoundaryLocked(tx.Branch)
 	}
-	info := t.insertLocked(tx, id, trunk, branch)
+	info := t.insertLocked(tx, id, trunk, branch, shard)
 	t.updateMemGaugesLocked()
 	return info, nil
 }

@@ -110,6 +110,11 @@ type vertex struct {
 	// mark is the epoch stamp used by propagateWeightLocked to detect
 	// already-visited vertices without allocating a per-attach set.
 	mark uint64
+	// shard is the tangle namespace the vertex belongs to: 0 for the
+	// control plane (genesis, authorization lists), >= 1 for region
+	// data shards. Assigned at attach time by the admission layer and
+	// immutable afterwards.
+	shard uint32
 	// authSeq is the admission evidence: the highest authorization-list
 	// sequence in this vertex's past cone, maintained incrementally as
 	// max(parent authSeqs) — plus the vertex's own decoded sequence when
@@ -145,6 +150,10 @@ type Tangle struct {
 	// on mutation so SelectTips never re-collects and re-sorts the pool.
 	tipsSorted []hashutil.Hash
 	order      []hashutil.Hash // attachment order, for sync/export
+	// shardOrder mirrors order per namespace: the attachment order of
+	// each shard's vertices, for namespace-scoped sync/export. Shard 0
+	// (control plane) is always present.
+	shardOrder map[uint32][]hashutil.Hash
 	byKind     map[txn.Kind][]hashutil.Hash
 	spends     map[txn.SpendKey][]hashutil.Hash
 	// The cold region left behind by local snapshots (see cold.go and
@@ -251,16 +260,17 @@ func New(cfg Config, managerPub identity.PublicKey, clk clock.Clock) (*Tangle, e
 		seed = 0xB107 // fixed default: reproducible runs
 	}
 	t := &Tangle{
-		cfg:      cfg,
-		clk:      clk,
-		vertices: make(map[hashutil.Hash]*vertex),
-		tips:     make(map[hashutil.Hash]struct{}),
-		byKind:   make(map[txn.Kind][]hashutil.Hash),
-		spends:   make(map[txn.SpendKey][]hashutil.Hash),
-		boundary: make(map[hashutil.Hash]struct{}),
-		coldMem:  make(map[hashutil.Hash]struct{}),
-		seed:     seed,
-		met:      newMetrics(),
+		cfg:        cfg,
+		clk:        clk,
+		vertices:   make(map[hashutil.Hash]*vertex),
+		tips:       make(map[hashutil.Hash]struct{}),
+		shardOrder: make(map[uint32][]hashutil.Hash),
+		byKind:     make(map[txn.Kind][]hashutil.Hash),
+		spends:     make(map[txn.SpendKey][]hashutil.Hash),
+		boundary:   make(map[hashutil.Hash]struct{}),
+		coldMem:    make(map[hashutil.Hash]struct{}),
+		seed:       seed,
+		met:        newMetrics(),
 	}
 	t.walkers.New = func() any { return t.newWalker() }
 	now := clk.Now()
@@ -274,6 +284,7 @@ func New(cfg Config, managerPub identity.PublicKey, clk clock.Clock) (*Tangle, e
 		}
 		t.addTipLocked(id)
 		t.order = append(t.order, id)
+		t.shardOrder[0] = append(t.shardOrder[0], id)
 		t.byKind[txn.KindGenesis] = append(t.byKind[txn.KindGenesis], id)
 		t.genesis[i] = id
 		t.nConfirmed++
@@ -390,8 +401,16 @@ func (t *Tangle) Weight(id hashutil.Hash) (float64, error) {
 // transaction is still attached (the DAG keeps both branches) but the
 // lighter branch is marked rejected.
 func (t *Tangle) Attach(tx *txn.Transaction) (Info, error) {
+	return t.AttachShard(tx, 0)
+}
+
+// AttachShard is Attach with the vertex tagged into the given tangle
+// namespace (0 = control plane, >= 1 = region data shards). The DAG
+// itself is shared — parents may live in any namespace — only the
+// attachment-order indexes are per shard.
+func (t *Tangle) AttachShard(tx *txn.Transaction, shard uint32) (Info, error) {
 	t.mu.Lock()
-	info, err := t.attachLocked(tx)
+	info, err := t.attachLocked(tx, shard)
 	t.mu.Unlock()
 	if err == nil {
 		t.deliverPending()
@@ -399,7 +418,7 @@ func (t *Tangle) Attach(tx *txn.Transaction) (Info, error) {
 	return info, err
 }
 
-func (t *Tangle) attachLocked(tx *txn.Transaction) (Info, error) {
+func (t *Tangle) attachLocked(tx *txn.Transaction, shard uint32) (Info, error) {
 	id := tx.ID()
 
 	if _, dup := t.vertices[id]; dup {
@@ -429,7 +448,7 @@ func (t *Tangle) attachLocked(tx *txn.Transaction) (Info, error) {
 		branch = nil
 	}
 
-	info := t.insertLocked(tx, id, trunk, branch)
+	info := t.insertLocked(tx, id, trunk, branch, shard)
 	t.met.ResidentVertices.Set(int64(len(t.vertices)))
 	return info, nil
 }
@@ -488,7 +507,7 @@ func (t *Tangle) AuthSeqOf(id hashutil.Hash) (seq uint64, ok bool) {
 // folded away by a pre-crash snapshot: the vertex attaches as a
 // pruned-boundary root (no approval is credited to the missing parent,
 // and its height restarts relative to the boundary).
-func (t *Tangle) insertLocked(tx *txn.Transaction, id hashutil.Hash, trunk, branch *vertex) Info {
+func (t *Tangle) insertLocked(tx *txn.Transaction, id hashutil.Hash, trunk, branch *vertex, shard uint32) Info {
 	now := t.clk.Now()
 	lazy := false
 	if trunk != nil && branch != nil {
@@ -520,10 +539,12 @@ func (t *Tangle) insertLocked(tx *txn.Transaction, id hashutil.Hash, trunk, bran
 		status:     StatusPending,
 		attachedAt: now,
 		height:     height + 1,
+		shard:      shard,
 		authSeq:    authSeq,
 	}
 	t.vertices[id] = v
 	t.order = append(t.order, id)
+	t.shardOrder[shard] = append(t.shardOrder[shard], id)
 	t.byKind[tx.Kind] = append(t.byKind[tx.Kind], id)
 
 	// Wire approvals and retire approved tips.
